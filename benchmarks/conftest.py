@@ -1,0 +1,31 @@
+"""Shared fixtures for the table-reproduction benchmarks."""
+
+import os
+
+import pytest
+
+from repro.bench import get_experiments
+from repro.core.report import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def experiments():
+    return get_experiments()
+
+
+@pytest.fixture
+def emit_table():
+    """Print a table and persist it under benchmarks/results/."""
+
+    def _emit(filename, title, rows, columns=()):
+        text = format_table(title, rows, columns)
+        print("\n" + text)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, filename), "w",
+                  encoding="utf-8") as handle:
+            handle.write(text)
+        return text
+
+    return _emit

@@ -1,0 +1,31 @@
+"""Table 1 — Modules in ARM: characteristics of each module under test.
+
+Paper columns: module name, hierarchy level, primary inputs, primary
+outputs, gates in module, gates in surrounding design, stuck-at faults.
+"""
+
+
+def test_table1_modules(experiments, emit_table, benchmark):
+    rows = benchmark.pedantic(
+        experiments.table1_rows, rounds=1, iterations=1
+    )
+    emit_table("table1.txt", "Table 1: Modules in ARM", rows)
+
+    by_name = {row["module"]: row for row in rows}
+    # All four paper MUTs present, embedded >= 2 levels deep.
+    assert set(by_name) == {"arm_alu", "regfile_struct", "exc", "forward"}
+    for row in rows:
+        assert row["hier_level"] >= 2
+        assert row["stuck_at_faults"] > 0
+        # Each module is embedded in a much larger surrounding design.
+        assert row["gates_in_surrounding"] > row["gates_in_module"]
+    # regfile_struct is the biggest and the most deeply embedded module.
+    assert by_name["regfile_struct"]["hier_level"] == max(
+        row["hier_level"] for row in rows
+    )
+    assert by_name["regfile_struct"]["gates_in_module"] == max(
+        row["gates_in_module"] for row in rows
+    )
+    # forward is tiny, the ALU is large.
+    assert by_name["forward"]["gates_in_module"] < 50
+    assert by_name["arm_alu"]["gates_in_module"] > 500

@@ -1,0 +1,35 @@
+"""Table 3 — Transformed module WITH composition (FACTOR mode).
+
+Same columns as Table 2.  The paper's claims, checked here:
+
+- extraction times are lower than without composition (constraints
+  extracted at higher levels are reused across MUTs),
+- the surrounding logic is reduced at least as much.
+"""
+
+
+def test_table3_composition(experiments, emit_table, benchmark):
+    rows = benchmark.pedantic(
+        experiments.table3_rows, rounds=1, iterations=1
+    )
+    emit_table(
+        "table3.txt",
+        "Table 3: Transformed Module With Composition",
+        rows,
+    )
+
+    table2 = {r["module"]: r for r in experiments.table2_rows()}
+    total_compose = sum(r["extraction_s"] for r in rows)
+    total_conventional = sum(r["extraction_s"] for r in table2.values())
+
+    for row in rows:
+        assert row["gate_reduction_%"] > 50.0, row
+        conventional = table2[row["module"]]
+        # Composition never keeps MORE surrounding logic.
+        assert (row["gates_in_surrounding"]
+                <= conventional["gates_in_surrounding"]), row
+
+    # Aggregate extraction time is lower thanks to cross-MUT reuse.
+    assert total_compose < total_conventional, (
+        f"compose {total_compose}s vs conventional {total_conventional}s"
+    )

@@ -1,0 +1,42 @@
+"""Table 4 — Raw test generation: processor level vs stand-alone module.
+
+Paper columns: processor-level coverage / time, stand-alone coverage / time.
+The shape under reproduction: targeting an embedded module's faults through
+the whole processor gives much lower coverage and much higher per-fault CPU
+time than the stand-alone module.
+
+The processor-level runs estimate coverage on a uniform fault sample (the
+chip-level run is otherwise intractable in pure Python); EXPERIMENTS.md
+documents the sampling.
+"""
+
+
+from repro.bench import bench_scale
+
+
+def test_table4_raw_test_generation(experiments, emit_table, benchmark):
+    rows = benchmark.pedantic(
+        experiments.table4_rows, rounds=1, iterations=1
+    )
+    emit_table("table4.txt", "Table 4: Raw Test Generation", rows)
+
+    # The exception unit caps at ~84% stand-alone under the unknown-X
+    # initial-state model (its IRQ-pending/mode feedback cannot be fully
+    # initialised) — the floor reflects that, see EXPERIMENTS.md.
+    standalone_floor = 80.0 if bench_scale() == "paper" else 70.0
+    for row in rows:
+        name = row["module"]
+        # Stand-alone ATPG achieves high coverage on every module.
+        assert row["standalone_cov_%"] > standalone_floor, name
+        # Processor-level coverage is strictly worse for every module.
+        assert row["proc_lvl_cov_%"] < row["standalone_cov_%"], name
+
+    # Per-fault effort at processor level dwarfs the stand-alone effort.
+    proc = {r["module"]: r for r in rows}
+    for name, row in proc.items():
+        proc_rate = row["proc_lvl_time_s"] / max(1, row["proc_sampled_faults"])
+        alone = experiments.standalone_report(
+            next(m for m in experiments.muts() if m.name == name)
+        )
+        alone_rate = alone.total_seconds / max(1, alone.total_faults)
+        assert proc_rate > alone_rate, name

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Translate transformed-module tests back to the chip level.
+
+The paper's methodology ends with pattern translation: tests generated for
+the MUT inside M+S' are converted into processor-level stimulus —
+register-file pre-loads become MOVI/SHL/OR instruction prologues, and ST
+instructions store results back out for observation.
+
+This example generates tests for the register file on its transformed
+module, translates them, and fault-simulates the translated program on the
+FULL processor to measure how much of the transformed-module coverage
+survives translation.
+
+Run:  python examples/chip_level_translation.py
+"""
+
+from repro import Factor
+from repro.atpg.engine import AtpgEngine, AtpgOptions
+from repro.atpg.vectors import TestSet
+from repro.designs import arm2_source
+from repro.designs.arm2_translation import translate_test, translate_test_set
+from repro.synth import synthesize
+
+MUT = "regfile_struct"
+PATH = "u_core.u_dp.u_rb.u_rf."
+
+
+def main():
+    factor = Factor.from_verilog(arm2_source(), top="arm")
+    print("Extracting constraints and building the transformed module...")
+    result = factor.analyze(MUT, path=PATH)
+
+    print("Generating tests on the transformed module...")
+    opts = AtpgOptions(
+        max_frames=4, frame_schedule=(2, 4), backtrack_limit=200,
+        fault_time_limit=0.4, random_sequences=8,
+        random_sequence_length=24,
+        fault_region=result.transformed.mut_region,
+        pier_qs=frozenset(result.pier_nets), seed=2002,
+    )
+    engine = AtpgEngine(result.transformed.netlist, opts)
+    report = engine.run()
+    testset = TestSet.from_engine(engine, result.transformed.netlist)
+    print(f"  transformed-module coverage: {report.coverage_percent:.2f} % "
+          f"({report.num_tests} tests, {report.num_vectors} vectors)")
+
+    pier_tests = sum(1 for t in testset.tests if t.initial_state)
+    print(f"  {pier_tests} tests use PIER register pre-loads\n")
+
+    sample = next((t for t in testset.tests if t.initial_state), None)
+    if sample is not None:
+        translated = translate_test(sample)
+        print("Example prologue for one PIER-loading test:")
+        for reg, value in sorted(translated.loaded_registers.items()):
+            print(f"  r{reg} <- 0x{value:04x}")
+        print(f"  ({len(translated.prologue)} instructions, "
+              f"{len(translated.epilogue)} store instructions)\n")
+
+    print("Translating the whole test set to chip level...")
+    full = synthesize(factor.design)
+    chip_pins = [full.net_name(pi) for pi in full.pis]
+    chip_tests = translate_test_set(testset, chip_pins)
+    print(f"  {chip_tests.num_vectors} chip-level vectors "
+          f"(from {testset.num_vectors} module-level vectors)")
+
+    print("Fault-simulating the translated program on the full processor...")
+    chip_cov = chip_tests.measure_coverage(full, region=PATH)
+    print(f"  chip-level coverage of the MUT's faults: {chip_cov:.2f} %")
+    print(f"  (transformed-module reference: "
+          f"{report.coverage_percent:.2f} %)")
+    print(
+        "\nTranslation keeps most of the coverage; the remainder relies on\n"
+        "pipeline-state pre-loads (wb registers) that the simple\n"
+        "MOVI-based translator does not reconstruct — the paper's tool\n"
+        "had the same pattern-translation caveat."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Constraint-file workflow: FACTOR-ise a design you bring as Verilog files.
+
+Shows the tool-style flow the paper describes in Section 3:
+
+1. read Verilog files and build the internal data structure,
+2. pick the MUT and extract its constraints at every hierarchy level,
+3. write the constraints out as synthesizable Verilog netlists, one file per
+   module, "retaining the original directory structure",
+4. read the emitted constraints back and verify they re-synthesize to the
+   same transformed netlist.
+
+Run:  python examples/constraint_files.py [output_dir]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import Factor
+from repro.designs import arm2_source, ARM2_MUTS
+from repro.hierarchy import Design
+from repro.synth import synthesize
+from repro.verilog.parser import parse_source
+
+
+def main():
+    out_root = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="factor_constraints_"
+    )
+
+    # Step 1: in a real flow these would be .v files on disk; we materialise
+    # the benchmark design to show the file-based API.
+    src_dir = os.path.join(out_root, "rtl")
+    os.makedirs(src_dir, exist_ok=True)
+    rtl_path = os.path.join(src_dir, "arm2.v")
+    with open(rtl_path, "w", encoding="utf-8") as handle:
+        handle.write(arm2_source())
+
+    factor = Factor.from_files([rtl_path], top="arm")
+    print(f"Read {rtl_path}: modules "
+          f"{', '.join(factor.design.module_names())}\n")
+
+    # Steps 2-3: extract and emit constraints for every MUT.
+    for mut in ARM2_MUTS:
+        result = factor.analyze(mut.name, path=mut.path)
+        mut_dir = os.path.join(out_root, "constraints", mut.name)
+        written = result.write_constraints(mut_dir)
+        total = sum(os.path.getsize(p) for p in written)
+        print(f"{mut.name:16s} -> {len(written):2d} constraint files, "
+              f"{total:6d} bytes, S' = "
+              f"{result.transformed.surrounding_gates} gates")
+
+        # Step 4: re-read the emitted files and check the round trip.
+        text = "\n".join(open(p, encoding="utf-8").read() for p in written)
+        re_design = Design(parse_source(text), top="arm")
+        re_netlist = synthesize(re_design)
+        assert re_netlist.gate_count() == result.transformed.total_gates, (
+            "re-synthesized constraint netlist differs!"
+        )
+
+    print(f"\nAll constraint netlists verified; files under {out_root}")
+
+
+if __name__ == "__main__":
+    main()

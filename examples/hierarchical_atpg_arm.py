@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""The paper's headline experiment on one module: hierarchical test
+generation for the register file embedded four levels deep in the ARM-2
+substitute processor.
+
+Three ATPG configurations are compared, exactly the paper's Tables 4-6 flow:
+
+1. RAW       — the whole processor given to the ATPG engine, faults
+               targeted inside ``regfile_struct`` (sampled: this is the
+               intractable configuration),
+2. CONVENTIONAL — transformed module built without constraint composition,
+3. FACTOR    — transformed module built with hierarchical composition and
+               PIERs enabled.
+
+Run:  python examples/hierarchical_atpg_arm.py
+"""
+
+from repro import ExtractionMode, Factor
+from repro.atpg.engine import AtpgEngine, AtpgOptions
+from repro.core.report import format_table
+from repro.designs import arm2_source
+from repro.synth import synthesize
+
+MUT = "regfile_struct"
+PATH = "u_core.u_dp.u_rb.u_rf."
+
+
+def atpg_options(**overrides):
+    base = dict(
+        max_frames=4,
+        frame_schedule=(2, 4),
+        backtrack_limit=300,
+        fault_time_limit=1.0,
+        total_time_limit=120.0,
+        random_sequences=8,
+        random_sequence_length=24,
+        seed=2002,
+    )
+    base.update(overrides)
+    return AtpgOptions(**base)
+
+
+def main():
+    rows = []
+
+    print("Synthesizing the full processor...")
+    factor_compose = Factor.from_verilog(arm2_source(), top="arm")
+    full = synthesize(factor_compose.design)
+    print(f"  {full}")
+
+    print(f"\n[1/3] RAW: processor-level ATPG targeting {MUT} "
+          "(200-fault sample)...")
+    raw = AtpgEngine(
+        full, atpg_options(fault_region=PATH, fault_sample=200)
+    ).run()
+    rows.append({
+        "configuration": "raw processor-level",
+        "cov_%": round(raw.coverage_percent, 2),
+        "eff_%": round(raw.efficiency_percent, 2),
+        "tgen_s": round(raw.test_gen_seconds, 2),
+        "faults": raw.total_faults,
+        "env_gates": full.gate_count(),
+    })
+
+    print("[2/3] CONVENTIONAL: transformed module without composition...")
+    factor_conv = Factor.from_verilog(arm2_source(), top="arm",
+                                      mode=ExtractionMode.CONVENTIONAL)
+    res_conv = factor_conv.analyze(MUT, path=PATH)
+    rep_conv = factor_conv.generate_tests(res_conv, atpg_options())
+    rows.append({
+        "configuration": "transformed (no composition)",
+        "cov_%": round(rep_conv.coverage_percent, 2),
+        "eff_%": round(rep_conv.efficiency_percent, 2),
+        "tgen_s": round(rep_conv.test_gen_seconds, 2),
+        "faults": rep_conv.total_faults,
+        "env_gates": res_conv.transformed.total_gates,
+    })
+
+    print("[3/3] FACTOR: transformed module with composition + PIERs...")
+    res_comp = factor_compose.analyze(MUT, path=PATH)
+    rep_comp = factor_compose.generate_tests(res_comp, atpg_options())
+    rows.append({
+        "configuration": "transformed (composition)",
+        "cov_%": round(rep_comp.coverage_percent, 2),
+        "eff_%": round(rep_comp.efficiency_percent, 2),
+        "tgen_s": round(rep_comp.test_gen_seconds, 2),
+        "faults": rep_comp.total_faults,
+        "env_gates": res_comp.transformed.total_gates,
+    })
+
+    print()
+    print(format_table(
+        f"Hierarchical test generation for {MUT} "
+        f"(embedded at {PATH})", rows,
+    ))
+    print(f"PIERs identified: {len(res_comp.pier_nets)} register bits "
+          "(the register file is load/store-accessible)")
+    print("\nExpected shape (paper Tables 4-6): raw coverage lowest and "
+          "slowest per fault;\ncomposition >= no-composition on coverage "
+          "with a smaller environment.")
+
+
+if __name__ == "__main__":
+    main()

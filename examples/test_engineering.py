@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Test-engineering companion flow: compaction, BIST screening, diagnosis.
+
+After FACTOR produces a transformed-module test set, a test engineer
+typically:
+
+1. **compacts** the vectors (tester time is money),
+2. checks what a pseudorandom **logic-BIST** session would catch, and which
+   faults are random-pattern resistant (the deterministic set must carry
+   them),
+3. keeps the test set's **diagnostic resolution** in mind for silicon
+   debug: given a failing device's pass/fail syndrome, how precisely do the
+   tests implicate a fault site?
+
+This example runs all three on the exception unit of the ARM-2 substitute.
+
+Run:  python examples/test_engineering.py
+"""
+
+from repro import Factor
+from repro.atpg.bist import BistRun
+from repro.atpg.compaction import compact
+from repro.atpg.diagnosis import Diagnoser
+from repro.atpg.engine import AtpgEngine, AtpgOptions
+from repro.atpg.faults import build_fault_list
+from repro.atpg.vectors import TestSet
+from repro.designs import arm2_source
+
+MUT = "exc"
+PATH = "u_core.u_exc."
+
+
+def main():
+    factor = Factor.from_verilog(arm2_source(), top="arm")
+    result = factor.analyze(MUT, path=PATH)
+    netlist = result.transformed.netlist
+    region = result.transformed.mut_region
+
+    print(f"Generating tests for {MUT} on its transformed module...")
+    opts = AtpgOptions(
+        max_frames=4, frame_schedule=(2, 4), backtrack_limit=200,
+        fault_time_limit=0.4, random_sequences=8, random_sequence_length=24,
+        fault_region=region, pier_qs=frozenset(result.pier_nets), seed=2002,
+    )
+    engine = AtpgEngine(netlist, opts)
+    report = engine.run()
+    testset = TestSet.from_engine(engine, netlist)
+    print(f"  {report.coverage_percent:.2f} % coverage, "
+          f"{len(testset.tests)} tests / {testset.num_vectors} vectors\n")
+
+    print("--- 1. Static compaction ---")
+    # Replay must use the same observation model the engine used: PIER
+    # D-inputs are store-observable.
+    observe = sorted(
+        dff.inputs[0] for dff in netlist.dffs()
+        if dff.output in result.pier_nets
+    )
+    compacted = compact(testset, netlist, region=region,
+                        extra_observables=observe)
+    print(f"  {compacted.original_tests} -> {compacted.kept_tests} tests "
+          f"({compacted.test_reduction_percent:.0f} % fewer), "
+          f"{compacted.original_vectors} -> {compacted.kept_vectors} "
+          f"vectors, coverage preserved at "
+          f"{compacted.coverage_percent:.2f} %\n")
+
+    print("--- 2. Logic BIST screening ---")
+    bist = BistRun(netlist, seed=0x5EED, reset_input="rst")
+    bist_report = bist.run(patterns=512, region=region)
+    print(f"  512 LFSR patterns: {bist_report.coverage_percent:.2f} % of "
+          f"the MUT's faults, fault-free MISR signature "
+          f"0x{bist_report.signature:x}")
+    print(f"  {len(bist_report.resistant)} random-pattern-resistant faults "
+          "remain for the deterministic set, e.g.:")
+    for name in bist_report.resistant_names(netlist, count=5):
+        print(f"    {name}")
+    print()
+
+    print("--- 3. Diagnostic resolution ---")
+    diag = Diagnoser(netlist, compacted.testset, region=region)
+    faults = build_fault_list(netlist, region=region)
+    perfect = 0
+    sampled = 0
+    for fault in faults[::7]:
+        syndrome = diag.observe(fault)
+        if not any(syndrome):
+            continue
+        sampled += 1
+        if diag.resolution(fault) == 1:
+            perfect += 1
+    print(f"  of {sampled} sampled detected faults, {perfect} are uniquely "
+          "identified by their pass/fail syndrome;")
+    fault = next(f for f in faults if any(diag.observe(f)))
+    best = diag.diagnose(diag.observe(fault))[0]
+    print(f"  example: observing the syndrome of [{fault.describe(netlist)}]"
+          f" ranks [{best.fault.describe(netlist)}] first "
+          f"(perfect match: {best.perfect})")
+
+
+if __name__ == "__main__":
+    main()

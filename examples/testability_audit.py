@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Pre-ATPG testability audit of every module under test (Section 4.2).
+
+FACTOR's extraction produces testability knowledge as a by-product — without
+building or analyzing any state machine:
+
+- inputs whose justification cones terminate only in hard-coded constants
+  (coverage on those inputs' logic is structurally limited in-system),
+- signals with empty use-def / def-use chains (no path from/to the chip
+  interface),
+- plus SCOAP controllability/observability hotspots of each transformed
+  module as a quantitative cross-check.
+
+Run:  python examples/testability_audit.py
+"""
+
+from repro import Factor
+from repro.atpg.scoap import scoap_measures
+from repro.core.report import format_table
+from repro.designs import ARM2_MUTS, arm2_source
+
+
+def main():
+    factor = Factor.from_verilog(arm2_source(), top="arm")
+
+    rows = []
+    for mut in ARM2_MUTS:
+        result = factor.analyze(mut.name, path=mut.path)
+        report = result.testability
+        rows.append({
+            "module": mut.name,
+            "inputs": report.total_input_ports,
+            "hard_coded": report.num_hard_coded,
+            "empty_chains": sum(
+                1 for w in report.warnings
+                if w.kind in ("no_driver", "no_propagation")
+            ),
+        })
+
+        print("=" * 70)
+        print(report.summary())
+
+        scoap = scoap_measures(result.transformed.netlist)
+        print("\n  SCOAP hardest-to-control nets in the transformed module:")
+        for name, cost in scoap.hardest_to_control(
+            result.transformed.netlist, count=5
+        ):
+            print(f"    {name:45s} cost {cost}")
+        print("  SCOAP hardest-to-observe nets:")
+        for name, cost in scoap.hardest_to_observe(
+            result.transformed.netlist, count=5
+        ):
+            print(f"    {name:45s} cost {cost}")
+        print()
+
+    print(format_table("Testability audit summary", rows))
+    print(
+        "Reading the table: arm_alu's 13 hard-coded control inputs are the\n"
+        "paper's Section 4.2 finding — its in-system coverage cannot match\n"
+        "the stand-alone module, and FACTOR reports it before ATPG runs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,178 @@
+"""Logic BIST substrate: LFSR pattern generation and MISR compaction.
+
+Complements the deterministic flow with the standard built-in self-test
+machinery:
+
+- :class:`Lfsr` — maximal-length Fibonacci LFSR (software model) used as a
+  pseudorandom pattern generator,
+- :class:`Misr` — multiple-input signature register compacting output
+  responses into a signature,
+- :class:`BistRun` — drives a netlist with LFSR patterns, computes the
+  fault-free signature, measures pseudorandom fault coverage and reports
+  the *random-pattern-resistant* faults (the population FACTOR's
+  testability analysis and SCOAP predict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.atpg.fault_sim import FaultSimulator
+from repro.atpg.faults import Fault, build_fault_list
+from repro.atpg.simulator import LogicSimulator
+from repro.synth.netlist import Netlist
+
+# Primitive-polynomial tap positions (1-indexed from the output bit) giving
+# maximal-length sequences; from the standard tables.
+_TAPS: Dict[int, Tuple[int, ...]] = {
+    2: (2, 1), 3: (3, 2), 4: (4, 3), 5: (5, 3), 6: (6, 5), 7: (7, 6),
+    8: (8, 6, 5, 4), 9: (9, 5), 10: (10, 7), 11: (11, 9),
+    12: (12, 11, 10, 4), 13: (13, 12, 11, 8), 14: (14, 13, 12, 2),
+    15: (15, 14), 16: (16, 15, 13, 4), 17: (17, 14), 18: (18, 11),
+    19: (19, 18, 17, 14), 20: (20, 17), 21: (21, 19), 22: (22, 21),
+    23: (23, 18), 24: (24, 23, 22, 17), 28: (28, 25), 31: (31, 28),
+    32: (32, 22, 2, 1),
+}
+
+
+def _taps_for(width: int) -> Tuple[int, ...]:
+    if width in _TAPS:
+        return _TAPS[width]
+    best = max(w for w in _TAPS if w <= width) if width > 2 else 2
+    return _TAPS[best]
+
+
+class Lfsr:
+    """Fibonacci LFSR over ``width`` bits (state 0 is excluded)."""
+
+    def __init__(self, width: int, seed: int = 1):
+        if width < 2:
+            raise ValueError("LFSR width must be >= 2")
+        self.width = width
+        self.taps = _taps_for(width)
+        self.state = seed & ((1 << width) - 1)
+        if self.state == 0:
+            self.state = 1
+
+    def step(self) -> int:
+        fb = 0
+        for tap in self.taps:
+            fb ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | fb) & ((1 << self.width) - 1)
+        if self.state == 0:  # pragma: no cover - cannot happen for max-len
+            self.state = 1
+        return self.state
+
+    def bits(self) -> List[int]:
+        """Current state as a bit list, LSB first."""
+        return [(self.state >> i) & 1 for i in range(self.width)]
+
+    def period(self, limit: int = 1 << 20) -> int:
+        """Sequence period (for validation; bounded)."""
+        start = self.state
+        count = 0
+        while count < limit:
+            self.step()
+            count += 1
+            if self.state == start:
+                return count
+        return count
+
+
+class Misr:
+    """Multiple-input signature register (XOR-fed LFSR compactor)."""
+
+    def __init__(self, width: int, seed: int = 0):
+        if width < 2:
+            raise ValueError("MISR width must be >= 2")
+        self.width = width
+        self.taps = _taps_for(width)
+        self.signature = seed & ((1 << width) - 1)
+
+    def absorb(self, word: int) -> None:
+        fb = 0
+        for tap in self.taps:
+            fb ^= (self.signature >> (tap - 1)) & 1
+        self.signature = (
+            ((self.signature << 1) | fb) ^ word
+        ) & ((1 << self.width) - 1)
+
+
+@dataclass
+class BistReport:
+    patterns: int
+    signature: int
+    coverage_percent: float
+    total_faults: int
+    detected: int
+    resistant: List[Fault] = field(default_factory=list)
+
+    def resistant_names(self, netlist: Netlist,
+                        count: int = 10) -> List[str]:
+        return [f.describe(netlist) for f in self.resistant[:count]]
+
+
+class BistRun:
+    """Pseudorandom self-test of a netlist.
+
+    The LFSR feeds every primary input each cycle; the fault-free MISR
+    signature is the pass/fail reference a hardware BIST controller would
+    compare against.
+    """
+
+    def __init__(self, netlist: Netlist, seed: int = 0x5EED,
+                 reset_input: Optional[str] = None):
+        self.netlist = netlist
+        width = max(2, len(netlist.pis))
+        self.lfsr = Lfsr(width, seed=seed)
+        self.reset_input = reset_input
+
+    def generate_vectors(self, patterns: int) -> List[Dict[int, int]]:
+        vectors: List[Dict[int, int]] = []
+        reset_net = None
+        if self.reset_input is not None:
+            for pi in self.netlist.pis:
+                if self.netlist.net_name(pi) == self.reset_input:
+                    reset_net = pi
+        for index in range(patterns):
+            self.lfsr.step()
+            bits = self.lfsr.bits()
+            vec = {pi: bits[i % len(bits)]
+                   for i, pi in enumerate(self.netlist.pis)}
+            if reset_net is not None:
+                vec[reset_net] = 1 if index == 0 else 0
+            vectors.append(vec)
+        return vectors
+
+    def run(self, patterns: int = 256,
+            region: Optional[str] = None) -> BistReport:
+        vectors = self.generate_vectors(patterns)
+
+        # Fault-free signature over all POs.
+        sim = LogicSimulator(self.netlist)
+        misr = Misr(max(2, len(self.netlist.pos)))
+        for vec in vectors:
+            values = sim.step({
+                pi: ((1, 0) if bit else (0, 1)) for pi, bit in vec.items()
+            })
+            word = 0
+            for i, po in enumerate(self.netlist.pos):
+                ones, _zeros = values.get(po, (0, 0))
+                if ones:
+                    word |= 1 << i
+            misr.absorb(word)
+
+        faults = build_fault_list(self.netlist, region=region)
+        fsim = FaultSimulator(self.netlist)
+        detected = fsim.detected_faults(vectors, faults)
+        resistant = sorted(set(faults) - detected)
+        coverage = (100.0 * len(detected) / len(faults)) if faults else 100.0
+        return BistReport(
+            patterns=patterns,
+            signature=misr.signature,
+            coverage_percent=coverage,
+            total_faults=len(faults),
+            detected=len(detected),
+            resistant=resistant,
+        )

@@ -1,0 +1,127 @@
+"""Fault diagnosis: locating a defect from observed tester failures.
+
+Complements test generation with the classic dictionary-free effect-cause
+approach: given the test set and the per-vector pass/fail syndrome observed
+on a failing device, every modelled stuck-at fault is simulated and scored
+by how well its prediction matches the observation.
+
+Scoring follows the standard match/mismatch counts:
+
+- ``tau`` (intersection) — failing vectors the candidate explains,
+- ``iota`` (prediction misses) — vectors the candidate predicts to fail but
+  the device passed,
+- ``upsilon`` (observation misses) — failing vectors the candidate cannot
+  explain.
+
+A perfect candidate has ``iota == upsilon == 0``; ranking is lexicographic
+(maximise tau, minimise iota + upsilon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.atpg.fault_sim import FaultSimulator
+from repro.atpg.faults import Fault, build_fault_list
+from repro.atpg.vectors import Test, TestSet
+from repro.synth.netlist import Netlist
+
+
+@dataclass
+class Candidate:
+    fault: Fault
+    tau: int       # explained failures
+    iota: int      # predicted-but-not-observed failures
+    upsilon: int   # observed-but-not-predicted failures
+
+    @property
+    def perfect(self) -> bool:
+        return self.iota == 0 and self.upsilon == 0
+
+    def score(self) -> Tuple[int, int]:
+        return (-self.tau, self.iota + self.upsilon)
+
+
+class Diagnoser:
+    """Effect-cause diagnosis over a test set."""
+
+    def __init__(self, netlist: Netlist, testset: TestSet,
+                 region: Optional[str] = None):
+        self.netlist = netlist
+        self.testset = testset
+        self.faults = build_fault_list(netlist, region=region)
+        self._syndromes: Optional[Dict[Fault, Tuple[bool, ...]]] = None
+
+    # -- forward direction: what would each fault do on the tester? ----------
+
+    def fault_syndromes(self) -> Dict[Fault, Tuple[bool, ...]]:
+        """Per-fault tuple: does test *i* fail under this fault?"""
+        if self._syndromes is None:
+            per_test: List[Set[Fault]] = []
+            fsim = FaultSimulator(self.netlist)
+            pi_by_name = {self.netlist.net_name(pi): pi
+                          for pi in self.netlist.pis}
+            q_by_name = {self.netlist.net_name(d.output): d.output
+                         for d in self.netlist.dffs()}
+            for test in self.testset.tests:
+                vectors = [
+                    {pi_by_name[n]: b for n, b in vec.items()
+                     if n in pi_by_name}
+                    for vec in test.vectors
+                ]
+                init = {
+                    q_by_name[n]: b
+                    for n, b in test.initial_state.items()
+                    if n in q_by_name
+                }
+                per_test.append(fsim.detected_faults(
+                    vectors, self.faults, initial_state=init or None,
+                ))
+            self._syndromes = {
+                fault: tuple(fault in det for det in per_test)
+                for fault in self.faults
+            }
+        return self._syndromes
+
+    def observe(self, fault: Fault) -> Tuple[bool, ...]:
+        """Simulate the tester response of a device carrying ``fault``
+        (used to fabricate observations in tests and demos)."""
+        return self.fault_syndromes().get(
+            fault,
+            tuple(False for _ in self.testset.tests),
+        )
+
+    # -- backward direction: rank candidates against an observation -----------
+
+    def diagnose(self, observed_failures: Sequence[bool],
+                 max_candidates: int = 10) -> List[Candidate]:
+        """Rank fault candidates against a pass/fail syndrome."""
+        if len(observed_failures) != len(self.testset.tests):
+            raise ValueError(
+                f"syndrome length {len(observed_failures)} != "
+                f"{len(self.testset.tests)} tests"
+            )
+        observed = tuple(bool(b) for b in observed_failures)
+        candidates: List[Candidate] = []
+        for fault, predicted in self.fault_syndromes().items():
+            tau = sum(1 for o, p in zip(observed, predicted) if o and p)
+            iota = sum(1 for o, p in zip(observed, predicted)
+                       if p and not o)
+            upsilon = sum(1 for o, p in zip(observed, predicted)
+                          if o and not p)
+            if tau == 0 and not any(observed):
+                continue
+            candidates.append(Candidate(fault=fault, tau=tau, iota=iota,
+                                        upsilon=upsilon))
+        candidates.sort(key=Candidate.score)
+        return candidates[:max_candidates]
+
+    def resolution(self, fault: Fault) -> int:
+        """How many candidates tie with the true fault's syndrome —
+        the diagnostic resolution of the test set for this fault."""
+        target = self.observe(fault)
+        return sum(
+            1 for predicted in self.fault_syndromes().values()
+            if predicted == target
+        )

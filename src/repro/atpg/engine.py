@@ -1,0 +1,237 @@
+"""ATPG driver: random phase + deterministic PODEM phase + fault dropping.
+
+Produces the numbers the paper's Tables 4-6 report per module: fault
+coverage %, ATPG efficiency % (detected + proven-untestable over total),
+test generation CPU time and total CPU time.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.synth.netlist import Netlist
+from repro.atpg.faults import Fault, build_fault_list
+from repro.atpg.fault_sim import FaultSimulator
+from repro.atpg.podem import Podem, PodemResult
+from repro.atpg.sequential import UnrolledModel
+
+
+@dataclass
+class AtpgOptions:
+    """Knobs for a test-generation run.
+
+    The limits are what make an embedded module hard: with the whole design
+    around it, the same backtrack/time budget that easily covers the
+    stand-alone module aborts on most faults — exactly the effect of the
+    paper's Table 4.
+    """
+
+    max_frames: int = 8
+    frame_schedule: Optional[Sequence[int]] = None
+    backtrack_limit: int = 200
+    fault_time_limit: float = 1.0  # CPU seconds per fault per depth
+    total_time_limit: Optional[float] = None  # CPU budget for the whole run
+    random_sequences: int = 16
+    random_sequence_length: int = 32
+    seed: int = 2002
+    pier_qs: frozenset = frozenset()
+    fault_region: Optional[str] = None
+    fault_sample: Optional[int] = None
+    fault_sim_lanes: int = 512
+
+    def schedule(self) -> List[int]:
+        if self.frame_schedule is not None:
+            sched = [f for f in self.frame_schedule if f <= self.max_frames]
+        else:
+            sched = [f for f in (1, 2, 3, 4, 6, 8, 12, 16)
+                     if f <= self.max_frames]
+        if not sched or sched[-1] != self.max_frames:
+            sched.append(self.max_frames)
+        return sched
+
+
+@dataclass
+class AtpgReport:
+    name: str
+    total_faults: int
+    detected: int
+    untestable: int
+    aborted: int
+    unattempted: int
+    random_detected: int
+    coverage_percent: float
+    efficiency_percent: float
+    test_gen_seconds: float
+    fault_sim_seconds: float
+    total_seconds: float
+    num_tests: int
+    num_vectors: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "faults": self.total_faults,
+            "detected": self.detected,
+            "cov%": round(self.coverage_percent, 2),
+            "eff%": round(self.efficiency_percent, 2),
+            "tgen_s": round(self.test_gen_seconds, 2),
+            "total_s": round(self.total_seconds, 2),
+            "tests": self.num_tests,
+            "vectors": self.num_vectors,
+        }
+
+
+class SequentialAtpg:
+    """Deterministic PODEM over an escalating time-frame schedule."""
+
+    def __init__(self, netlist: Netlist, options: AtpgOptions):
+        self.netlist = netlist
+        self.options = options
+        self._models: Dict[int, UnrolledModel] = {}
+
+    def model(self, frames: int) -> UnrolledModel:
+        if frames not in self._models:
+            self._models[frames] = UnrolledModel(
+                self.netlist, frames, pier_qs=set(self.options.pier_qs)
+            )
+        return self._models[frames]
+
+    def generate(self, fault: Fault) -> PodemResult:
+        """Try the fault at increasing sequential depths."""
+        last: Optional[PodemResult] = None
+        aborted_any = False
+        for frames in self.options.schedule():
+            podem = Podem(
+                self.model(frames),
+                fault,
+                backtrack_limit=self.options.backtrack_limit,
+                time_limit=self.options.fault_time_limit,
+            )
+            result = podem.run()
+            if last is not None:
+                result.cpu_seconds += last.cpu_seconds
+                result.backtracks += last.backtracks
+                result.decisions += last.decisions
+            if result.detected:
+                return result
+            if result.status == "aborted":
+                aborted_any = True
+            last = result
+        assert last is not None
+        if aborted_any:
+            last.status = "aborted"
+        # else: search exhausted at every depth -> untestable up to max_frames.
+        return last
+
+
+class AtpgEngine:
+    """Full flow: fault list -> random phase -> PODEM phase -> report."""
+
+    def __init__(self, netlist: Netlist,
+                 options: Optional[AtpgOptions] = None):
+        self.netlist = netlist
+        self.options = options or AtpgOptions()
+        self.tests: List[Tuple[List[Dict[int, int]], Dict[int, int]]] = []
+
+    def run(self) -> AtpgReport:
+        opts = self.options
+        rng = random.Random(opts.seed)
+        start_total = time.process_time()
+
+        faults = build_fault_list(self.netlist, region=opts.fault_region)
+        if opts.fault_sample is not None and len(faults) > opts.fault_sample:
+            faults = sorted(rng.sample(faults, opts.fault_sample))
+        total = len(faults)
+        remaining: Set[Fault] = set(faults)
+        detected: Set[Fault] = set()
+        untestable: Set[Fault] = set()
+        aborted: Set[Fault] = set()
+
+        fsim = FaultSimulator(self.netlist, lanes=opts.fault_sim_lanes)
+        fault_sim_seconds = 0.0
+        observe = sorted(
+            dff.inputs[0]
+            for dff in self.netlist.dffs()
+            if dff.output in opts.pier_qs
+        ) if opts.pier_qs else None
+
+        # -- phase 1: random vectors -------------------------------------
+        for _ in range(opts.random_sequences):
+            if not remaining:
+                break
+            vectors = [
+                {pi: rng.randint(0, 1) for pi in self.netlist.pis}
+                for _ in range(opts.random_sequence_length)
+            ]
+            t0 = time.process_time()
+            found = fsim.detected_faults(vectors, sorted(remaining))
+            fault_sim_seconds += time.process_time() - t0
+            if found:
+                self.tests.append((vectors, {}))
+            detected |= found
+            remaining -= found
+        random_detected = len(detected)
+
+        # -- phase 2: deterministic PODEM ---------------------------------
+        seq = SequentialAtpg(self.netlist, opts)
+        test_gen_seconds = 0.0
+        unattempted = 0
+        for fault in sorted(faults):
+            if fault not in remaining:
+                continue
+            if opts.total_time_limit is not None:
+                elapsed = time.process_time() - start_total
+                if elapsed > opts.total_time_limit:
+                    unattempted += 1
+                    remaining.discard(fault)
+                    aborted.add(fault)
+                    continue
+            result = seq.generate(fault)
+            test_gen_seconds += result.cpu_seconds
+            if result.detected:
+                detected.add(fault)
+                remaining.discard(fault)
+                self.tests.append((result.vectors, result.initial_state))
+                if remaining:
+                    t0 = time.process_time()
+                    extra = fsim.detected_faults(
+                        result.vectors,
+                        sorted(remaining),
+                        initial_state=result.initial_state or None,
+                        extra_observables=observe,
+                    )
+                    fault_sim_seconds += time.process_time() - t0
+                    detected |= extra
+                    remaining -= extra
+            elif result.status == "untestable":
+                untestable.add(fault)
+                remaining.discard(fault)
+            else:
+                aborted.add(fault)
+                remaining.discard(fault)
+
+        total_seconds = time.process_time() - start_total
+        coverage = 100.0 * len(detected) / total if total else 100.0
+        efficiency = (
+            100.0 * (len(detected) + len(untestable)) / total
+            if total else 100.0
+        )
+        return AtpgReport(
+            name=self.netlist.name,
+            total_faults=total,
+            detected=len(detected),
+            untestable=len(untestable),
+            aborted=len(aborted),
+            unattempted=unattempted,
+            random_detected=random_detected,
+            coverage_percent=coverage,
+            efficiency_percent=efficiency,
+            test_gen_seconds=test_gen_seconds,
+            fault_sim_seconds=fault_sim_seconds,
+            total_seconds=total_seconds,
+            num_tests=len(self.tests),
+            num_vectors=sum(len(v) for v, _ in self.tests),
+        )

@@ -1,0 +1,173 @@
+"""Parallel-fault sequential fault simulation.
+
+Faults are packed into bit lanes of Python integers: lane 0 carries the good
+machine, lanes 1..k one faulty machine each, all simulating the same input
+sequence.  Fault injection forces the faulty value on the fault site's net in
+that fault's lane only.  A fault is detected when some primary output
+differs (binary vs binary) between its lane and the good lane at any cycle.
+Flip-flops start at X, so every fault must be excited through a genuine
+initialisation sequence — the same discipline a commercial sequential fault
+simulator enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
+from repro.atpg.faults import Fault
+
+Vector = Mapping[int, int]  # PI net -> 0 or 1 (missing = X)
+
+
+class FaultSimulator:
+    """Simulates vector sequences against a fault list, lane-parallel."""
+
+    def __init__(self, netlist: Netlist, lanes: int = 512):
+        if lanes < 2:
+            raise ValueError("need at least two lanes (good + one fault)")
+        self.netlist = netlist
+        self.lanes = lanes
+        self._order = netlist.topological_order()
+        self._dffs = netlist.dffs()
+        # Pre-extract (type, output, inputs) for the hot loop.
+        self._flat = [(g.type, g.output, g.inputs) for g in self._order]
+
+    def detected_faults(
+        self,
+        vectors: Sequence[Vector],
+        faults: Sequence[Fault],
+        initial_state: Optional[Mapping[int, int]] = None,
+        extra_observables: Optional[Sequence[int]] = None,
+    ) -> Set[Fault]:
+        """Return the subset of ``faults`` detected by the vector sequence.
+
+        ``initial_state`` pre-loads flip-flop Q nets with known bits (the
+        PIER load-instruction model: registers reachable from the chip pins
+        can be initialised before the test body runs).  ``extra_observables``
+        adds nets compared against the good machine every cycle (the PIER
+        store-instruction model: those registers can be read out).
+        """
+        detected: Set[Fault] = set()
+        block_size = self.lanes - 1
+        for start in range(0, len(faults), block_size):
+            block = faults[start : start + block_size]
+            detected |= self._simulate_block(vectors, block, initial_state,
+                                             extra_observables)
+        return detected
+
+    # -- internals -------------------------------------------------------------
+
+    def _simulate_block(self, vectors: Sequence[Vector],
+                        block: Sequence[Fault],
+                        initial_state: Optional[Mapping[int, int]] = None,
+                        extra_observables: Optional[Sequence[int]] = None
+                        ) -> Set[Fault]:
+        width = len(block) + 1  # lane 0 = good machine
+        full = (1 << width) - 1
+
+        force1: Dict[int, int] = {}
+        force0: Dict[int, int] = {}
+        for lane, fault in enumerate(block, start=1):
+            if fault.value == 1:
+                force1[fault.net] = force1.get(fault.net, 0) | (1 << lane)
+            else:
+                force0[fault.net] = force0.get(fault.net, 0) | (1 << lane)
+
+        def inject(net: int, ones: int, zeros: int) -> Tuple[int, int]:
+            f1 = force1.get(net)
+            if f1:
+                ones |= f1
+                zeros &= ~f1
+            f0 = force0.get(net)
+            if f0:
+                zeros |= f0
+                ones &= ~f0
+            return ones, zeros
+
+        has_injection = bool(force1 or force0)
+        state: Dict[int, Tuple[int, int]] = {
+            dff.output: (0, 0) for dff in self._dffs
+        }
+        if initial_state:
+            for q, bit in initial_state.items():
+                state[q] = (full, 0) if bit else (0, full)
+        observe_points = list(self.netlist.pos)
+        if extra_observables:
+            observe_points.extend(extra_observables)
+        detected_mask = 0
+
+        AND, OR, NOT, BUF = GateType.AND, GateType.OR, GateType.NOT, GateType.BUF
+        NAND, NOR, XOR, XNOR = (GateType.NAND, GateType.NOR, GateType.XOR,
+                                GateType.XNOR)
+
+        for vec in vectors:
+            values: Dict[int, Tuple[int, int]] = {
+                CONST0: (0, full), CONST1: (full, 0)
+            }
+            for pi in self.netlist.pis:
+                bit = vec.get(pi)
+                if bit is None:
+                    pair = (0, 0)
+                elif bit:
+                    pair = (full, 0)
+                else:
+                    pair = (0, full)
+                values[pi] = inject(pi, *pair) if has_injection else pair
+            for dff in self._dffs:
+                q = dff.output
+                pair = state.get(q, (0, 0))
+                values[q] = inject(q, *pair) if has_injection else pair
+
+            get = values.get
+            for gtype, out, inputs in self._flat:
+                if gtype is BUF:
+                    ones, zeros = get(inputs[0], (0, 0))
+                elif gtype is NOT:
+                    i1, i0 = get(inputs[0], (0, 0))
+                    ones, zeros = i0, i1
+                elif gtype is AND or gtype is NAND:
+                    ones, zeros = full, 0
+                    for inp in inputs:
+                        i1, i0 = get(inp, (0, 0))
+                        ones &= i1
+                        zeros |= i0
+                    if gtype is NAND:
+                        ones, zeros = zeros, ones
+                elif gtype is OR or gtype is NOR:
+                    ones, zeros = 0, full
+                    for inp in inputs:
+                        i1, i0 = get(inp, (0, 0))
+                        ones |= i1
+                        zeros &= i0
+                    if gtype is NOR:
+                        ones, zeros = zeros, ones
+                else:  # XOR / XNOR
+                    ones, zeros = 0, full
+                    for inp in inputs:
+                        i1, i0 = get(inp, (0, 0))
+                        ones, zeros = (ones & i0) | (zeros & i1), \
+                                      (ones & i1) | (zeros & i0)
+                    if gtype is XNOR:
+                        ones, zeros = zeros, ones
+                if has_injection:
+                    ones, zeros = inject(out, ones, zeros)
+                values[out] = (ones, zeros)
+
+            for po in observe_points:
+                ones, zeros = values.get(po, (0, 0))
+                if ones & 1:  # good machine observes 1
+                    detected_mask |= zeros & ~1
+                elif zeros & 1:  # good machine observes 0
+                    detected_mask |= ones & ~1
+
+            state = {
+                dff.output: values.get(dff.inputs[0], (0, 0))
+                for dff in self._dffs
+            }
+
+        out: Set[Fault] = set()
+        for lane, fault in enumerate(block, start=1):
+            if detected_mask & (1 << lane):
+                out.add(fault)
+        return out

@@ -1,0 +1,100 @@
+"""Single stuck-at fault model with structural equivalence collapsing.
+
+Fault sites are nets (gate outputs and primary inputs).  Collapsing applies
+the classical structural equivalences along fanout-free connections:
+
+- ``BUF``/``NOT``: input faults are equivalent to (possibly inverted) output
+  faults — the input-side fault is dropped when the input net has a single
+  fanout,
+- ``AND``/``NAND``: an input stuck-at-0 is equivalent to the output
+  stuck-at-0 (stuck-at-1 for NAND),
+- ``OR``/``NOR``: dually for input stuck-at-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.synth.netlist import CONST1, Gate, GateType, Netlist
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """Net ``net`` stuck at ``value`` (0 or 1)."""
+
+    net: int
+    value: int
+
+    def describe(self, netlist: Netlist) -> str:
+        return f"{netlist.net_name(self.net)} stuck-at-{self.value}"
+
+
+def all_fault_sites(netlist: Netlist) -> List[int]:
+    """Nets that carry signal: PIs, gate outputs and flop outputs."""
+    sites = list(netlist.pis)
+    sites.extend(g.output for g in netlist.gates)
+    return sites
+
+
+def build_fault_list(netlist: Netlist, region: Optional[str] = None,
+                     collapse: bool = True) -> List[Fault]:
+    """Collapsed stuck-at fault list.
+
+    ``region`` restricts faults to nets whose hierarchical creation region
+    starts with the given instance prefix — this is how faults "in the MUT"
+    are targeted while the surrounding logic stays fault-free, mirroring the
+    paper's flow of giving the whole design to the ATPG tool but targeting
+    only the embedded module's faults.
+    """
+    sites = all_fault_sites(netlist)
+    if region is not None:
+        regions = getattr(netlist, "regions", {})
+        sites = [n for n in sites if regions.get(n, "").startswith(region)]
+
+    faults: Set[Fault] = set()
+    for net in sites:
+        faults.add(Fault(net, 0))
+        faults.add(Fault(net, 1))
+
+    if collapse:
+        fanout_count: Dict[int, int] = {}
+        for gate in netlist.gates:
+            for inp in gate.inputs:
+                fanout_count[inp] = fanout_count.get(inp, 0) + 1
+        for po in netlist.pos:
+            fanout_count[po] = fanout_count.get(po, 0) + 1
+
+        net_regions = getattr(netlist, "regions", {})
+        for gate in netlist.gates:
+            gtype = gate.type
+            if gtype is GateType.DFF:
+                continue
+            out_region = net_regions.get(gate.output, "")
+            for inp in gate.inputs:
+                if inp <= CONST1 or fanout_count.get(inp, 0) != 1:
+                    continue
+                if net_regions.get(inp, "") != out_region:
+                    # Never collapse across hierarchical region boundaries:
+                    # the representative must stay inside its module so that
+                    # per-MUT fault targeting keeps the right population.
+                    continue
+                if gtype in (GateType.BUF, GateType.NOT):
+                    faults.discard(Fault(inp, 0))
+                    faults.discard(Fault(inp, 1))
+                elif gtype in (GateType.AND, GateType.NAND):
+                    faults.discard(Fault(inp, 0))
+                elif gtype in (GateType.OR, GateType.NOR):
+                    faults.discard(Fault(inp, 1))
+
+    return sorted(faults)
+
+
+def fault_universe_size(netlist: Netlist,
+                        region: Optional[str] = None) -> int:
+    """Uncollapsed fault count (2 faults per site)."""
+    sites = all_fault_sites(netlist)
+    if region is not None:
+        regions = getattr(netlist, "regions", {})
+        sites = [n for n in sites if regions.get(n, "").startswith(region)]
+    return 2 * len(sites)

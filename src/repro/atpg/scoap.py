@@ -1,0 +1,159 @@
+"""SCOAP testability measures (Goldstein's controllability/observability).
+
+FACTOR's testability analysis flags structural problems before ATPG runs;
+SCOAP supplies the quantitative counterpart: per-net combinational 0/1
+controllability (CC0/CC1) and observability (CO).  Sequential elements are
+treated scan-style (flop outputs cost one extra unit), which is the standard
+approximation for a quick pre-ATPG screen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.synth.netlist import CONST0, CONST1, Gate, GateType, Netlist
+
+_INFINITY = 10 ** 9
+
+
+@dataclass
+class ScoapMeasures:
+    cc0: Dict[int, int]
+    cc1: Dict[int, int]
+    co: Dict[int, int]
+
+    def hardest_to_control(self, netlist: Netlist,
+                           count: int = 10) -> List[Tuple[str, int]]:
+        worst = sorted(
+            ((max(self.cc0.get(n, 0), self.cc1.get(n, 0)), n)
+             for n in self.cc0 if n > CONST1),
+            reverse=True,
+        )[:count]
+        return [(netlist.net_name(n), cost) for cost, n in worst]
+
+    def hardest_to_observe(self, netlist: Netlist,
+                           count: int = 10) -> List[Tuple[str, int]]:
+        worst = sorted(
+            ((cost, n) for n, cost in self.co.items()), reverse=True
+        )[:count]
+        return [(netlist.net_name(n), cost) for cost, n in worst]
+
+
+def scoap_measures(netlist: Netlist) -> ScoapMeasures:
+    """Compute CC0/CC1/CO for every net."""
+    cc0: Dict[int, int] = {CONST0: 0, CONST1: _INFINITY}
+    cc1: Dict[int, int] = {CONST0: _INFINITY, CONST1: 0}
+    for pi in netlist.pis:
+        cc0[pi] = 1
+        cc1[pi] = 1
+    for dff in netlist.dffs():
+        # Scan-style: controlling a flop costs one unit more than its D cone;
+        # initialised lazily below via iteration.
+        cc0.setdefault(dff.output, _INFINITY)
+        cc1.setdefault(dff.output, _INFINITY)
+
+    order = netlist.topological_order()
+    # Iterate to a fixpoint so flop feedback paths settle.
+    for _ in range(max(2, len(netlist.dffs()) + 1)):
+        changed = False
+        for gate in order:
+            z0, z1 = _gate_controllability(gate, cc0, cc1)
+            if z0 < cc0.get(gate.output, _INFINITY):
+                cc0[gate.output] = z0
+                changed = True
+            if z1 < cc1.get(gate.output, _INFINITY):
+                cc1[gate.output] = z1
+                changed = True
+        for dff in netlist.dffs():
+            d = dff.inputs[0]
+            d0 = cc0.get(d, _INFINITY) + 1
+            d1 = cc1.get(d, _INFINITY) + 1
+            if d0 < cc0[dff.output]:
+                cc0[dff.output] = d0
+                changed = True
+            if d1 < cc1[dff.output]:
+                cc1[dff.output] = d1
+                changed = True
+        if not changed:
+            break
+
+    co: Dict[int, int] = {}
+    for po in netlist.pos:
+        co[po] = 0
+    for _ in range(max(2, len(netlist.dffs()) + 1)):
+        changed = False
+        for gate in reversed(order):
+            out_co = co.get(gate.output, _INFINITY)
+            if out_co >= _INFINITY:
+                continue
+            for idx, inp in enumerate(gate.inputs):
+                cost = _input_observability(gate, idx, out_co, cc0, cc1)
+                if cost < co.get(inp, _INFINITY):
+                    co[inp] = cost
+                    changed = True
+        for dff in netlist.dffs():
+            q_co = co.get(dff.output, _INFINITY)
+            if q_co < _INFINITY:
+                cost = q_co + 1
+                if cost < co.get(dff.inputs[0], _INFINITY):
+                    co[dff.inputs[0]] = cost
+                    changed = True
+        if not changed:
+            break
+
+    return ScoapMeasures(cc0=cc0, cc1=cc1, co=co)
+
+
+def _gate_controllability(gate: Gate, cc0: Dict[int, int],
+                          cc1: Dict[int, int]) -> Tuple[int, int]:
+    gtype = gate.type
+    in0 = [cc0.get(i, _INFINITY) for i in gate.inputs]
+    in1 = [cc1.get(i, _INFINITY) for i in gate.inputs]
+
+    def cap(x: int) -> int:
+        return min(x, _INFINITY)
+
+    if gtype is GateType.BUF or gtype is GateType.DFF:
+        return cap(in0[0] + 1), cap(in1[0] + 1)
+    if gtype is GateType.NOT:
+        return cap(in1[0] + 1), cap(in0[0] + 1)
+    if gtype in (GateType.AND, GateType.NAND):
+        z1 = cap(sum(in1) + 1)          # all inputs 1
+        z0 = cap(min(in0) + 1)          # any input 0
+        if gtype is GateType.NAND:
+            return z1, z0
+        return z0, z1
+    if gtype in (GateType.OR, GateType.NOR):
+        z0 = cap(sum(in0) + 1)          # all inputs 0
+        z1 = cap(min(in1) + 1)          # any input 1
+        if gtype is GateType.NOR:
+            return z1, z0
+        return z0, z1
+    # XOR / XNOR: enumerate parity combinations (two-input common case;
+    # n-input approximated by pairwise folding).
+    z0, z1 = in0[0], in1[0]
+    for b0, b1 in zip(in0[1:], in1[1:]):
+        even = min(z0 + b0, z1 + b1)
+        odd = min(z0 + b1, z1 + b0)
+        z0, z1 = even, odd
+    if gtype is GateType.XNOR:
+        return cap(z1 + 1), cap(z0 + 1)
+    return cap(z0 + 1), cap(z1 + 1)
+
+
+def _input_observability(gate: Gate, idx: int, out_co: int,
+                         cc0: Dict[int, int], cc1: Dict[int, int]) -> int:
+    gtype = gate.type
+    others = [i for k, i in enumerate(gate.inputs) if k != idx]
+    if gtype in (GateType.BUF, GateType.NOT, GateType.DFF):
+        return min(out_co + 1, _INFINITY)
+    if gtype in (GateType.AND, GateType.NAND):
+        side = sum(cc1.get(i, _INFINITY) for i in others)
+    elif gtype in (GateType.OR, GateType.NOR):
+        side = sum(cc0.get(i, _INFINITY) for i in others)
+    else:  # XOR / XNOR: need others at known values, take the cheaper
+        side = sum(
+            min(cc0.get(i, _INFINITY), cc1.get(i, _INFINITY)) for i in others
+        )
+    return min(out_co + side + 1, _INFINITY)

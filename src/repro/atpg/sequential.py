@@ -1,0 +1,184 @@
+"""Time-frame expansion for sequential test generation.
+
+An :class:`UnrolledModel` presents ``k`` copies of the combinational logic of
+a sequential netlist as one combinational circuit: the flip-flop D values of
+frame *t* feed the flip-flop Q nets of frame *t+1*.  Frame-0 Q nets are
+unknown (X) sources — unless the flop is a PIER, in which case frame-0 Q is
+assignable (the register can be loaded from the chip pins) and its last-frame
+D is observable (it can be stored back out).
+
+Keys are ``(frame, net)`` pairs over the base netlist's net ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.synth.netlist import CONST0, CONST1, Gate, GateType, Netlist
+
+Key = Tuple[int, int]  # (frame, net)
+
+
+class UnrolledModel:
+    """Combinational view of ``frames`` copies of a sequential netlist."""
+
+    def __init__(self, netlist: Netlist, frames: int,
+                 pier_qs: Optional[Set[int]] = None,
+                 exclude_pis: Optional[Set[int]] = None):
+        if frames < 1:
+            raise ValueError("need at least one time frame")
+        self.netlist = netlist
+        self.frames = frames
+        self.pier_qs: Set[int] = set(pier_qs or ())
+        excluded = set(exclude_pis or ())
+
+        self.order: List[Gate] = netlist.topological_order()
+        self.driver: Dict[int, Gate] = {g.output: g for g in netlist.gates
+                                        if g.type is not GateType.DFF}
+        self.dffs: List[Gate] = netlist.dffs()
+        self.dff_of_q: Dict[int, Gate] = {g.output: g for g in self.dffs}
+
+        # Fanout within a frame (combinational gates reading each net).
+        self.fanout: Dict[int, List[Gate]] = {}
+        for gate in self.order:
+            for inp in gate.inputs:
+                self.fanout.setdefault(inp, []).append(gate)
+        # Nets that are D inputs of flops (cross-frame edges).
+        self.d_to_qs: Dict[int, List[int]] = {}
+        for dff in self.dffs:
+            self.d_to_qs.setdefault(dff.inputs[0], []).append(dff.output)
+
+        self.base_pis: List[int] = [p for p in netlist.pis
+                                    if p not in excluded]
+        self.assignable: List[Key] = []
+        for frame in range(frames):
+            for pi in self.base_pis:
+                self.assignable.append((frame, pi))
+        for q in sorted(self.pier_qs):
+            self.assignable.append((0, q))
+
+        self.observable: List[Key] = []
+        for frame in range(frames):
+            for po in netlist.pos:
+                self.observable.append((frame, po))
+        for q in sorted(self.pier_qs):
+            dff = self.dff_of_q[q]
+            self.observable.append((frames - 1, dff.inputs[0]))
+
+        self._levels = self._compute_levels()
+        self._controllable = self._compute_controllable()
+
+    # -- static analyses --------------------------------------------------------
+
+    def _compute_levels(self) -> Dict[int, int]:
+        """Combinational level of each net within a frame (PIs/Qs at 0)."""
+        level: Dict[int, int] = {CONST0: 0, CONST1: 0}
+        for pi in self.netlist.pis:
+            level[pi] = 0
+        for dff in self.dffs:
+            level[dff.output] = 0
+        for gate in self.order:
+            level[gate.output] = 1 + max(
+                (level.get(i, 0) for i in gate.inputs), default=0
+            )
+        return level
+
+    def _compute_controllable(self) -> Set[int]:
+        """Base nets whose value can (possibly) be influenced by assignable
+        inputs within a frame chain.  Nets fed only by constants are not
+        controllable; frame-0 Q nets are handled frame-sensitively in
+        :meth:`is_controllable`."""
+        controllable: Set[int] = set(self.base_pis) | set(self.pier_qs)
+        for dff in self.dffs:
+            controllable.add(dff.output)  # later frames: via previous frame
+        changed = True
+        while changed:
+            changed = False
+            for gate in self.order:
+                if gate.output in controllable:
+                    continue
+                if any(i in controllable for i in gate.inputs):
+                    controllable.add(gate.output)
+                    changed = True
+        return controllable
+
+    def level(self, key: Key) -> int:
+        frame, net = key
+        base = len(self._levels)
+        return frame * base + self._levels.get(net, 0)
+
+    def is_assignable(self, key: Key) -> bool:
+        frame, net = key
+        if net in self.pier_qs:
+            return frame == 0
+        return net in self.base_pis
+
+    def is_x_source(self, key: Key) -> bool:
+        """True when the key is a frame-0 flop output that cannot be set."""
+        frame, net = key
+        return frame == 0 and net in self.dff_of_q and net not in self.pier_qs
+
+    def is_controllable(self, key: Key) -> bool:
+        frame, net = key
+        if self.is_x_source(key):
+            return False
+        return net in self._controllable
+
+    def driver_of(self, key: Key) -> Optional[Tuple[str, object, List[Key]]]:
+        """Driving structure of a key.
+
+        Returns ``("gate", Gate, input_keys)`` for combinational gates,
+        ``("dff", Gate, [d_key])`` for cross-frame flop edges, or ``None``
+        for sources (PIs, frame-0 Qs, constants, floating nets).
+        """
+        frame, net = key
+        gate = self.driver.get(net)
+        if gate is not None:
+            return ("gate", gate, [(frame, i) for i in gate.inputs])
+        dff = self.dff_of_q.get(net)
+        if dff is not None and frame > 0:
+            return ("dff", dff, [(frame - 1, dff.inputs[0])])
+        return None
+
+    def fanout_keys(self, key: Key) -> List[Key]:
+        """Keys whose value depends directly on ``key``."""
+        frame, net = key
+        out = [(frame, g.output) for g in self.fanout.get(net, [])]
+        if frame + 1 < self.frames:
+            for q in self.d_to_qs.get(net, []):
+                out.append((frame + 1, q))
+        return out
+
+    def fault_site_keys(self, net: int) -> List[Key]:
+        """All frame copies of a fault site."""
+        return [(frame, net) for frame in range(self.frames)]
+
+    def base_values(self) -> Dict[Key, int]:
+        """Fault-free five-valued values with all inputs unassigned.
+
+        Computed once per model and shared by every PODEM run: a fresh fault
+        search copies this map and injects only the fault's own disturbance,
+        instead of re-evaluating every gate in every frame.
+        """
+        if getattr(self, "_base_values", None) is None:
+            from repro.atpg.values import V0, V1, VX, v_and, v_not, v_or, \
+                v_xor
+            from repro.atpg.podem import eval_gate_values
+
+            val: Dict[Key, int] = {}
+            for frame in range(self.frames):
+                val[(frame, CONST0)] = V0
+                val[(frame, CONST1)] = V1
+                for gate in self.order:
+                    input_keys = [(frame, i) for i in gate.inputs]
+                    val[(frame, gate.output)] = eval_gate_values(
+                        gate.type, input_keys, val
+                    )
+                if frame + 1 < self.frames:
+                    for dff in self.dffs:
+                        val[(frame + 1, dff.output)] = val.get(
+                            (frame, dff.inputs[0]), VX
+                        )
+            self._base_values = val
+        return self._base_values

@@ -1,0 +1,194 @@
+"""Command-line interface: the FACTOR tool.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro analyze DESIGN.v --top arm --mut arm_alu \
+        --path u_core.u_dp.u_alu. --out constraints/
+    python -m repro testability DESIGN.v --top arm --mut arm_alu
+    python -m repro atpg DESIGN.v --top arm --mut arm_alu --frames 4
+    python -m repro stats DESIGN.v --top arm
+    python -m repro piers DESIGN.v --top arm
+
+Subcommands:
+
+- ``analyze``      extract constraints, build the transformed module and
+                   write the constraint netlists out as Verilog,
+- ``testability``  Section 4.2 report: hard-coded inputs, empty chains,
+- ``atpg``         generate tests for the MUT inside the transformed module,
+- ``stats``        netlist statistics for the whole design (or one module),
+- ``piers``        list PI/PO-accessible registers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.atpg.engine import AtpgOptions
+from repro.core.extractor import ExtractionMode
+from repro.core.factor import Factor
+from repro.core.report import format_table
+from repro.synth import synthesize
+from repro.synth.stats import netlist_stats
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FACTOR: functional constraint extraction for "
+                    "hierarchical test generation (DATE 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, needs_mut=True):
+        p.add_argument("files", nargs="+", help="Verilog source files")
+        p.add_argument("--top", help="top module (inferred when unique)")
+        p.add_argument("--define", "-D", action="append", default=[],
+                       metavar="NAME[=VALUE]",
+                       help="preprocessor macro (repeatable)")
+        p.add_argument("--include", "-I", action="append", default=[],
+                       metavar="DIR", help="`include search directory "
+                                           "(repeatable)")
+        if needs_mut:
+            p.add_argument("--mut", required=True,
+                           help="module under test (module name)")
+            p.add_argument("--path",
+                           help="instance path, e.g. u_core.u_dp.u_alu. "
+                                "(inferred when the module has one instance)")
+            p.add_argument(
+                "--mode", choices=["compose", "conventional"],
+                default="compose",
+                help="extraction mode (default: compose)",
+            )
+
+    p_analyze = sub.add_parser("analyze", help="extract constraints and "
+                                               "build the transformed module")
+    add_common(p_analyze)
+    p_analyze.add_argument("--out", help="directory for constraint netlists")
+
+    p_test = sub.add_parser("testability", help="Section 4.2 testability "
+                                                "report")
+    add_common(p_test)
+
+    p_atpg = sub.add_parser("atpg", help="generate tests for the MUT")
+    add_common(p_atpg)
+    p_atpg.add_argument("--frames", type=int, default=4,
+                        help="maximum time frames (default 4)")
+    p_atpg.add_argument("--backtrack-limit", type=int, default=300)
+    p_atpg.add_argument("--no-piers", action="store_true",
+                        help="disable PIER pseudo PI/PO")
+    p_atpg.add_argument("--seed", type=int, default=2002)
+
+    p_stats = sub.add_parser("stats", help="netlist statistics")
+    add_common(p_stats, needs_mut=False)
+    p_stats.add_argument("--module", help="synthesize one module stand-alone")
+
+    p_piers = sub.add_parser("piers", help="list PI/PO-accessible registers")
+    add_common(p_piers, needs_mut=False)
+
+    return parser
+
+
+def _factor_for(args) -> Factor:
+    mode = ExtractionMode.COMPOSE
+    if getattr(args, "mode", "compose") == "conventional":
+        mode = ExtractionMode.CONVENTIONAL
+    defines = {}
+    for item in getattr(args, "define", []):
+        name, _, value = item.partition("=")
+        defines[name] = value
+    return Factor.from_files(args.files, top=args.top, mode=mode,
+                             defines=defines or None,
+                             include_dirs=getattr(args, "include", []))
+
+
+def _cmd_analyze(args) -> int:
+    factor = _factor_for(args)
+    result = factor.analyze(args.mut, path=args.path)
+    tr = result.transformed
+    print(f"MUT {args.mut} at {tr.mut_region}")
+    print(f"  extraction : {tr.extraction_seconds:.3f} s "
+          f"({result.extraction.tasks_run} tasks, "
+          f"{result.extraction.tasks_reused} reused)")
+    print(f"  synthesis  : {tr.synthesis_seconds:.3f} s")
+    print(f"  transformed: {tr.total_gates} gates "
+          f"({tr.mut_gates} MUT + {tr.surrounding_gates} S'), "
+          f"{tr.num_pis} PI, {tr.num_pos} PO")
+    print(f"  modules    : {', '.join(result.extraction.kept_modules())}")
+    if args.out:
+        written = result.write_constraints(args.out)
+        print(f"  wrote {len(written)} constraint netlists to {args.out}")
+    return 0
+
+
+def _cmd_testability(args) -> int:
+    factor = _factor_for(args)
+    result = factor.analyze(args.mut, path=args.path)
+    print(result.testability.summary())
+    return 0
+
+
+def _cmd_atpg(args) -> int:
+    factor = _factor_for(args)
+    result = factor.analyze(args.mut, path=args.path,
+                            use_piers=not args.no_piers)
+    options = AtpgOptions(
+        max_frames=args.frames,
+        backtrack_limit=args.backtrack_limit,
+        seed=args.seed,
+    )
+    report = factor.generate_tests(result, options)
+    print(format_table(
+        f"ATPG report for {args.mut}",
+        [report.as_row()],
+    ))
+    print(f"detected {report.detected}, untestable {report.untestable}, "
+          f"aborted {report.aborted} of {report.total_faults} faults")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    factor = _factor_for(args)
+    netlist = synthesize(factor.design, root=args.module)
+    stats = netlist_stats(netlist)
+    print(format_table(f"Netlist statistics: {netlist.name}",
+                       [stats.as_row()]))
+    return 0
+
+
+def _cmd_piers(args) -> int:
+    factor = _factor_for(args)
+    rows = []
+    for pier in factor.piers():
+        rows.append({
+            "module": pier.module,
+            "register": pier.signal,
+            "loadable": "yes" if pier.loadable else "no",
+            "storable": "yes" if pier.storable else "no",
+            "PIER": "yes" if pier.is_pier else "no",
+        })
+    print(format_table("PI/PO-accessible registers", rows))
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "testability": _cmd_testability,
+    "atpg": _cmd_atpg,
+    "stats": _cmd_stats,
+    "piers": _cmd_piers,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

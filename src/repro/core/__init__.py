@@ -1,0 +1,52 @@
+"""FACTOR: FunctionAl ConsTraint extractOR — the paper's contribution.
+
+- :mod:`repro.core.extractor` — ``find_source_logic`` / ``find_prop_paths``
+  (paper Fig. 3) as a statement-granular slicing worklist, in both the
+  conventional single-level mode and the compositional hierarchical mode,
+- :mod:`repro.core.composer` — constraint reuse cache across MUTs,
+- :mod:`repro.core.transform` — builds the transformed module M + S'
+  (paper Fig. 1) as emitted Verilog and as a synthesized netlist,
+- :mod:`repro.core.piers` — PIER identification,
+- :mod:`repro.core.testability` — empty-chain traces and hard-coded
+  constraint warnings (paper Section 4.2),
+- :mod:`repro.core.factor` — the top-level ``Factor`` facade.
+"""
+
+from repro.core.extractor import (
+    ExtractionMode,
+    ExtractionResult,
+    FunctionalConstraintExtractor,
+    ModuleMarks,
+    MutSpec,
+)
+from repro.core.composer import ConstraintComposer
+from repro.core.transform import TransformedModule, build_transformed_module
+from repro.core.piers import find_piers, PierInfo
+from repro.core.testability import (
+    TestabilityReport,
+    TraceHop,
+    analyze_testability,
+    trace_aborted_path,
+    Warning_,
+)
+from repro.core.factor import Factor, FactorResult
+
+__all__ = [
+    "ExtractionMode",
+    "ExtractionResult",
+    "FunctionalConstraintExtractor",
+    "ModuleMarks",
+    "MutSpec",
+    "ConstraintComposer",
+    "TransformedModule",
+    "build_transformed_module",
+    "find_piers",
+    "PierInfo",
+    "TestabilityReport",
+    "TraceHop",
+    "analyze_testability",
+    "trace_aborted_path",
+    "Warning_",
+    "Factor",
+    "FactorResult",
+]

@@ -1,0 +1,70 @@
+"""Constraint composition with cross-MUT reuse (paper Section 2.2).
+
+A :class:`ConstraintComposer` owns one compositional extractor whose task
+cache persists across module-under-test extractions: constraints computed at
+higher hierarchy levels for one MUT (e.g. the decode table's opcode cone)
+are reused verbatim for the next MUT.  This is the mechanism behind the
+lower extraction times of Table 3 relative to Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.extractor import (
+    ExtractionMode,
+    ExtractionResult,
+    FunctionalConstraintExtractor,
+    MutSpec,
+)
+from repro.core.transform import TransformedModule, build_transformed_module
+from repro.hierarchy.design import Design
+
+
+@dataclass
+class ReuseStats:
+    """Accounting of compositional reuse across extractions."""
+
+    extractions: int = 0
+    tasks_run: int = 0
+    tasks_reused: int = 0
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = self.tasks_run + self.tasks_reused
+        return self.tasks_reused / total if total else 0.0
+
+
+class ConstraintComposer:
+    """Extracts and composes constraints for a series of MUTs."""
+
+    def __init__(self, design: Design,
+                 mode: ExtractionMode = ExtractionMode.COMPOSE):
+        self.design = design
+        self.mode = mode
+        self.extractor = FunctionalConstraintExtractor(design, mode)
+        self.stats = ReuseStats()
+        self._extractions: Dict[str, ExtractionResult] = {}
+        self._transforms: Dict[str, TransformedModule] = {}
+
+    def extract(self, mut: MutSpec) -> ExtractionResult:
+        key = mut.path
+        if key not in self._extractions:
+            result = self.extractor.extract(mut)
+            self.stats.extractions += 1
+            self.stats.tasks_run += result.tasks_run
+            self.stats.tasks_reused += result.tasks_reused
+            self._extractions[key] = result
+        return self._extractions[key]
+
+    def transform(self, mut: MutSpec,
+                  do_optimize: bool = True) -> TransformedModule:
+        key = mut.path
+        if key not in self._transforms:
+            extraction = self.extract(mut)
+            self._transforms[key] = build_transformed_module(
+                self.design, extraction, self.extractor,
+                do_optimize=do_optimize,
+            )
+        return self._transforms[key]

@@ -1,0 +1,140 @@
+"""The ``Factor`` facade: the public API of the reproduction.
+
+Typical use::
+
+    from repro import Factor
+    from repro.designs import arm2_source
+
+    factor = Factor.from_verilog(arm2_source(), top="arm")
+    result = factor.analyze("arm_alu", path="u_core.u_dp.u_alu.")
+    print(result.testability.summary())
+    result.write_constraints("constraints/")
+    report = factor.generate_tests(result)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.atpg.engine import AtpgEngine, AtpgOptions, AtpgReport
+from repro.core.composer import ConstraintComposer
+from repro.core.extractor import ExtractionMode, ExtractionResult, MutSpec
+from repro.core.piers import PierInfo, find_piers, pier_q_nets
+from repro.core.testability import TestabilityReport, analyze_testability
+from repro.core.transform import TransformedModule
+from repro.hierarchy.design import Design
+from repro.verilog.parser import parse_source
+from repro.verilog.writer import write_module
+
+
+@dataclass
+class FactorResult:
+    """Everything FACTOR produces for one module under test."""
+
+    mut: MutSpec
+    extraction: ExtractionResult
+    transformed: TransformedModule
+    testability: TestabilityReport
+    piers: List[PierInfo] = field(default_factory=list)
+    pier_nets: Set[int] = field(default_factory=set)
+
+    def write_constraints(self, directory: str) -> List[str]:
+        """Write the pruned constraint netlists, one file per module.
+
+        Mirrors the paper's tool, which "retains the original directory
+        structure" — each module goes to ``<dir>/<module>.v``.
+        """
+        os.makedirs(directory, exist_ok=True)
+        written: List[str] = []
+        for module in self.transformed.source.modules:
+            path = os.path.join(directory, f"{module.name}.v")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(write_module(module))
+            written.append(path)
+        return written
+
+
+class Factor:
+    """FunctionAl ConsTraint extractOR over one design."""
+
+    def __init__(self, design: Design,
+                 mode: ExtractionMode = ExtractionMode.COMPOSE):
+        self.design = design
+        self.mode = mode
+        self.composer = ConstraintComposer(design, mode)
+        self._piers: Optional[List[PierInfo]] = None
+
+    @classmethod
+    def from_verilog(cls, source_text: str, top: Optional[str] = None,
+                     mode: ExtractionMode = ExtractionMode.COMPOSE
+                     ) -> "Factor":
+        return cls(Design(parse_source(source_text), top=top), mode=mode)
+
+    @classmethod
+    def from_files(cls, paths: Sequence[str], top: Optional[str] = None,
+                   mode: ExtractionMode = ExtractionMode.COMPOSE,
+                   defines: Optional[Dict[str, str]] = None,
+                   include_dirs: Sequence[str] = ()) -> "Factor":
+        from repro.verilog.preprocess import Preprocessor
+
+        pp = Preprocessor(defines=defines, include_dirs=include_dirs)
+        chunks = [pp.process_file(path) for path in paths]
+        return cls.from_verilog("\n".join(chunks), top=top, mode=mode)
+
+    # -- analysis ------------------------------------------------------------
+
+    def mut_spec(self, module: str, path: Optional[str] = None) -> MutSpec:
+        """Resolve a MUT by module name; infer the instance path if unique."""
+        if path is None:
+            candidates = self.design.paths_to(module)
+            if not candidates:
+                raise ValueError(f"module {module!r} not found under top")
+            if len(candidates) > 1:
+                raise ValueError(
+                    f"module {module!r} has {len(candidates)} instances; "
+                    "pass path= explicitly"
+                )
+            path = "".join(f"{inst}." for inst in candidates[0].insts)
+        return MutSpec(module=module, path=path)
+
+    def piers(self) -> List[PierInfo]:
+        if self._piers is None:
+            self._piers = find_piers(self.design)
+        return self._piers
+
+    def analyze(self, module: str, path: Optional[str] = None,
+                use_piers: bool = True) -> FactorResult:
+        """Extract constraints, build the transformed module, analyze
+        testability and identify PIERs for one MUT."""
+        mut = self.mut_spec(module, path)
+        extraction = self.composer.extract(mut)
+        transformed = self.composer.transform(mut)
+        testability = analyze_testability(self.design, extraction)
+        piers = self.piers() if use_piers else []
+        pier_nets = (
+            pier_q_nets(transformed.netlist, self.design, piers)
+            if use_piers else set()
+        )
+        return FactorResult(
+            mut=mut,
+            extraction=extraction,
+            transformed=transformed,
+            testability=testability,
+            piers=piers,
+            pier_nets=pier_nets,
+        )
+
+    # -- test generation --------------------------------------------------------
+
+    def generate_tests(self, result: FactorResult,
+                       options: Optional[AtpgOptions] = None) -> AtpgReport:
+        """Run the ATPG substrate on the transformed module, targeting only
+        the MUT's faults, with PIERs as pseudo PI/PO."""
+        opts = options or AtpgOptions()
+        opts.fault_region = result.transformed.mut_region
+        if result.pier_nets:
+            opts.pier_qs = frozenset(result.pier_nets)
+        engine = AtpgEngine(result.transformed.netlist, opts)
+        return engine.run()

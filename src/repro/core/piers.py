@@ -1,0 +1,284 @@
+"""PIER identification: Primary Input/output accessible Registers.
+
+A register is a PIER when it can be *loaded* from chip-level inputs and
+*stored* back to chip-level outputs through purely combinational paths
+(instruction-mediated in a processor: MOVI/LD reach the register file from
+the instruction/data pins, ST reads it back out).  PIERs act as pseudo
+primary inputs/outputs during test generation, cutting the sequential depth
+of the transformed module — Section 2.1 of the paper.
+
+The analysis is a bounded bidirectional reachability over the def-use /
+use-def chains, crossing instance boundaries, refusing to tunnel through
+*other* sequential elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.hierarchy.chains import ChainDB
+from repro.hierarchy.connectivity import (
+    instance_port_map,
+    signal_instance_sinks,
+    signal_instance_sources,
+)
+from repro.hierarchy.design import Design
+from repro.synth.netlist import Netlist
+from repro.verilog import ast
+
+
+@dataclass(frozen=True)
+class PierInfo:
+    """One PI/PO-accessible register."""
+
+    module: str
+    signal: str
+    loadable: bool
+    storable: bool
+
+    @property
+    def is_pier(self) -> bool:
+        return self.loadable and self.storable
+
+
+def find_piers(design: Design, max_depth: int = 24,
+               load_hops: int = 1, store_hops: int = 0) -> List[PierInfo]:
+    """Identify every register and classify its chip-level accessibility.
+
+    ``load_hops`` / ``store_hops`` bound how many *intermediate* registers a
+    load/store access may pipeline through: a MOVI instruction loading the
+    register file crosses the writeback stage register (one hop), whereas a
+    store drives the data pins combinationally (zero hops).
+    """
+    chaindb = ChainDB(design)
+    modules = {name: design.module(name) for name in design.module_names()}
+    analysis = _Reachability(design, chaindb, modules, max_depth,
+                             load_hops, store_hops)
+
+    piers: List[PierInfo] = []
+    for name in design.module_names():
+        module = modules[name]
+        if not design.paths_to(name):
+            continue  # unreachable from top
+        for always in module.always_blocks:
+            if not always.is_sequential:
+                continue
+            for signal in sorted(always.defined()):
+                loadable = analysis.loadable(name, signal)
+                storable = analysis.storable(name, signal)
+                piers.append(PierInfo(module=name, signal=signal,
+                                      loadable=loadable, storable=storable))
+    return piers
+
+
+def pier_q_nets(netlist: Netlist, design: Design,
+                piers: List[PierInfo],
+                region: Optional[str] = None) -> Set[int]:
+    """Map PIERs to DFF output nets of a synthesized netlist.
+
+    ``region`` restricts the mapping to flops created under a hierarchical
+    prefix (e.g. only the MUT's own registers).
+    """
+    by_module: Dict[str, Set[str]] = {}
+    for pier in piers:
+        if pier.is_pier:
+            by_module.setdefault(pier.module, set()).add(pier.signal)
+
+    prefix_module: Dict[str, str] = {}
+    for name in design.module_names():
+        for path in design.paths_to(name):
+            prefix = "".join(f"{inst}." for inst in path.insts)
+            prefix_module[prefix] = name
+
+    regions = getattr(netlist, "regions", {})
+    out: Set[int] = set()
+    for dff in netlist.dffs():
+        q = dff.output
+        net_region = regions.get(q, "")
+        if region is not None and not net_region.startswith(region):
+            continue
+        module_name = prefix_module.get(net_region)
+        if module_name is None:
+            continue
+        signals = by_module.get(module_name)
+        if not signals:
+            continue
+        local = netlist.net_name(q)[len(net_region):]
+        base = local.split("[", 1)[0]
+        if base in signals:
+            out.add(q)
+    return out
+
+
+class _Reachability:
+    """Memoized bounded reachability over chains + hierarchy."""
+
+    def __init__(self, design: Design, chaindb: ChainDB,
+                 modules: Dict[str, ast.Module], max_depth: int,
+                 load_hops: int = 1, store_hops: int = 0):
+        self.design = design
+        self.chaindb = chaindb
+        self.modules = modules
+        self.max_depth = max_depth
+        self.load_hops = load_hops
+        self.store_hops = store_hops
+        self._load_cache: Dict[Tuple[str, str, int], bool] = {}
+        self._store_cache: Dict[Tuple[str, str, int], bool] = {}
+
+    # -- load path: chip input --> register D ---------------------------------
+
+    def loadable(self, module_name: str, reg: str) -> bool:
+        chains = self.chaindb.chains(module_name)
+        for site in chains.ud_chain(reg):
+            if site.kind != "proc_assign":
+                continue
+            if site.always is None or not site.always.is_sequential:
+                continue
+            for sig in sorted(site.rhs_signals()):
+                if self._from_pi(module_name, sig, self.max_depth, set(),
+                                 self.load_hops):
+                    return True
+        return False
+
+    def _from_pi(self, module_name: str, signal: str, depth: int,
+                 visiting: Set[Tuple[str, str]], hops: int) -> bool:
+        key = (module_name, signal, hops)
+        if key in self._load_cache:
+            return self._load_cache[key]
+        if depth <= 0 or (module_name, signal) in visiting:
+            return False
+        visiting = visiting | {(module_name, signal)}
+        result = False
+        module = self.modules[module_name]
+        chains = self.chaindb.chains(module_name)
+        for site in chains.ud_chain(signal):
+            if site.kind == "input_port":
+                if module_name == self.design.top:
+                    result = True
+                    break
+                found = False
+                for parent_name, inst_name in self.design.parents(
+                    module_name
+                ):
+                    inst = self.design.instance_in(parent_name, inst_name)
+                    expr = instance_port_map(module, inst).get(signal)
+                    if expr is None:
+                        continue
+                    if any(
+                        self._from_pi(parent_name, s, depth - 1, visiting,
+                                      hops)
+                        for s in sorted(expr.signals())
+                    ):
+                        found = True
+                        break
+                if found:
+                    result = True
+                    break
+            elif site.kind == "instance":
+                for src_inst, port in signal_instance_sources(
+                    module, signal, self.modules
+                ):
+                    if self._from_pi(src_inst.module_name, port,
+                                     depth - 1, visiting, hops):
+                        result = True
+                        break
+                if result:
+                    break
+            elif site.kind in ("cont_assign", "gate"):
+                if any(
+                    self._from_pi(module_name, s, depth - 1, visiting, hops)
+                    for s in sorted(site.rhs_signals())
+                ):
+                    result = True
+                    break
+            elif site.kind == "proc_assign":
+                sequential = (site.always is not None
+                              and site.always.is_sequential)
+                if sequential and hops <= 0:
+                    continue  # out of pipeline-register budget
+                next_hops = hops - 1 if sequential else hops
+                if any(
+                    self._from_pi(module_name, s, depth - 1, visiting,
+                                  next_hops)
+                    for s in sorted(site.rhs_signals())
+                ):
+                    result = True
+                    break
+        self._load_cache[key] = result
+        return result
+
+    # -- store path: register Q --> chip output ---------------------------------
+
+    def storable(self, module_name: str, reg: str) -> bool:
+        return self._to_po(module_name, reg, self.max_depth, set(),
+                           self.store_hops)
+
+    def _to_po(self, module_name: str, signal: str, depth: int,
+               visiting: Set[Tuple[str, str]], hops: int) -> bool:
+        key = (module_name, signal, hops)
+        if key in self._store_cache:
+            return self._store_cache[key]
+        if depth <= 0 or (module_name, signal) in visiting:
+            return False
+        visiting = visiting | {(module_name, signal)}
+        result = False
+        module = self.modules[module_name]
+        chains = self.chaindb.chains(module_name)
+        for site in chains.du_chain(signal):
+            if site.kind == "output_port":
+                if module_name == self.design.top:
+                    result = True
+                    break
+                found = False
+                for parent_name, inst_name in self.design.parents(
+                    module_name
+                ):
+                    inst = self.design.instance_in(parent_name, inst_name)
+                    expr = instance_port_map(module, inst).get(signal)
+                    if expr is None:
+                        continue
+                    targets = ast.lhs_base_names(expr)
+                    if any(
+                        self._to_po(parent_name, s, depth - 1, visiting, hops)
+                        for s in sorted(targets)
+                    ):
+                        found = True
+                        break
+                if found:
+                    result = True
+                    break
+            elif site.kind == "instance":
+                for sink_inst, port in signal_instance_sinks(
+                    module, signal, self.modules
+                ):
+                    if self._to_po(sink_inst.module_name, port,
+                                   depth - 1, visiting, hops):
+                        result = True
+                        break
+                if result:
+                    break
+            elif site.kind in ("cont_assign", "gate"):
+                if any(
+                    self._to_po(module_name, s, depth - 1, visiting, hops)
+                    for s in sorted(site.defined_signals())
+                ):
+                    result = True
+                    break
+            elif site.kind == "proc_assign":
+                if isinstance(site.node, ast.Always):
+                    continue  # sensitivity-list use
+                sequential = (site.always is not None
+                              and site.always.is_sequential)
+                if sequential and hops <= 0:
+                    continue
+                next_hops = hops - 1 if sequential else hops
+                if any(
+                    self._to_po(module_name, s, depth - 1, visiting,
+                                next_hops)
+                    for s in sorted(site.defined_signals())
+                ):
+                    result = True
+                    break
+        self._store_cache[key] = result
+        return result

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+Each benchmark prints rows in the same layout as the corresponding table of
+the paper; this module holds the shared formatting code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(title: str, rows: Sequence[Dict[str, object]],
+                 columns: Sequence[str] = ()) -> str:
+    """Render rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n  (no rows)\n"
+    cols = list(columns) if columns else list(rows[0].keys())
+    widths = {c: len(str(c)) for c in cols}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for col in cols:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                text = f"{value:.2f}"
+            else:
+                text = str(value)
+            widths[col] = max(widths[col], len(text))
+            cells.append(text)
+        rendered.append(cells)
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[col])
+                         for c, col in zip(cells, cols))
+
+    out = [title, line([str(c) for c in cols]),
+           line(["-" * widths[c] for c in cols])]
+    out.extend(line(cells) for cells in rendered)
+    return "\n".join(out) + "\n"

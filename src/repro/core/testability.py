@@ -1,0 +1,399 @@
+"""Testability analysis (paper Section 4.2).
+
+During constraint extraction FACTOR gathers diagnostics "without having to
+build and analyze the state machine for the design":
+
+- **empty chains** — a MUT-relevant signal with no definitions (no path from
+  the chip interface: coverage will be lost) or no uses (no propagation
+  path),
+- **hard-coded constraints** — a MUT input whose entire justification cone
+  terminates in constant assignments selected by decode logic; such an input
+  can only ever take the values in the decode table (the ``arm_alu``
+  situation: most of its control inputs are hard-coded functions of the
+  opcode field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.extractor import (
+    EmptyChainTrace,
+    ExtractionResult,
+    MutSpec,
+)
+from repro.hierarchy.chains import ChainDB, Site
+from repro.hierarchy.connectivity import (
+    instance_port_map,
+    signal_instance_sinks,
+    signal_instance_sources,
+)
+from repro.hierarchy.design import Design
+from repro.verilog import ast
+
+
+@dataclass(frozen=True)
+class Warning_:
+    """One testability warning."""
+
+    kind: str  # "hard_coded" | "no_driver" | "no_propagation"
+    module: str
+    signal: str
+    message: str
+    selectors: Tuple[str, ...] = ()
+    trail: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass
+class HardCodedPort:
+    """A MUT input port whose value cone ends only in constants."""
+
+    port: str
+    selectors: Tuple[str, ...]
+    constant_sites: Tuple[Tuple[str, str, int], ...]  # (module, signal, line)
+
+
+@dataclass
+class TraceHop:
+    """One hop of an aborted-path trace."""
+
+    module: str
+    signal: str
+    kind: str  # site kind crossed to reach this hop
+    line: int
+
+
+@dataclass
+class TestabilityReport:
+    mut: MutSpec
+    warnings: List[Warning_]
+    hard_coded_ports: List[HardCodedPort]
+    total_input_ports: int
+
+    @property
+    def num_hard_coded(self) -> int:
+        return len(self.hard_coded_ports)
+
+    def summary(self) -> str:
+        lines = [
+            f"Testability report for MUT {self.mut.module!r} "
+            f"(instance {self.mut.path})",
+            f"  {self.num_hard_coded} of {self.total_input_ports} input "
+            "ports are driven only from hard-coded values",
+        ]
+        for hc in self.hard_coded_ports:
+            sels = ", ".join(hc.selectors) if hc.selectors else "none"
+            lines.append(
+                f"    input {hc.port!r}: constants selected by [{sels}]"
+            )
+        for warn in self.warnings:
+            if warn.kind == "hard_coded":
+                continue
+            lines.append(f"  {warn.kind}: {warn.module}.{warn.signal} — "
+                         f"{warn.message}")
+        return "\n".join(lines)
+
+
+def analyze_testability(design: Design, extraction: ExtractionResult
+                        ) -> TestabilityReport:
+    """Build the Section-4.2 report for one extraction."""
+    mut = extraction.mut
+    chaindb = ChainDB(design)
+    modules = {name: design.module(name) for name in design.module_names()}
+    warnings: List[Warning_] = []
+
+    for trace in extraction.empty_chains:
+        message = (
+            "no definition found — there is no path from the chip interface "
+            "to this signal" if trace.kind == "no_driver"
+            else "no use found — the signal cannot propagate to the chip "
+                 "interface"
+        )
+        warnings.append(Warning_(
+            kind=trace.kind,
+            module=trace.module,
+            signal=trace.signal,
+            message=message,
+            trail=trace.trail,
+        ))
+
+    # Hard-coded analysis on the MUT's input connections.
+    parent_module_name = design.top
+    for inst_name in mut.inst_chain[:-1]:
+        inst = design.instance_in(parent_module_name, inst_name)
+        parent_module_name = inst.module_name
+    mut_inst = design.instance_in(parent_module_name, mut.inst_name)
+    mut_mod = modules[mut.module]
+    parent_mod = modules[parent_module_name]
+    pmap = instance_port_map(mut_mod, mut_inst)
+
+    analyzer = _ConstantConeAnalyzer(design, chaindb, modules)
+    hard_coded: List[HardCodedPort] = []
+    total_inputs = 0
+    for port in mut_mod.inputs():
+        total_inputs += 1
+        expr = pmap.get(port.name)
+        if expr is None:
+            continue
+        signals = sorted(expr.signals())
+        if not signals:
+            continue  # tied to a literal constant: trivially hard-coded
+        verdicts = [
+            analyzer.analyze(parent_module_name, sig) for sig in signals
+        ]
+        if all(v.all_constant for v in verdicts):
+            selectors: Set[str] = set()
+            sites: List[Tuple[str, str, int]] = []
+            for verdict in verdicts:
+                selectors |= verdict.selectors
+                sites.extend(verdict.constant_sites)
+            hard_coded.append(HardCodedPort(
+                port=port.name,
+                selectors=tuple(sorted(selectors)),
+                constant_sites=tuple(sites),
+            ))
+            warnings.append(Warning_(
+                kind="hard_coded",
+                module=mut.module,
+                signal=port.name,
+                message=(
+                    f"input {port.name!r} of {mut.module} is driven only "
+                    "from hard-coded values"
+                ),
+                selectors=tuple(sorted(selectors)),
+            ))
+
+    return TestabilityReport(
+        mut=mut,
+        warnings=warnings,
+        hard_coded_ports=hard_coded,
+        total_input_ports=total_inputs,
+    )
+
+
+@dataclass
+class _ConeVerdict:
+    all_constant: bool
+    selectors: Set[str] = field(default_factory=set)
+    constant_sites: List[Tuple[str, str, int]] = field(default_factory=list)
+
+
+class _ConstantConeAnalyzer:
+    """Does every justification path of a signal end in a constant?"""
+
+    def __init__(self, design: Design, chaindb: ChainDB,
+                 modules: Dict[str, ast.Module], max_depth: int = 16):
+        self.design = design
+        self.chaindb = chaindb
+        self.modules = modules
+        self.max_depth = max_depth
+        self._cache: Dict[Tuple[str, str], _ConeVerdict] = {}
+
+    def analyze(self, module_name: str, signal: str,
+                depth: Optional[int] = None,
+                visiting: Optional[Set[Tuple[str, str]]] = None
+                ) -> _ConeVerdict:
+        key = (module_name, signal)
+        if key in self._cache:
+            return self._cache[key]
+        depth = self.max_depth if depth is None else depth
+        visiting = set() if visiting is None else visiting
+        if depth <= 0 or key in visiting:
+            return _ConeVerdict(all_constant=False)
+        visiting.add(key)
+        verdict = self._analyze_inner(module_name, signal, depth, visiting)
+        visiting.discard(key)
+        self._cache[key] = verdict
+        return verdict
+
+    def _analyze_inner(self, module_name: str, signal: str, depth: int,
+                       visiting: Set[Tuple[str, str]]) -> _ConeVerdict:
+        module = self.modules[module_name]
+        if signal in {p.name for p in module.params}:
+            return _ConeVerdict(all_constant=True)
+        chains = self.chaindb.chains(module_name)
+        defs = chains.ud_chain(signal)
+        if not defs:
+            return _ConeVerdict(all_constant=False)
+        out = _ConeVerdict(all_constant=True)
+        for site in defs:
+            sub = self._site_verdict(site, module, module_name, signal,
+                                     depth, visiting)
+            out.selectors |= sub.selectors
+            out.constant_sites.extend(sub.constant_sites)
+            if not sub.all_constant:
+                out.all_constant = False
+        return out
+
+    def _site_verdict(self, site: Site, module: ast.Module,
+                      module_name: str, signal: str, depth: int,
+                      visiting: Set[Tuple[str, str]]) -> _ConeVerdict:
+        if site.kind == "input_port":
+            if module_name == self.design.top:
+                return _ConeVerdict(all_constant=False)
+            out = _ConeVerdict(all_constant=True)
+            for parent_name, inst_name in self.design.parents(module_name):
+                inst = self.design.instance_in(parent_name, inst_name)
+                expr = instance_port_map(module, inst).get(signal)
+                if expr is None:
+                    continue
+                if isinstance(expr, ast.Number):
+                    out.constant_sites.append(
+                        (parent_name, signal, expr.line)
+                    )
+                    continue
+                for sig in sorted(expr.signals()):
+                    sub = self.analyze(parent_name, sig, depth - 1, visiting)
+                    out.selectors |= sub.selectors
+                    out.constant_sites.extend(sub.constant_sites)
+                    if not sub.all_constant:
+                        out.all_constant = False
+                if not expr.signals() and not isinstance(expr, ast.Number):
+                    out.all_constant = False
+            return out
+        if site.kind == "instance":
+            out = _ConeVerdict(all_constant=True)
+            for src_inst, port in signal_instance_sources(
+                module, signal, self.modules
+            ):
+                sub = self.analyze(src_inst.module_name, port, depth - 1,
+                                   visiting)
+                out.selectors |= sub.selectors
+                out.constant_sites.extend(sub.constant_sites)
+                if not sub.all_constant:
+                    out.all_constant = False
+            return out
+        if site.kind in ("cont_assign", "proc_assign"):
+            node = site.node
+            rhs = node.rhs if isinstance(
+                node, (ast.ContAssign, ast.AssignStmt)) else None
+            if rhs is not None and isinstance(rhs, ast.Number):
+                out = _ConeVerdict(all_constant=True)
+                out.constant_sites.append((module_name, signal, site.line))
+                for enc in site.enclosures:
+                    if isinstance(enc, ast.Case):
+                        out.selectors |= enc.selector.signals()
+                    elif isinstance(enc, ast.If):
+                        out.selectors |= enc.cond.signals()
+                return out
+            if rhs is not None and _is_selection_of_constants(rhs):
+                out = _ConeVerdict(all_constant=True)
+                out.constant_sites.append((module_name, signal, site.line))
+                out.selectors |= rhs.signals() - _constant_leaf_signals(rhs)
+                return out
+            # A part-select copy (e.g. ctrl vector slicing) keeps the cone
+            # going; anything else is treated as a real data source.
+            if rhs is not None:
+                sigs = sorted(rhs.signals())
+                if sigs and _is_pure_routing(rhs):
+                    out = _ConeVerdict(all_constant=True)
+                    for sig in sigs:
+                        sub = self.analyze(module_name, sig, depth - 1,
+                                           visiting)
+                        out.selectors |= sub.selectors
+                        out.constant_sites.extend(sub.constant_sites)
+                        if not sub.all_constant:
+                            out.all_constant = False
+                    return out
+            return _ConeVerdict(all_constant=False)
+        if site.kind == "gate":
+            return _ConeVerdict(all_constant=False)
+        return _ConeVerdict(all_constant=False)
+
+
+def trace_aborted_path(design: Design, module_name: str, signal: str,
+                       mut: MutSpec, max_hops: int = 32) -> List[TraceHop]:
+    """Trace the signals along an aborted extraction path (Section 4.2).
+
+    For a dead-end signal (empty ud/du chain) this follows the def-use
+    chains from the signal towards the MUT instance, producing the hop list
+    FACTOR prints so the designer can see exactly which connection chain
+    fails to reach the chip interface.
+    """
+    chaindb = ChainDB(design)
+    modules = {name: design.module(name) for name in design.module_names()}
+    target_modules = set(design.modules_under(mut.module))
+
+    start = TraceHop(module=module_name, signal=signal, kind="origin",
+                     line=0)
+    # BFS forward through uses until we land at the MUT boundary.
+    from collections import deque
+
+    queue = deque([(module_name, signal, (start,))])
+    seen = {(module_name, signal)}
+    best: List[TraceHop] = [start]
+    while queue:
+        mod_name, sig, path = queue.popleft()
+        if len(path) > max_hops:
+            continue
+        if mod_name in target_modules:
+            return list(path)
+        module = modules[mod_name]
+        chains = chaindb.chains(mod_name)
+        for site in chains.du_chain(sig):
+            if site.kind == "instance":
+                for sink_inst, port in signal_instance_sinks(
+                    module, sig, modules
+                ):
+                    key = (sink_inst.module_name, port)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    hop = TraceHop(module=sink_inst.module_name,
+                                   signal=port, kind="instance",
+                                   line=site.line)
+                    queue.append((sink_inst.module_name, port,
+                                  path + (hop,)))
+            elif site.kind == "output_port":
+                for parent_name, inst_name in design.parents(mod_name):
+                    inst = design.instance_in(parent_name, inst_name)
+                    expr = instance_port_map(module, inst).get(sig)
+                    if expr is None:
+                        continue
+                    for parent_sig in sorted(ast.lhs_base_names(expr)):
+                        key = (parent_name, parent_sig)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        hop = TraceHop(module=parent_name,
+                                       signal=parent_sig,
+                                       kind="output_port", line=site.line)
+                        queue.append((parent_name, parent_sig,
+                                      path + (hop,)))
+            else:
+                for defined in sorted(site.defined_signals()):
+                    key = (mod_name, defined)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    hop = TraceHop(module=mod_name, signal=defined,
+                                   kind=site.kind, line=site.line)
+                    queue.append((mod_name, defined, path + (hop,)))
+        if len(path) > len(best):
+            best = list(path)
+    return best
+
+
+def _is_pure_routing(expr: ast.Expr) -> bool:
+    """Bit/part selects, concats and identifiers only — no computation."""
+    if isinstance(expr, (ast.Ident, ast.BitSelect, ast.PartSelect)):
+        return True
+    if isinstance(expr, ast.Concat):
+        return all(_is_pure_routing(p) for p in expr.parts)
+    return False
+
+
+def _is_selection_of_constants(expr: ast.Expr) -> bool:
+    """Ternary trees whose leaves are all numeric literals."""
+    if isinstance(expr, ast.Number):
+        return True
+    if isinstance(expr, ast.Ternary):
+        return (_is_selection_of_constants(expr.if_true)
+                and _is_selection_of_constants(expr.if_false))
+    return False
+
+
+def _constant_leaf_signals(expr: ast.Expr) -> Set[str]:
+    """Signals appearing in constant leaves (none, by construction)."""
+    return set()

@@ -1,0 +1,45 @@
+"""Benchmark designs written in the supported Verilog subset.
+
+``arm2`` is the ARM-2-like hierarchical processor used for the paper's
+evaluation (the original 1995 Verilog ARM class-project model is not
+available; DESIGN.md documents the substitution).  ``library`` holds small
+well-understood circuits used throughout the test suite.
+"""
+
+from repro.designs.arm2 import (
+    arm2_source,
+    arm2_design,
+    ARM2_MUTS,
+    MutInfo,
+)
+from repro.designs.filterchip import (
+    FILTERCHIP_MUTS,
+    filterchip_design,
+    filterchip_source,
+)
+from repro.designs.library import (
+    adder_source,
+    counter_source,
+    fsm_source,
+    mux_tree_source,
+    parity_source,
+    shifter_source,
+    small_designs,
+)
+
+__all__ = [
+    "arm2_source",
+    "arm2_design",
+    "ARM2_MUTS",
+    "MutInfo",
+    "FILTERCHIP_MUTS",
+    "filterchip_design",
+    "filterchip_source",
+    "adder_source",
+    "counter_source",
+    "fsm_source",
+    "mux_tree_source",
+    "parity_source",
+    "shifter_source",
+    "small_designs",
+]

@@ -1,0 +1,268 @@
+"""A second hierarchical benchmark: a small DSP filter SoC.
+
+Demonstrates that the FACTOR flow is not specific to the ARM-2 substitute.
+The chip is a 4-tap FIR filter pipeline with a coefficient bank programmed
+over a simple register-write bus, an output limiter, and an independent
+tone-detector peripheral:
+
+    filterchip                       (top: bus decode, peripherals)
+      u_dsp : dsp_core               (level 1)
+        u_fir : fir4                 (level 2: the filter datapath)
+          u_mac0..u_mac3 : mac_tap   (level 3 — MUT: multiply/add tap)
+        u_coef : coeff_bank          (level 2 — MUT: programmed registers)
+        u_lim : limiter              (level 2 — MUT: saturating clamp)
+      u_tone : tone_detect           (level 1: independent peripheral)
+
+Interesting structure for extraction:
+
+- `mac_tap` instances are *four siblings of one module* — extraction must
+  union their contexts ("all possible paths", paper Section 3),
+- `coeff_bank` is loadable over the bus (PIER-like) and its outputs are
+  hard-coded-free (programmed data, not decode constants),
+- `limiter`'s threshold input IS decode-constrained (a mode table), giving
+  a second hard-coded testability case,
+- `tone_detect` sits outside every MUT cone.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.designs.arm2 import MutInfo
+from repro.hierarchy.design import Design
+from repro.verilog.parser import parse_source
+
+FILTERCHIP_MUTS: List[MutInfo] = [
+    MutInfo(name="mac_tap", path="u_dsp.u_fir.u_mac1.", level=3),
+    MutInfo(name="coeff_bank", path="u_dsp.u_coef.", level=2),
+    MutInfo(name="limiter", path="u_dsp.u_lim.", level=2),
+]
+
+
+_FILTERCHIP_VERILOG = r"""
+// ---------------------------------------------------------------------------
+// mac_tap: one FIR tap — multiply the delayed sample by a coefficient and
+// add the running partial sum.
+// ---------------------------------------------------------------------------
+module mac_tap(
+  input [7:0] sample,
+  input [7:0] coeff,
+  input [15:0] sum_in,
+  output [15:0] sum_out
+);
+  wire [15:0] product;
+  assign product = sample * coeff;
+  assign sum_out = sum_in + product;
+endmodule
+
+// ---------------------------------------------------------------------------
+// coeff_bank: four bus-programmable coefficient registers.
+// ---------------------------------------------------------------------------
+module coeff_bank(
+  input clk,
+  input rst,
+  input wr_en,
+  input [1:0] wr_addr,
+  input [7:0] wr_data,
+  output [7:0] c0,
+  output [7:0] c1,
+  output [7:0] c2,
+  output [7:0] c3
+);
+  reg [7:0] r0;
+  reg [7:0] r1;
+  reg [7:0] r2;
+  reg [7:0] r3;
+  always @(posedge clk)
+    if (rst) begin
+      r0 <= 8'd1;
+      r1 <= 8'd0;
+      r2 <= 8'd0;
+      r3 <= 8'd0;
+    end else if (wr_en)
+      case (wr_addr)
+        2'd0: r0 <= wr_data;
+        2'd1: r1 <= wr_data;
+        2'd2: r2 <= wr_data;
+        default: r3 <= wr_data;
+      endcase
+  assign c0 = r0;
+  assign c1 = r1;
+  assign c2 = r2;
+  assign c3 = r3;
+endmodule
+
+// ---------------------------------------------------------------------------
+// limiter: saturate the accumulator against a mode-selected threshold.
+// ---------------------------------------------------------------------------
+module limiter(
+  input [15:0] value,
+  input [15:0] threshold,
+  input enable,
+  output [15:0] out,
+  output clipped
+);
+  wire over;
+  assign over = threshold < value;
+  assign clipped = enable & over;
+  assign out = clipped ? threshold : value;
+endmodule
+
+// ---------------------------------------------------------------------------
+// fir4: the four-tap pipeline.
+// ---------------------------------------------------------------------------
+module fir4(
+  input clk,
+  input rst,
+  input sample_en,
+  input [7:0] sample_in,
+  input [7:0] c0,
+  input [7:0] c1,
+  input [7:0] c2,
+  input [7:0] c3,
+  output [15:0] acc_out
+);
+  reg [7:0] d0;
+  reg [7:0] d1;
+  reg [7:0] d2;
+  reg [7:0] d3;
+  always @(posedge clk)
+    if (rst) begin
+      d0 <= 8'd0;
+      d1 <= 8'd0;
+      d2 <= 8'd0;
+      d3 <= 8'd0;
+    end else if (sample_en) begin
+      d0 <= sample_in;
+      d1 <= d0;
+      d2 <= d1;
+      d3 <= d2;
+    end
+
+  wire [15:0] s0;
+  wire [15:0] s1;
+  wire [15:0] s2;
+  wire [15:0] s3;
+  mac_tap u_mac0(.sample(d0), .coeff(c0), .sum_in(16'd0), .sum_out(s0));
+  mac_tap u_mac1(.sample(d1), .coeff(c1), .sum_in(s0), .sum_out(s1));
+  mac_tap u_mac2(.sample(d2), .coeff(c2), .sum_in(s1), .sum_out(s2));
+  mac_tap u_mac3(.sample(d3), .coeff(c3), .sum_in(s2), .sum_out(s3));
+  assign acc_out = s3;
+endmodule
+
+// ---------------------------------------------------------------------------
+// dsp_core: filter + coefficients + limiter, with a mode-driven threshold
+// table (the hard-coded constraint on the limiter).
+// ---------------------------------------------------------------------------
+module dsp_core(
+  input clk,
+  input rst,
+  input sample_en,
+  input [7:0] sample_in,
+  input coef_wr,
+  input [1:0] coef_addr,
+  input [7:0] coef_data,
+  input [1:0] mode,
+  output [15:0] filt_out,
+  output clipped
+);
+  wire [7:0] c0;
+  wire [7:0] c1;
+  wire [7:0] c2;
+  wire [7:0] c3;
+  coeff_bank u_coef(
+    .clk(clk), .rst(rst), .wr_en(coef_wr), .wr_addr(coef_addr),
+    .wr_data(coef_data), .c0(c0), .c1(c1), .c2(c2), .c3(c3)
+  );
+
+  wire [15:0] acc;
+  fir4 u_fir(
+    .clk(clk), .rst(rst), .sample_en(sample_en), .sample_in(sample_in),
+    .c0(c0), .c1(c1), .c2(c2), .c3(c3), .acc_out(acc)
+  );
+
+  reg [15:0] threshold;
+  reg lim_en;
+  always @(*)
+    case (mode)
+      2'd0: begin threshold = 16'hffff; lim_en = 1'b0; end
+      2'd1: begin threshold = 16'h7fff; lim_en = 1'b1; end
+      2'd2: begin threshold = 16'h3fff; lim_en = 1'b1; end
+      default: begin threshold = 16'h0fff; lim_en = 1'b1; end
+    endcase
+
+  limiter u_lim(
+    .value(acc), .threshold(threshold), .enable(lim_en),
+    .out(filt_out), .clipped(clipped)
+  );
+endmodule
+
+// ---------------------------------------------------------------------------
+// tone_detect: independent Goertzel-flavoured peripheral on its own pins.
+// ---------------------------------------------------------------------------
+module tone_detect(
+  input clk,
+  input rst,
+  input [7:0] td_in,
+  input td_en,
+  input [7:0] td_ref,
+  output td_hit,
+  output [15:0] td_energy
+);
+  reg [15:0] energy;
+  reg [7:0] last;
+  wire [7:0] delta;
+  assign delta = td_in - last;
+  always @(posedge clk)
+    if (rst) begin
+      energy <= 16'd0;
+      last <= 8'd0;
+    end else if (td_en) begin
+      last <= td_in;
+      energy <= energy + {8'd0, delta};
+    end
+  assign td_energy = energy;
+  assign td_hit = {8'd0, td_ref} < energy;
+endmodule
+
+// ---------------------------------------------------------------------------
+// filterchip: top level.
+// ---------------------------------------------------------------------------
+module filterchip(
+  input clk,
+  input rst,
+  input [7:0] sample_in,
+  input sample_en,
+  input coef_wr,
+  input [1:0] coef_addr,
+  input [7:0] coef_data,
+  input [1:0] mode,
+  input [7:0] td_in,
+  input td_en,
+  input [7:0] td_ref,
+  output [15:0] filt_out,
+  output clipped,
+  output td_hit,
+  output [15:0] td_energy
+);
+  dsp_core u_dsp(
+    .clk(clk), .rst(rst), .sample_en(sample_en), .sample_in(sample_in),
+    .coef_wr(coef_wr), .coef_addr(coef_addr), .coef_data(coef_data),
+    .mode(mode), .filt_out(filt_out), .clipped(clipped)
+  );
+
+  tone_detect u_tone(
+    .clk(clk), .rst(rst), .td_in(td_in), .td_en(td_en), .td_ref(td_ref),
+    .td_hit(td_hit), .td_energy(td_energy)
+  );
+endmodule
+"""
+
+
+def filterchip_source() -> str:
+    """Verilog source of the DSP filter benchmark."""
+    return _FILTERCHIP_VERILOG
+
+
+def filterchip_design() -> Design:
+    return Design(parse_source(_FILTERCHIP_VERILOG), top="filterchip")

@@ -1,0 +1,139 @@
+"""Small benchmark circuits used across the test suite.
+
+Each function returns Verilog source text in the supported subset, with a
+known top module and well-understood behaviour so tests can assert exact
+functional results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def adder_source(width: int = 4) -> str:
+    return f"""
+module adder(
+  input [{width - 1}:0] a,
+  input [{width - 1}:0] b,
+  input cin,
+  output [{width - 1}:0] sum,
+  output cout
+);
+  wire [{width}:0] full;
+  assign full = a + b + cin;
+  assign sum = full[{width - 1}:0];
+  assign cout = full[{width}];
+endmodule
+"""
+
+
+def counter_source(width: int = 4) -> str:
+    return f"""
+module counter(
+  input clk,
+  input rst,
+  input en,
+  output [{width - 1}:0] q,
+  output wrap
+);
+  reg [{width - 1}:0] cnt;
+  always @(posedge clk)
+    if (rst)
+      cnt <= {width}'d0;
+    else if (en)
+      cnt <= cnt + {width}'d1;
+  assign q = cnt;
+  assign wrap = &cnt;
+endmodule
+"""
+
+
+def fsm_source() -> str:
+    """Four-state handshake FSM (00 -> 01 -> 10 -> 11 -> 00)."""
+    return """
+module fsm(
+  input clk,
+  input rst,
+  input go,
+  output [1:0] state_out,
+  output done
+);
+  reg [1:0] state;
+  assign state_out = state;
+  assign done = state == 2'b11;
+  always @(posedge clk)
+    if (rst)
+      state <= 2'b00;
+    else
+      case (state)
+        2'b00: if (go) state <= 2'b01;
+        2'b01: state <= 2'b10;
+        2'b10: state <= 2'b11;
+        default: state <= 2'b00;
+      endcase
+endmodule
+"""
+
+
+def mux_tree_source() -> str:
+    """Hierarchical 4:1 mux built from 2:1 mux submodules."""
+    return """
+module mux2(
+  input a,
+  input b,
+  input sel,
+  output y
+);
+  assign y = sel ? b : a;
+endmodule
+
+module mux4(
+  input [3:0] d,
+  input [1:0] sel,
+  output y
+);
+  wire lo;
+  wire hi;
+  mux2 u_lo(.a(d[0]), .b(d[1]), .sel(sel[0]), .y(lo));
+  mux2 u_hi(.a(d[2]), .b(d[3]), .sel(sel[0]), .y(hi));
+  mux2 u_out(.a(lo), .b(hi), .sel(sel[1]), .y(y));
+endmodule
+"""
+
+
+def parity_source(width: int = 8) -> str:
+    return f"""
+module parity(
+  input [{width - 1}:0] d,
+  output even,
+  output odd
+);
+  assign odd = ^d;
+  assign even = ~^d;
+endmodule
+"""
+
+
+def shifter_source() -> str:
+    return """
+module shifter(
+  input [7:0] d,
+  input [2:0] amt,
+  input dir,
+  output [7:0] y
+);
+  assign y = dir ? (d >> amt) : (d << amt);
+endmodule
+"""
+
+
+def small_designs() -> Dict[str, str]:
+    """Name -> source for every small benchmark circuit."""
+    return {
+        "adder": adder_source(),
+        "counter": counter_source(),
+        "fsm": fsm_source(),
+        "mux_tree": mux_tree_source(),
+        "parity": parity_source(),
+        "shifter": shifter_source(),
+    }

@@ -1,0 +1,30 @@
+"""Design database: module hierarchy, def-use / use-def chains, connectivity.
+
+This package realises the internal data structure of the paper's Fig. 2: a
+module tree whose leaves are Verilog statements or library primitives,
+augmented with def-use and use-def chains per signal and, for every
+definition/use, the stack of enclosing conditional, loop and concurrency
+constructs.
+"""
+
+from repro.hierarchy.design import Design, InstancePath, DesignError
+from repro.hierarchy.chains import ChainDB, ModuleChains, Site
+from repro.hierarchy.connectivity import (
+    instance_port_map,
+    port_connection_signals,
+    signal_instance_sinks,
+    signal_instance_sources,
+)
+
+__all__ = [
+    "Design",
+    "InstancePath",
+    "DesignError",
+    "ChainDB",
+    "ModuleChains",
+    "Site",
+    "instance_port_map",
+    "port_connection_signals",
+    "signal_instance_sinks",
+    "signal_instance_sources",
+]

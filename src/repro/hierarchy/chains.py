@@ -1,0 +1,271 @@
+"""Def-use and use-def chains with enclosing-construct tracking.
+
+This is the heart of the paper's Fig. 2 data structure: for every signal in a
+module we record where it is *defined* (assigned) and where it is *used*
+(read), and for every such site we keep the stack of enclosing conditional
+statements, loops and concurrency constructs — because ``find_source_logic``
+must recurse into the signals controlling those constructs (Fig. 3, steps
+4–7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.verilog import ast
+
+
+@dataclass(frozen=True)
+class Site:
+    """One definition or use of a signal.
+
+    ``kind`` is one of:
+
+    - ``cont_assign``  — continuous ``assign`` statement
+    - ``proc_assign``  — procedural assignment inside an always block
+    - ``gate``         — built-in primitive instance
+    - ``instance``     — child-module instance boundary
+    - ``input_port``   — the signal is a module input (defined by the parent)
+    - ``output_port``  — the signal is a module output (used by the parent)
+
+    ``enclosures`` lists enclosing If/Case/For AST nodes outermost-first;
+    ``always`` is the owning concurrency construct for procedural sites.
+    """
+
+    kind: str
+    module: str
+    node: object
+    always: Optional[ast.Always] = None
+    enclosures: Tuple[object, ...] = ()
+    line: int = 0
+
+    def enclosing_control_signals(self) -> Set[str]:
+        """Signals steering the enclosing conditionals/loops/always block.
+
+        These are the ``enc_driving_signal``s of Fig. 3 step 4/5: to justify a
+        value through this site, the surrounding control conditions must also
+        be justified.
+        """
+        out: Set[str] = set()
+        for enc in self.enclosures:
+            if isinstance(enc, ast.If):
+                out |= enc.cond.signals()
+            elif isinstance(enc, ast.Case):
+                out |= enc.selector.signals()
+            elif isinstance(enc, ast.For):
+                out |= enc.cond.signals() | enc.init.used() | enc.step.used()
+        if self.always is not None and self.always.is_sequential:
+            out |= {item.signal for item in self.always.sensitivity}
+        return out
+
+    def rhs_signals(self) -> Set[str]:
+        """Signals read by this site (the ``rhs_driving_signal``s)."""
+        node = self.node
+        if isinstance(node, (ast.ContAssign, ast.AssignStmt)):
+            return node.used()
+        if isinstance(node, ast.GateInstance):
+            return node.used()
+        return set()
+
+    def defined_signals(self) -> Set[str]:
+        node = self.node
+        if isinstance(node, (ast.ContAssign, ast.AssignStmt)):
+            return node.defined()
+        if isinstance(node, ast.GateInstance):
+            return node.defined()
+        if isinstance(node, ast.PortDecl):
+            return {node.name}
+        return set()
+
+
+@dataclass
+class ModuleChains:
+    """All def/use chains for one module."""
+
+    module_name: str
+    defs: Dict[str, List[Site]] = field(default_factory=dict)
+    uses: Dict[str, List[Site]] = field(default_factory=dict)
+    signals: Set[str] = field(default_factory=set)
+
+    def ud_chain(self, signal: str) -> List[Site]:
+        """Use-def chain: the sites *defining* ``signal``."""
+        return self.defs.get(signal, [])
+
+    def du_chain(self, signal: str) -> List[Site]:
+        """Def-use chain: the sites *using* ``signal``."""
+        return self.uses.get(signal, [])
+
+    def undriven_signals(self) -> List[str]:
+        """Signals that are used but never defined (empty ud chain)."""
+        return sorted(
+            sig
+            for sig in self.signals
+            if not self.defs.get(sig) and self.uses.get(sig)
+        )
+
+    def unused_signals(self) -> List[str]:
+        """Signals that are defined but never used (empty du chain)."""
+        return sorted(
+            sig
+            for sig in self.signals
+            if self.defs.get(sig) and not self.uses.get(sig)
+        )
+
+    def _add_def(self, signal: str, site: Site) -> None:
+        self.defs.setdefault(signal, []).append(site)
+        self.signals.add(signal)
+
+    def _add_use(self, signal: str, site: Site) -> None:
+        self.uses.setdefault(signal, []).append(site)
+        self.signals.add(signal)
+
+
+def build_module_chains(
+    module: ast.Module, port_dir_of: "Dict[str, Dict[str, str]]"
+) -> ModuleChains:
+    """Construct the chain database for ``module``.
+
+    ``port_dir_of`` maps child module name -> {port name -> direction}; it is
+    needed to decide whether a signal connected to a child instance port is
+    being used (input port) or defined (output port) at that boundary.
+    """
+    chains = ModuleChains(module_name=module.name)
+
+    for port in module.ports:
+        site = Site(kind=f"{port.direction}_port", module=module.name,
+                    node=port, line=port.line)
+        if port.direction == "input":
+            chains._add_def(port.name, site)
+        elif port.direction == "output":
+            chains._add_use(port.name, site)
+        else:  # inout: both
+            chains._add_def(port.name, site)
+            chains._add_use(port.name, site)
+
+    for net in module.nets:
+        chains.signals.add(net.name)
+
+    for assign in module.assigns:
+        site = Site(kind="cont_assign", module=module.name, node=assign,
+                    line=assign.line)
+        for sig in assign.defined():
+            chains._add_def(sig, site)
+        for sig in assign.used():
+            chains._add_use(sig, site)
+
+    for gate in module.gates:
+        site = Site(kind="gate", module=module.name, node=gate, line=gate.line)
+        for sig in gate.defined():
+            chains._add_def(sig, site)
+        for sig in gate.used():
+            chains._add_use(sig, site)
+
+    for always in module.always_blocks:
+        _collect_proc_sites(module.name, always, always.body, (), chains)
+        if always.is_sequential:
+            # Clock/reset signals are consumed by the concurrency construct.
+            sens_site = Site(kind="proc_assign", module=module.name,
+                             node=always, always=always, line=always.line)
+            for item in always.sensitivity:
+                chains._add_use(item.signal, sens_site)
+
+    for inst in module.instances:
+        dirs = port_dir_of.get(inst.module_name, {})
+        site = Site(kind="instance", module=module.name, node=inst,
+                    line=inst.line)
+        for conn, port_name in _iter_connections(inst, dirs):
+            if conn.expr is None:
+                continue
+            direction = dirs.get(port_name)
+            if direction == "input":
+                for sig in conn.expr.signals():
+                    chains._add_use(sig, site)
+            elif direction == "output":
+                for sig in ast.lhs_base_names(conn.expr):
+                    chains._add_def(sig, site)
+                for sig in ast.lhs_index_signals(conn.expr):
+                    chains._add_use(sig, site)
+            else:  # inout or unknown: conservatively both
+                for sig in conn.expr.signals():
+                    chains._add_use(sig, site)
+                    chains._add_def(sig, site)
+
+    return chains
+
+
+def _iter_connections(inst: ast.Instance, dirs: Dict[str, str]):
+    """Yield ``(conn, resolved_port_name)`` pairs for an instance."""
+    port_names = list(dirs)
+    for idx, conn in enumerate(inst.connections):
+        if conn.name is not None:
+            yield conn, conn.name
+        elif idx < len(port_names):
+            yield conn, port_names[idx]
+        else:
+            yield conn, f"<positional:{idx}>"
+
+
+def _collect_proc_sites(
+    module_name: str,
+    always: ast.Always,
+    stmt: ast.Stmt,
+    enclosures: Tuple[object, ...],
+    chains: ModuleChains,
+) -> None:
+    if isinstance(stmt, ast.Block):
+        for inner in stmt.stmts:
+            _collect_proc_sites(module_name, always, inner, enclosures, chains)
+    elif isinstance(stmt, ast.AssignStmt):
+        site = Site(
+            kind="proc_assign",
+            module=module_name,
+            node=stmt,
+            always=always,
+            enclosures=enclosures,
+            line=stmt.line,
+        )
+        for sig in stmt.defined():
+            chains._add_def(sig, site)
+        for sig in stmt.used():
+            chains._add_use(sig, site)
+        for sig in site.enclosing_control_signals():
+            chains._add_use(sig, site)
+    elif isinstance(stmt, ast.If):
+        inner = enclosures + (stmt,)
+        _collect_proc_sites(module_name, always, stmt.then_stmt, inner, chains)
+        if stmt.else_stmt is not None:
+            _collect_proc_sites(module_name, always, stmt.else_stmt, inner,
+                                chains)
+    elif isinstance(stmt, ast.Case):
+        inner = enclosures + (stmt,)
+        for item in stmt.items:
+            _collect_proc_sites(module_name, always, item.stmt, inner, chains)
+    elif isinstance(stmt, ast.For):
+        inner = enclosures + (stmt,)
+        _collect_proc_sites(module_name, always, stmt.body, inner, chains)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown statement {stmt!r}")
+
+
+class ChainDB:
+    """Lazy per-module chain database over a whole design."""
+
+    def __init__(self, design) -> None:
+        self._design = design
+        self._cache: Dict[str, ModuleChains] = {}
+        self._port_dirs: Dict[str, Dict[str, str]] = {}
+        for name in design.module_names():
+            module = design.module(name)
+            self._port_dirs[name] = {p.name: p.direction for p in module.ports}
+
+    def port_directions(self, module_name: str) -> Dict[str, str]:
+        return self._port_dirs[module_name]
+
+    def chains(self, module_name: str) -> ModuleChains:
+        if module_name not in self._cache:
+            module = self._design.module(module_name)
+            self._cache[module_name] = build_module_chains(
+                module, self._port_dirs
+            )
+        return self._cache[module_name]

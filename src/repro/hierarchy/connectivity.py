@@ -1,0 +1,100 @@
+"""Cross-module connectivity: resolving instance port connections.
+
+The extraction subroutines walk *up* the hierarchy (a MUT input is driven by
+whatever the parent connects to that port) and *sideways* (a signal feeding a
+sibling instance's input continues inside that sibling).  These helpers
+resolve instance connections both ways.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.verilog import ast
+
+
+def instance_port_map(
+    child_module: ast.Module, inst: ast.Instance
+) -> Dict[str, Optional[ast.Expr]]:
+    """Map each port of ``child_module`` to the parent expression wired to it.
+
+    Handles named and positional connections; unconnected ports map to None.
+    """
+    result: Dict[str, Optional[ast.Expr]] = {
+        name: None for name in child_module.port_order
+    }
+    positional = all(conn.name is None for conn in inst.connections)
+    if positional and inst.connections:
+        for idx, conn in enumerate(inst.connections):
+            if idx >= len(child_module.port_order):
+                raise ValueError(
+                    f"instance {inst.inst_name!r} has more connections than "
+                    f"module {child_module.name!r} has ports"
+                )
+            result[child_module.port_order[idx]] = conn.expr
+    else:
+        for conn in inst.connections:
+            if conn.name is None:
+                raise ValueError(
+                    f"instance {inst.inst_name!r} mixes named and positional "
+                    "connections"
+                )
+            if conn.name not in result:
+                raise ValueError(
+                    f"instance {inst.inst_name!r} connects unknown port "
+                    f"{conn.name!r} of module {child_module.name!r}"
+                )
+            result[conn.name] = conn.expr
+    return result
+
+
+def port_connection_signals(
+    child_module: ast.Module, inst: ast.Instance, port_name: str
+) -> Set[str]:
+    """Parent-module signals wired to ``port_name`` of an instance."""
+    expr = instance_port_map(child_module, inst).get(port_name)
+    if expr is None:
+        return set()
+    return expr.signals()
+
+
+def signal_instance_sinks(
+    parent_module: ast.Module,
+    signal: str,
+    modules: Dict[str, ast.Module],
+) -> List[Tuple[ast.Instance, str]]:
+    """Instances (and port names) whose *inputs* consume ``signal``."""
+    out: List[Tuple[ast.Instance, str]] = []
+    for inst in parent_module.instances:
+        child = modules.get(inst.module_name)
+        if child is None:
+            continue
+        pmap = instance_port_map(child, inst)
+        for port in child.ports:
+            if port.direction not in ("input", "inout"):
+                continue
+            expr = pmap.get(port.name)
+            if expr is not None and signal in expr.signals():
+                out.append((inst, port.name))
+    return out
+
+
+def signal_instance_sources(
+    parent_module: ast.Module,
+    signal: str,
+    modules: Dict[str, ast.Module],
+) -> List[Tuple[ast.Instance, str]]:
+    """Instances (and port names) whose *outputs* drive ``signal``."""
+    out: List[Tuple[ast.Instance, str]] = []
+    for inst in parent_module.instances:
+        child = modules.get(inst.module_name)
+        if child is None:
+            continue
+        pmap = instance_port_map(child, inst)
+        for port in child.ports:
+            if port.direction not in ("output", "inout"):
+                continue
+            expr = pmap.get(port.name)
+            if expr is not None and signal in ast.lhs_base_names(expr):
+                out.append((inst, port.name))
+    return out

@@ -1,0 +1,35 @@
+"""Synthesis substrate: elaboration, bit-blasting, optimization, statistics.
+
+Stands in for the commercial synthesis tool the paper uses to (a) map
+extracted constraints to gates, (b) remove redundant/dead constraint logic
+and (c) count gates.  The pipeline is::
+
+    Verilog AST --elaborate/flatten--> bit-level gate netlist
+                --optimize--> constant-propagated, hashed, COI-trimmed netlist
+"""
+
+from repro.synth.netlist import Netlist, Gate, GateType, NetlistError
+from repro.synth.elaborate import synthesize, SynthesisError, Elaborator
+from repro.synth.opt import optimize, constant_propagate, strash, remove_dead
+from repro.synth.stats import netlist_stats, NetlistStats, sequential_depth
+from repro.synth.equiv import EquivError, EquivResult, check_equivalence
+
+__all__ = [
+    "Netlist",
+    "Gate",
+    "GateType",
+    "NetlistError",
+    "synthesize",
+    "SynthesisError",
+    "Elaborator",
+    "optimize",
+    "constant_propagate",
+    "strash",
+    "remove_dead",
+    "netlist_stats",
+    "NetlistStats",
+    "sequential_depth",
+    "EquivError",
+    "EquivResult",
+    "check_equivalence",
+]

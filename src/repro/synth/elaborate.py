@@ -1,0 +1,1117 @@
+"""Elaboration: Verilog AST -> flat bit-level gate netlist.
+
+The elaborator walks the design hierarchy from a chosen root, evaluates
+parameters, unrolls for-loops, symbolically executes always blocks (with
+correct blocking / non-blocking semantics and latch detection) and bit-blasts
+every word-level operator into AND/OR/NOT/XOR/BUF/DFF gates.
+
+Simplifications relative to full IEEE-1364, documented in DESIGN.md:
+
+- single implicit clock; ``always @(posedge clk or negedge rst)`` reset terms
+  are folded into synchronous logic on the reset signal,
+- unsigned arithmetic only,
+- no memories, functions, generate blocks or tristate logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.verilog import ast
+from repro.synth.netlist import CONST0, CONST1, Gate, GateType, Netlist
+
+_MAX_LOOP_ITERATIONS = 65536
+_DEFAULT_INT_WIDTH = 32
+
+
+class SynthesisError(Exception):
+    """Raised when the design cannot be synthesized (latches, bad widths...)."""
+
+
+@dataclass
+class _ModuleCtx:
+    """Per-instance elaboration context."""
+
+    module: ast.Module
+    prefix: str  # hierarchical prefix, "" for the root
+    consts: Dict[str, int] = field(default_factory=dict)  # params + loop vars
+    widths: Dict[str, int] = field(default_factory=dict)
+    bits: Dict[str, List[int]] = field(default_factory=dict)  # canonical nets
+
+    def path(self, signal: str) -> str:
+        return f"{self.prefix}{signal}"
+
+
+class _ProcEnv:
+    """Symbolic state during always-block execution.
+
+    ``cur`` holds blocking-visible values, ``nba`` the pending non-blocking
+    updates.  Both map signal name -> full-width bit list.
+    """
+
+    def __init__(self) -> None:
+        self.cur: Dict[str, List[int]] = {}
+        self.nba: Dict[str, List[int]] = {}
+
+    def copy(self) -> "_ProcEnv":
+        out = _ProcEnv()
+        out.cur = {k: list(v) for k, v in self.cur.items()}
+        out.nba = {k: list(v) for k, v in self.nba.items()}
+        return out
+
+
+class Elaborator:
+    """Builds a flat gate netlist for one root module of a design."""
+
+    def __init__(self, design) -> None:
+        self._design = design
+        self._not_cache: Dict[int, int] = {}
+
+    def synthesize(self, root: Optional[str] = None,
+                   name: Optional[str] = None) -> Netlist:
+        root_name = root if root is not None else self._design.top
+        module = self._design.module(root_name)
+        netlist = Netlist(name or root_name)
+        self._netlist = netlist
+        self._not_cache = {}
+        self._current_prefix = ""
+        netlist.regions = {}  # type: ignore[attr-defined]
+
+        ctx = self._make_ctx(module, prefix="", overrides={},
+                             parent_ctx=None)
+        # Root ports become PIs/POs.
+        for port in module.ports:
+            width = ctx.widths[port.name]
+            if port.direction == "input":
+                nets = [netlist.add_pi(_bit_name(port.name, i, width))
+                        for i in range(width)]
+                ctx.bits[port.name] = nets
+                for net in nets:
+                    netlist.regions[net] = ""
+        self._elaborate_body(ctx)
+        for port in module.ports:
+            if port.direction == "output":
+                width = ctx.widths[port.name]
+                for i, net in enumerate(ctx.bits[port.name]):
+                    netlist.add_po(net, _bit_name(port.name, i, width))
+        return netlist
+
+    # -- context construction ------------------------------------------------
+
+    def _make_ctx(self, module: ast.Module, prefix: str,
+                  overrides: Dict[str, int],
+                  parent_ctx: Optional[_ModuleCtx]) -> _ModuleCtx:
+        ctx = _ModuleCtx(module=module, prefix=prefix)
+        for param in module.params:
+            if param.name in overrides and not param.local:
+                ctx.consts[param.name] = overrides[param.name]
+            else:
+                ctx.consts[param.name] = self._const_eval(param.value, ctx)
+        for port in module.ports:
+            ctx.widths[port.name] = self._range_width(port.range, ctx)
+        for net in module.nets:
+            if net.name in ctx.widths:
+                # A port redeclared as wire/reg in the body keeps its width.
+                continue
+            if net.kind == "integer":
+                ctx.widths[net.name] = _DEFAULT_INT_WIDTH
+            else:
+                ctx.widths[net.name] = self._range_width(net.range, ctx)
+        # Pre-allocate canonical bit nets for every non-input signal.
+        for name, width in ctx.widths.items():
+            if name in ctx.bits:
+                continue
+            is_input = any(
+                p.name == name and p.direction == "input" for p in module.ports
+            )
+            if is_input and parent_ctx is None and prefix == "":
+                continue  # root inputs handled by synthesize()
+            ctx.bits[name] = [
+                self._new_net(ctx, _bit_name(name, i, width))
+                for i in range(width)
+            ]
+        return ctx
+
+    def _range_width(self, rng: Optional[ast.Range], ctx: _ModuleCtx) -> int:
+        if rng is None:
+            return 1
+        msb = self._const_eval(rng.msb, ctx)
+        lsb = self._const_eval(rng.lsb, ctx)
+        if lsb != 0 or msb < lsb:
+            raise SynthesisError(
+                f"module {ctx.module.name}: only [N:0] ranges are supported, "
+                f"got [{msb}:{lsb}]"
+            )
+        return msb - lsb + 1
+
+    def _new_net(self, ctx: _ModuleCtx, name: str) -> int:
+        net = self._netlist.new_net(ctx.prefix + name)
+        self._netlist.regions[net] = ctx.prefix
+        return net
+
+    # -- module body ----------------------------------------------------------
+
+    def _elaborate_body(self, ctx: _ModuleCtx) -> None:
+        module = ctx.module
+        prev_prefix = self._current_prefix
+        self._current_prefix = ctx.prefix
+        try:
+            for gate in module.gates:
+                self._elaborate_gate(gate, ctx)
+            for assign in module.assigns:
+                self._elaborate_cont_assign(assign, ctx)
+            for inst in module.instances:
+                self._elaborate_instance(inst, ctx)
+            for always in module.always_blocks:
+                self._elaborate_always(always, ctx)
+        finally:
+            self._current_prefix = prev_prefix
+
+    def _elaborate_gate(self, gate: ast.GateInstance, ctx: _ModuleCtx) -> None:
+        ins = [self._eval(t, ctx, None, 1)[0] for t in gate.terminals[1:]]
+        gtype = {
+            "and": GateType.AND,
+            "or": GateType.OR,
+            "nand": GateType.NAND,
+            "nor": GateType.NOR,
+            "xor": GateType.XOR,
+            "xnor": GateType.XNOR,
+            "not": GateType.NOT,
+            "buf": GateType.BUF,
+        }[gate.gate_type]
+        if gtype in (GateType.NOT, GateType.BUF):
+            if len(ins) != 1:
+                raise SynthesisError(
+                    f"{gate.gate_type} gate takes one input "
+                    f"(module {ctx.module.name}, line {gate.line})"
+                )
+            out = self._netlist.add_gate(gtype, ins)
+        else:
+            out = self._netlist.add_gate(gtype, ins)
+        self._netlist.regions[out] = ctx.prefix
+        self._drive_target(gate.terminals[0], [out], ctx)
+
+    def _elaborate_cont_assign(self, assign: ast.ContAssign,
+                               ctx: _ModuleCtx) -> None:
+        width = self._target_width(assign.target, ctx)
+        value = self._eval(assign.rhs, ctx, None, width)
+        self._drive_target(assign.target, value, ctx)
+
+    # -- instances ------------------------------------------------------------
+
+    def _elaborate_instance(self, inst: ast.Instance, ctx: _ModuleCtx) -> None:
+        child_mod = self._design.module(inst.module_name)
+        overrides: Dict[str, int] = {}
+        if inst.param_overrides:
+            nonlocal_params = [p.name for p in child_mod.params if not p.local]
+            for idx, (name, expr) in enumerate(inst.param_overrides):
+                value = self._const_eval(expr, ctx)
+                if name is not None:
+                    overrides[name] = value
+                elif idx < len(nonlocal_params):
+                    overrides[nonlocal_params[idx]] = value
+                else:
+                    raise SynthesisError(
+                        f"too many positional parameter overrides on "
+                        f"instance {inst.inst_name!r}"
+                    )
+        child_prefix = f"{ctx.prefix}{inst.inst_name}."
+        child_ctx = self._make_ctx(child_mod, child_prefix, overrides, ctx)
+
+        pmap = _port_map(child_mod, inst)
+        # Drive child input ports from parent expressions.
+        for port in child_mod.ports:
+            if port.direction != "input":
+                continue
+            width = child_ctx.widths[port.name]
+            expr = pmap.get(port.name)
+            if expr is None:
+                # Unconnected input: tie to 0 (conservative).
+                for net in child_ctx.bits[port.name]:
+                    self._netlist.add_gate_to(GateType.BUF, net, (CONST0,))
+                continue
+            value = self._eval(expr, ctx, None, width)
+            for net, src in zip(child_ctx.bits[port.name], value):
+                self._netlist.add_gate_to(GateType.BUF, net, (src,))
+
+        self._elaborate_body(child_ctx)
+
+        # Wire child outputs into parent targets.
+        for port in child_mod.ports:
+            if port.direction != "output":
+                continue
+            expr = pmap.get(port.name)
+            if expr is None:
+                continue  # unconnected output: dangling, fine
+            self._drive_target(expr, list(child_ctx.bits[port.name]), ctx)
+
+    # -- always blocks ---------------------------------------------------------
+
+    def _elaborate_always(self, always: ast.Always, ctx: _ModuleCtx) -> None:
+        targets = always.body.defined()
+        for name in targets:
+            if name not in ctx.widths:
+                raise SynthesisError(
+                    f"module {ctx.module.name}: assignment to undeclared "
+                    f"signal {name!r} (line {always.line})"
+                )
+        env = _ProcEnv()
+        self._exec_stmt(always.body, env, ctx, always, targets)
+        if always.is_sequential:
+            # Non-blocking updates win over intra-block blocking temporaries
+            # for the registered value; every assigned signal becomes a DFF.
+            final: Dict[str, List[int]] = {}
+            for name, bits in env.cur.items():
+                final[name] = bits
+            for name, bits in env.nba.items():
+                final[name] = bits
+            for name, bits in final.items():
+                qbits = ctx.bits[name]
+                for q, d in zip(qbits, bits):
+                    self._netlist.add_gate_to(GateType.DFF, q, (d,))
+        else:
+            final = {}
+            for name, bits in env.cur.items():
+                final[name] = bits
+            for name, bits in env.nba.items():
+                final[name] = bits
+            for name, bits in final.items():
+                for dst, src in zip(ctx.bits[name], bits):
+                    self._netlist.add_gate_to(GateType.BUF, dst, (src,))
+
+    def _proc_lookup(self, name: str, env: _ProcEnv, ctx: _ModuleCtx,
+                     always: ast.Always, targets: Set[str],
+                     line: int) -> List[int]:
+        """Current value of ``name`` inside an always block."""
+        if name in env.cur:
+            return env.cur[name]
+        if name in ctx.consts:
+            width = ctx.widths.get(name, _DEFAULT_INT_WIDTH)
+            return self._const_bits(ctx.consts[name], width)
+        if name not in ctx.bits:
+            raise SynthesisError(
+                f"module {ctx.module.name}: undeclared signal {name!r} "
+                f"(line {line})"
+            )
+        if not always.is_sequential and name in targets:
+            raise SynthesisError(
+                f"module {ctx.module.name}: latch inferred for {name!r} — "
+                f"it is read (or not assigned on every path) before being "
+                f"assigned in a combinational always block (line {line})"
+            )
+        return ctx.bits[name]
+
+    def _exec_stmt(self, stmt: ast.Stmt, env: _ProcEnv, ctx: _ModuleCtx,
+                   always: ast.Always, targets: Set[str]) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                self._exec_stmt(inner, env, ctx, always, targets)
+        elif isinstance(stmt, ast.AssignStmt):
+            self._exec_assign(stmt, env, ctx, always, targets)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt, env, ctx, always, targets)
+        elif isinstance(stmt, ast.Case):
+            self._exec_stmt(_case_to_if(stmt), env, ctx, always, targets)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt, env, ctx, always, targets)
+        else:  # pragma: no cover - defensive
+            raise SynthesisError(f"unsupported statement {stmt!r}")
+
+    def _exec_assign(self, stmt: ast.AssignStmt, env: _ProcEnv,
+                     ctx: _ModuleCtx, always: ast.Always,
+                     targets: Set[str]) -> None:
+        width = self._target_width(stmt.target, ctx)
+        value = self._eval(stmt.rhs, ctx, (env, always, targets), width)
+        store = env.cur if stmt.blocking else env.nba
+        self._proc_store(stmt.target, value, store, env, ctx, always, targets)
+
+    def _proc_store(self, target: ast.Expr, value: List[int],
+                    store: Dict[str, List[int]], env: _ProcEnv,
+                    ctx: _ModuleCtx, always: ast.Always,
+                    targets: Set[str]) -> None:
+        if isinstance(target, ast.Ident):
+            width = ctx.widths[target.name]
+            store[target.name] = _fit(value, width, self)
+        elif isinstance(target, ast.BitSelect):
+            idx = self._const_eval(target.index, ctx, allow_signals=False)
+            current = list(self._store_lookup(target.name, store, env, ctx,
+                                              always, targets, target.line))
+            if not 0 <= idx < len(current):
+                raise SynthesisError(
+                    f"bit index {idx} out of range for {target.name!r}"
+                )
+            current[idx] = value[0]
+            store[target.name] = current
+        elif isinstance(target, ast.PartSelect):
+            msb = self._const_eval(target.msb, ctx, allow_signals=False)
+            lsb = self._const_eval(target.lsb, ctx, allow_signals=False)
+            current = list(self._store_lookup(target.name, store, env, ctx,
+                                              always, targets, target.line))
+            fitted = _fit(value, msb - lsb + 1, self)
+            for offset, net in enumerate(fitted):
+                current[lsb + offset] = net
+            store[target.name] = current
+        elif isinstance(target, ast.Concat):
+            # Verilog concat targets are MSB-first; distribute from the top.
+            pos = len(value)
+            for part in target.parts:
+                pw = self._target_width(part, ctx)
+                self._proc_store(part, value[pos - pw : pos], store, env, ctx,
+                                 always, targets)
+                pos -= pw
+        else:
+            raise SynthesisError(f"invalid assignment target {target!r}")
+
+    def _store_lookup(self, name: str, store: Dict[str, List[int]],
+                      env: _ProcEnv, ctx: _ModuleCtx, always: ast.Always,
+                      targets: Set[str], line: int) -> List[int]:
+        """Value a partial store should start from (RMW semantics)."""
+        if name in store:
+            return store[name]
+        if store is env.nba:
+            # Pending NBA partial writes start from the register's Q value.
+            if name in ctx.bits:
+                return ctx.bits[name]
+        return self._proc_lookup(name, env, ctx, always, targets, line)
+
+    def _exec_if(self, stmt: ast.If, env: _ProcEnv, ctx: _ModuleCtx,
+                 always: ast.Always, targets: Set[str]) -> None:
+        cond = self._truthy(stmt.cond, ctx, (env, always, targets))
+        if cond == CONST1:
+            self._exec_stmt(stmt.then_stmt, env, ctx, always, targets)
+            return
+        if cond == CONST0:
+            if stmt.else_stmt is not None:
+                self._exec_stmt(stmt.else_stmt, env, ctx, always, targets)
+            return
+        then_env = env.copy()
+        else_env = env.copy()
+        self._exec_stmt(stmt.then_stmt, then_env, ctx, always, targets)
+        if stmt.else_stmt is not None:
+            self._exec_stmt(stmt.else_stmt, else_env, ctx, always, targets)
+        self._merge(cond, then_env, else_env, env, ctx, always, targets,
+                    stmt.line)
+
+    def _merge(self, cond: int, then_env: _ProcEnv, else_env: _ProcEnv,
+               out_env: _ProcEnv, ctx: _ModuleCtx, always: ast.Always,
+               targets: Set[str], line: int) -> None:
+        for store_name in ("cur", "nba"):
+            then_store: Dict[str, List[int]] = getattr(then_env, store_name)
+            else_store: Dict[str, List[int]] = getattr(else_env, store_name)
+            out_store: Dict[str, List[int]] = getattr(out_env, store_name)
+            for name in sorted(set(then_store) | set(else_store)):
+                tval = self._branch_value(name, then_store, out_env, ctx,
+                                          always, targets, line, store_name)
+                eval_ = self._branch_value(name, else_store, out_env, ctx,
+                                           always, targets, line, store_name)
+                out_store[name] = [
+                    self._mux(cond, t, e) for t, e in zip(tval, eval_)
+                ]
+
+    def _branch_value(self, name: str, store: Dict[str, List[int]],
+                      out_env: _ProcEnv, ctx: _ModuleCtx, always: ast.Always,
+                      targets: Set[str], line: int,
+                      store_name: str) -> List[int]:
+        if name in store:
+            return store[name]
+        outer: Dict[str, List[int]] = getattr(out_env, store_name)
+        if name in outer:
+            return outer[name]
+        if store_name == "nba":
+            if name in ctx.bits:
+                return ctx.bits[name]  # hold Q
+        return self._proc_lookup(name, out_env, ctx, always, targets, line)
+
+    def _exec_for(self, stmt: ast.For, env: _ProcEnv, ctx: _ModuleCtx,
+                  always: ast.Always, targets: Set[str]) -> None:
+        if not isinstance(stmt.init.target, ast.Ident):
+            raise SynthesisError("for-loop variable must be a plain identifier")
+        var = stmt.init.target.name
+        ctx.consts[var] = self._const_eval(stmt.init.rhs, ctx)
+        iterations = 0
+        try:
+            while self._const_eval(stmt.cond, ctx):
+                self._exec_stmt(stmt.body, env, ctx, always, targets)
+                ctx.consts[var] = self._const_eval(stmt.step.rhs, ctx)
+                iterations += 1
+                if iterations > _MAX_LOOP_ITERATIONS:
+                    raise SynthesisError(
+                        f"for loop over {var!r} exceeds "
+                        f"{_MAX_LOOP_ITERATIONS} iterations"
+                    )
+        finally:
+            del ctx.consts[var]
+
+    # -- targets ---------------------------------------------------------------
+
+    def _target_width(self, target: ast.Expr, ctx: _ModuleCtx) -> int:
+        if isinstance(target, ast.Ident):
+            if target.name not in ctx.widths:
+                raise SynthesisError(
+                    f"module {ctx.module.name}: undeclared signal "
+                    f"{target.name!r} (line {target.line})"
+                )
+            return ctx.widths[target.name]
+        if isinstance(target, ast.BitSelect):
+            return 1
+        if isinstance(target, ast.PartSelect):
+            msb = self._const_eval(target.msb, ctx, allow_signals=False)
+            lsb = self._const_eval(target.lsb, ctx, allow_signals=False)
+            return msb - lsb + 1
+        if isinstance(target, ast.Concat):
+            return sum(self._target_width(p, ctx) for p in target.parts)
+        raise SynthesisError(f"invalid assignment target {target!r}")
+
+    def _drive_target(self, target: ast.Expr, value: List[int],
+                      ctx: _ModuleCtx) -> None:
+        """Continuous drive of ``value`` onto a structural target."""
+        if isinstance(target, ast.Ident):
+            nets = ctx.bits.get(target.name)
+            if nets is None:
+                raise SynthesisError(
+                    f"module {ctx.module.name}: undeclared signal "
+                    f"{target.name!r} (line {target.line})"
+                )
+            fitted = _fit(value, len(nets), self)
+            for dst, src in zip(nets, fitted):
+                self._netlist.add_gate_to(GateType.BUF, dst, (src,))
+        elif isinstance(target, ast.BitSelect):
+            idx = self._const_eval(target.index, ctx, allow_signals=False)
+            nets = ctx.bits[target.name]
+            self._netlist.add_gate_to(GateType.BUF, nets[idx], (value[0],))
+        elif isinstance(target, ast.PartSelect):
+            msb = self._const_eval(target.msb, ctx, allow_signals=False)
+            lsb = self._const_eval(target.lsb, ctx, allow_signals=False)
+            nets = ctx.bits[target.name]
+            fitted = _fit(value, msb - lsb + 1, self)
+            for offset, src in enumerate(fitted):
+                self._netlist.add_gate_to(GateType.BUF, nets[lsb + offset],
+                                          (src,))
+        elif isinstance(target, ast.Concat):
+            pos = len(value)
+            for part in target.parts:
+                pw = self._target_width(part, ctx)
+                self._drive_target(part, value[pos - pw : pos], ctx)
+                pos -= pw
+        else:
+            raise SynthesisError(f"invalid assignment target {target!r}")
+
+    # -- constant evaluation -----------------------------------------------------
+
+    def _const_eval(self, expr: ast.Expr, ctx: _ModuleCtx,
+                    allow_signals: bool = False) -> int:
+        """Evaluate a compile-time-constant expression to a Python int."""
+        if isinstance(expr, ast.Number):
+            return expr.value
+        if isinstance(expr, ast.Ident):
+            if expr.name in ctx.consts:
+                return ctx.consts[expr.name]
+            raise SynthesisError(
+                f"module {ctx.module.name}: {expr.name!r} is not a constant "
+                f"(line {expr.line})"
+            )
+        if isinstance(expr, ast.Unary):
+            val = self._const_eval(expr.operand, ctx, allow_signals)
+            if expr.op == "-":
+                return -val
+            if expr.op == "+":
+                return val
+            if expr.op == "~":
+                return ~val
+            if expr.op == "!":
+                return 0 if val else 1
+            raise SynthesisError(
+                f"operator {expr.op!r} not supported in constant expressions"
+            )
+        if isinstance(expr, ast.Binary):
+            left = self._const_eval(expr.left, ctx, allow_signals)
+            right = self._const_eval(expr.right, ctx, allow_signals)
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a // b,
+                "%": lambda a, b: a % b,
+                "**": lambda a, b: a ** b,
+                "<<": lambda a, b: a << b,
+                ">>": lambda a, b: a >> b,
+                "<": lambda a, b: int(a < b),
+                "<=": lambda a, b: int(a <= b),
+                ">": lambda a, b: int(a > b),
+                ">=": lambda a, b: int(a >= b),
+                "==": lambda a, b: int(a == b),
+                "!=": lambda a, b: int(a != b),
+                "&&": lambda a, b: int(bool(a) and bool(b)),
+                "||": lambda a, b: int(bool(a) or bool(b)),
+                "&": lambda a, b: a & b,
+                "|": lambda a, b: a | b,
+                "^": lambda a, b: a ^ b,
+            }
+            if expr.op not in ops:
+                raise SynthesisError(
+                    f"operator {expr.op!r} not supported in constant "
+                    "expressions"
+                )
+            return ops[expr.op](left, right)
+        if isinstance(expr, ast.Ternary):
+            cond = self._const_eval(expr.cond, ctx, allow_signals)
+            branch = expr.if_true if cond else expr.if_false
+            return self._const_eval(branch, ctx, allow_signals)
+        raise SynthesisError(f"expression is not constant: {expr!r}")
+
+    def _const_bits(self, value: int, width: int) -> List[int]:
+        value &= (1 << width) - 1
+        return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+    # -- expression evaluation ------------------------------------------------
+
+    def _natural_width(self, expr: ast.Expr, ctx: _ModuleCtx) -> Optional[int]:
+        """Self-determined width; None for unsized (flexible) constants."""
+        if isinstance(expr, ast.Number):
+            return expr.width
+        if isinstance(expr, ast.CaseLabelWild):
+            return len(expr.bits)
+        if isinstance(expr, ast.Ident):
+            if expr.name in ctx.consts and expr.name not in ctx.widths:
+                return None
+            if expr.name in ctx.widths:
+                return ctx.widths[expr.name]
+            raise SynthesisError(
+                f"module {ctx.module.name}: undeclared signal {expr.name!r} "
+                f"(line {expr.line})"
+            )
+        if isinstance(expr, ast.BitSelect):
+            return 1
+        if isinstance(expr, ast.PartSelect):
+            msb = self._const_eval(expr.msb, ctx, allow_signals=False)
+            lsb = self._const_eval(expr.lsb, ctx, allow_signals=False)
+            return msb - lsb + 1
+        if isinstance(expr, ast.Concat):
+            total = 0
+            for part in expr.parts:
+                pw = self._natural_width(part, ctx)
+                if pw is None:
+                    raise SynthesisError(
+                        "unsized constants are not allowed inside "
+                        f"concatenations (line {expr.line})"
+                    )
+                total += pw
+            return total
+        if isinstance(expr, ast.Repeat):
+            count = self._const_eval(expr.count, ctx)
+            inner = self._natural_width(expr.value, ctx)
+            if inner is None:
+                raise SynthesisError(
+                    "unsized constants are not allowed inside replications "
+                    f"(line {expr.line})"
+                )
+            return count * inner
+        if isinstance(expr, ast.Unary):
+            if expr.op in ("~", "-", "+"):
+                return self._natural_width(expr.operand, ctx)
+            return 1  # reductions and !
+        if isinstance(expr, ast.Binary):
+            op = expr.op
+            if op in ("==", "!=", "===", "!==", "<", "<=", ">", ">=",
+                      "&&", "||"):
+                return 1
+            if op in ("<<", ">>", "<<<", ">>>"):
+                return self._natural_width(expr.left, ctx)
+            lw = self._natural_width(expr.left, ctx)
+            rw = self._natural_width(expr.right, ctx)
+            if lw is None:
+                return rw
+            if rw is None:
+                return lw
+            return max(lw, rw)
+        if isinstance(expr, ast.Ternary):
+            lw = self._natural_width(expr.if_true, ctx)
+            rw = self._natural_width(expr.if_false, ctx)
+            if lw is None:
+                return rw
+            if rw is None:
+                return lw
+            return max(lw, rw)
+        raise SynthesisError(f"cannot size expression {expr!r}")
+
+    def _eval(self, expr: ast.Expr, ctx: _ModuleCtx, proc, width: int
+              ) -> List[int]:
+        """Evaluate ``expr`` to exactly ``width`` bit nets (LSB first).
+
+        ``proc`` is None for structural context, or a tuple
+        ``(env, always, targets)`` inside an always block.
+        """
+        bits = self._eval_natural(expr, ctx, proc, width)
+        return _fit(bits, width, self)
+
+    def _eval_natural(self, expr: ast.Expr, ctx: _ModuleCtx, proc,
+                      ctx_width: int) -> List[int]:
+        if isinstance(expr, ast.Number):
+            width = expr.width if expr.width is not None else ctx_width
+            return self._const_bits(expr.value, max(width, 1))
+        if isinstance(expr, ast.CaseLabelWild):
+            raise SynthesisError(
+                f"wildcard literal outside casez (line {expr.line})"
+            )
+        if isinstance(expr, ast.Ident):
+            return list(self._read_signal(expr.name, ctx, proc, expr.line))
+        if isinstance(expr, ast.BitSelect):
+            base = self._read_signal(expr.name, ctx, proc, expr.line)
+            try:
+                idx = self._const_eval(expr.index, ctx)
+            except SynthesisError:
+                return [self._dynamic_select(base, expr.index, ctx, proc)]
+            if not 0 <= idx < len(base):
+                raise SynthesisError(
+                    f"bit index {idx} out of range for {expr.name!r} "
+                    f"(line {expr.line})"
+                )
+            return [base[idx]]
+        if isinstance(expr, ast.PartSelect):
+            base = self._read_signal(expr.name, ctx, proc, expr.line)
+            msb = self._const_eval(expr.msb, ctx)
+            lsb = self._const_eval(expr.lsb, ctx)
+            if not (0 <= lsb <= msb < len(base)):
+                raise SynthesisError(
+                    f"part select [{msb}:{lsb}] out of range for "
+                    f"{expr.name!r} (line {expr.line})"
+                )
+            return base[lsb : msb + 1]
+        if isinstance(expr, ast.Concat):
+            bits: List[int] = []
+            for part in reversed(expr.parts):  # MSB-first in source
+                pw = self._natural_width(part, ctx)
+                assert pw is not None
+                bits.extend(self._eval(part, ctx, proc, pw))
+            return bits
+        if isinstance(expr, ast.Repeat):
+            count = self._const_eval(expr.count, ctx)
+            inner_w = self._natural_width(expr.value, ctx)
+            assert inner_w is not None
+            inner = self._eval(expr.value, ctx, proc, inner_w)
+            return inner * count
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, ctx, proc, ctx_width)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, ctx, proc, ctx_width)
+        if isinstance(expr, ast.Ternary):
+            cond = self._truthy(expr.cond, ctx, proc)
+            tw = self._natural_width(expr.if_true, ctx)
+            fw = self._natural_width(expr.if_false, ctx)
+            width = max(w for w in (tw, fw, ctx_width) if w is not None)
+            tbits = self._eval(expr.if_true, ctx, proc, width)
+            fbits = self._eval(expr.if_false, ctx, proc, width)
+            return [self._mux(cond, t, f) for t, f in zip(tbits, fbits)]
+        raise SynthesisError(f"cannot evaluate expression {expr!r}")
+
+    def _read_signal(self, name: str, ctx: _ModuleCtx, proc,
+                     line: int) -> List[int]:
+        if proc is not None:
+            env, always, targets = proc
+            return self._proc_lookup(name, env, ctx, always, targets, line)
+        if name in ctx.consts and name not in ctx.widths:
+            return self._const_bits(ctx.consts[name], _DEFAULT_INT_WIDTH)
+        if name in ctx.consts:
+            return self._const_bits(ctx.consts[name], ctx.widths[name])
+        if name not in ctx.bits:
+            raise SynthesisError(
+                f"module {ctx.module.name}: undeclared signal {name!r} "
+                f"(line {line})"
+            )
+        return ctx.bits[name]
+
+    def _dynamic_select(self, base: List[int], index: ast.Expr,
+                        ctx: _ModuleCtx, proc) -> int:
+        """Variable bit select: mux tree over the index bits."""
+        iw = self._natural_width(index, ctx) or _DEFAULT_INT_WIDTH
+        needed = max(1, (len(base) - 1).bit_length())
+        idx_bits = self._eval(index, ctx, proc, max(iw, needed))
+        layer = list(base)
+        for level in range(needed):
+            sel = idx_bits[level]
+            nxt = []
+            for i in range(0, len(layer), 2):
+                lo = layer[i]
+                hi = layer[i + 1] if i + 1 < len(layer) else CONST0
+                nxt.append(self._mux(sel, hi, lo))
+            layer = nxt
+        return layer[0]
+
+    def _eval_unary(self, expr: ast.Unary, ctx: _ModuleCtx, proc,
+                    ctx_width: int) -> List[int]:
+        op = expr.op
+        if op in ("~", "-", "+"):
+            ow = self._natural_width(expr.operand, ctx)
+            width = max(w for w in (ow, ctx_width) if w is not None)
+            bits = self._eval(expr.operand, ctx, proc, width)
+            if op == "~":
+                return [self._not(b) for b in bits]
+            if op == "+":
+                return bits
+            zero = [CONST0] * width
+            return self._subtract(zero, bits)
+        ow = self._natural_width(expr.operand, ctx) or 1
+        bits = self._eval(expr.operand, ctx, proc, ow)
+        if op == "&":
+            return [self._and_tree(bits)]
+        if op == "|":
+            return [self._or_tree(bits)]
+        if op == "^":
+            return [self._xor_tree(bits)]
+        if op == "~&":
+            return [self._not(self._and_tree(bits))]
+        if op == "~|":
+            return [self._not(self._or_tree(bits))]
+        if op in ("~^", "^~"):
+            return [self._not(self._xor_tree(bits))]
+        if op == "!":
+            return [self._not(self._or_tree(bits))]
+        raise SynthesisError(f"unknown unary operator {op!r}")
+
+    def _eval_binary(self, expr: ast.Binary, ctx: _ModuleCtx, proc,
+                     ctx_width: int) -> List[int]:
+        op = expr.op
+        if op in ("&&", "||"):
+            left = self._truthy(expr.left, ctx, proc)
+            right = self._truthy(expr.right, ctx, proc)
+            if op == "&&":
+                return [self._and(left, right)]
+            return [self._or(left, right)]
+        if op in ("==", "!=", "===", "!==", "<", "<=", ">", ">="):
+            lw = self._natural_width(expr.left, ctx)
+            rw = self._natural_width(expr.right, ctx)
+            width = max(w for w in (lw, rw) if w is not None) if (
+                lw is not None or rw is not None) else _DEFAULT_INT_WIDTH
+            left = self._eval(expr.left, ctx, proc, width)
+            right = self._eval(expr.right, ctx, proc, width)
+            if op in ("==", "==="):
+                return [self._equal(left, right)]
+            if op in ("!=", "!=="):
+                return [self._not(self._equal(left, right))]
+            if op == "<":
+                return [self._less_than(left, right)]
+            if op == ">":
+                return [self._less_than(right, left)]
+            if op == "<=":
+                return [self._not(self._less_than(right, left))]
+            return [self._not(self._less_than(left, right))]
+        if op in ("<<", ">>", "<<<", ">>>"):
+            lw = self._natural_width(expr.left, ctx)
+            width = max(w for w in (lw, ctx_width) if w is not None)
+            left = self._eval(expr.left, ctx, proc, width)
+            try:
+                amount = self._const_eval(expr.right, ctx)
+            except SynthesisError:
+                return self._barrel_shift(left, expr.right, op, ctx, proc)
+            return _const_shift(left, amount, op)
+        # Arithmetic / bitwise: operands at the context width.
+        lw = self._natural_width(expr.left, ctx)
+        rw = self._natural_width(expr.right, ctx)
+        width = max(w for w in (lw, rw, ctx_width) if w is not None)
+        left = self._eval(expr.left, ctx, proc, width)
+        right = self._eval(expr.right, ctx, proc, width)
+        if op == "&":
+            return [self._and(a, b) for a, b in zip(left, right)]
+        if op == "|":
+            return [self._or(a, b) for a, b in zip(left, right)]
+        if op == "^":
+            return [self._xor(a, b) for a, b in zip(left, right)]
+        if op in ("~^", "^~"):
+            return [self._not(self._xor(a, b)) for a, b in zip(left, right)]
+        if op == "+":
+            return self._add(left, right)
+        if op == "-":
+            return self._subtract(left, right)
+        if op == "*":
+            return self._multiply(left, right)
+        if op in ("/", "%"):
+            try:
+                divisor = self._const_eval(expr.right, ctx)
+            except SynthesisError:
+                raise SynthesisError(
+                    f"division by a non-constant is not supported "
+                    f"(line {expr.line})"
+                ) from None
+            if divisor <= 0 or (divisor & (divisor - 1)) != 0:
+                raise SynthesisError(
+                    f"only power-of-two constant divisors are supported "
+                    f"(line {expr.line})"
+                )
+            shift = divisor.bit_length() - 1
+            if op == "/":
+                return _const_shift(left, shift, ">>")
+            return left[:shift] + [CONST0] * (len(left) - shift)
+        raise SynthesisError(f"unknown binary operator {op!r}")
+
+    def _truthy(self, expr: ast.Expr, ctx: _ModuleCtx, proc) -> int:
+        width = self._natural_width(expr, ctx) or 1
+        bits = self._eval(expr, ctx, proc, width)
+        return self._or_tree(bits)
+
+    # -- gate builders with local constant folding ------------------------------
+
+    def _emit(self, gtype: GateType, inputs: Sequence[int]) -> int:
+        out = self._netlist.add_gate(gtype, inputs)
+        self._netlist.regions[out] = self._current_prefix
+        return out
+
+    def _not(self, a: int) -> int:
+        if a == CONST0:
+            return CONST1
+        if a == CONST1:
+            return CONST0
+        cached = self._not_cache.get(a)
+        if cached is not None:
+            return cached
+        out = self._emit(GateType.NOT, (a,))
+        self._not_cache[a] = out
+        self._not_cache[out] = a
+        return out
+
+    def _and(self, a: int, b: int) -> int:
+        if a == CONST0 or b == CONST0:
+            return CONST0
+        if a == CONST1:
+            return b
+        if b == CONST1:
+            return a
+        if a == b:
+            return a
+        if self._not_cache.get(a) == b:
+            return CONST0
+        return self._emit(GateType.AND, (a, b))
+
+    def _or(self, a: int, b: int) -> int:
+        if a == CONST1 or b == CONST1:
+            return CONST1
+        if a == CONST0:
+            return b
+        if b == CONST0:
+            return a
+        if a == b:
+            return a
+        if self._not_cache.get(a) == b:
+            return CONST1
+        return self._emit(GateType.OR, (a, b))
+
+    def _xor(self, a: int, b: int) -> int:
+        if a == CONST0:
+            return b
+        if b == CONST0:
+            return a
+        if a == CONST1:
+            return self._not(b)
+        if b == CONST1:
+            return self._not(a)
+        if a == b:
+            return CONST0
+        if self._not_cache.get(a) == b:
+            return CONST1
+        return self._emit(GateType.XOR, (a, b))
+
+    def _mux(self, sel: int, if_true: int, if_false: int) -> int:
+        if sel == CONST1 or if_true == if_false:
+            return if_true
+        if sel == CONST0:
+            return if_false
+        if if_true == CONST1 and if_false == CONST0:
+            return sel
+        if if_true == CONST0 and if_false == CONST1:
+            return self._not(sel)
+        nsel = self._not(sel)
+        return self._or(self._and(sel, if_true), self._and(nsel, if_false))
+
+    def _and_tree(self, bits: Sequence[int]) -> int:
+        result = CONST1
+        for bit in bits:
+            result = self._and(result, bit)
+        return result
+
+    def _or_tree(self, bits: Sequence[int]) -> int:
+        result = CONST0
+        for bit in bits:
+            result = self._or(result, bit)
+        return result
+
+    def _xor_tree(self, bits: Sequence[int]) -> int:
+        result = CONST0
+        for bit in bits:
+            result = self._xor(result, bit)
+        return result
+
+    def _equal(self, left: List[int], right: List[int]) -> int:
+        terms = [self._not(self._xor(a, b)) for a, b in zip(left, right)]
+        return self._and_tree(terms)
+
+    def _less_than(self, left: List[int], right: List[int]) -> int:
+        """Unsigned ``left < right`` via an LSB-to-MSB ripple comparator."""
+        lt = CONST0
+        for a, b in zip(left, right):
+            eq = self._not(self._xor(a, b))
+            lt = self._or(self._and(self._not(a), b), self._and(eq, lt))
+        return lt
+
+    def _add(self, left: List[int], right: List[int]) -> List[int]:
+        carry = CONST0
+        out: List[int] = []
+        for a, b in zip(left, right):
+            axb = self._xor(a, b)
+            out.append(self._xor(axb, carry))
+            carry = self._or(self._and(a, b), self._and(axb, carry))
+        return out
+
+    def _subtract(self, left: List[int], right: List[int]) -> List[int]:
+        carry = CONST1
+        out: List[int] = []
+        for a, b in zip(left, right):
+            nb = self._not(b)
+            axb = self._xor(a, nb)
+            out.append(self._xor(axb, carry))
+            carry = self._or(self._and(a, nb), self._and(axb, carry))
+        return out
+
+    def _multiply(self, left: List[int], right: List[int]) -> List[int]:
+        width = len(left)
+        acc = [CONST0] * width
+        for i, bbit in enumerate(right):
+            if bbit == CONST0:
+                continue
+            partial = [CONST0] * i + left[: width - i]
+            partial = [self._and(p, bbit) for p in partial]
+            acc = self._add(acc, partial)
+        return acc
+
+    def _barrel_shift(self, value: List[int], amount_expr: ast.Expr, op: str,
+                      ctx: _ModuleCtx, proc) -> List[int]:
+        width = len(value)
+        levels = max(1, (width - 1).bit_length())
+        aw = self._natural_width(amount_expr, ctx) or _DEFAULT_INT_WIDTH
+        amount = self._eval(amount_expr, ctx, proc, max(aw, levels))
+        current = list(value)
+        for level in range(levels):
+            shifted = _const_shift(current, 1 << level, op)
+            sel = amount[level]
+            current = [self._mux(sel, s, c) for s, c in zip(shifted, current)]
+        # Any higher amount bits set -> result is all zeros.
+        high = self._or_tree(amount[levels:])
+        if high != CONST0:
+            nhigh = self._not(high)
+            current = [self._and(c, nhigh) for c in current]
+        return current
+
+
+def _fit(bits: List[int], width: int, elab: Elaborator) -> List[int]:
+    """Zero-extend or truncate ``bits`` to ``width``."""
+    if len(bits) == width:
+        return bits
+    if len(bits) > width:
+        return bits[:width]
+    return bits + [CONST0] * (width - len(bits))
+
+
+def _const_shift(bits: List[int], amount: int, op: str) -> List[int]:
+    width = len(bits)
+    if amount >= width:
+        return [CONST0] * width
+    if op in ("<<", "<<<"):
+        return [CONST0] * amount + bits[: width - amount]
+    return bits[amount:] + [CONST0] * amount
+
+
+def _bit_name(signal: str, index: int, width: int) -> str:
+    return signal if width == 1 else f"{signal}[{index}]"
+
+
+def _port_map(child: ast.Module, inst: ast.Instance
+              ) -> Dict[str, Optional[ast.Expr]]:
+    result: Dict[str, Optional[ast.Expr]] = {
+        name: None for name in child.port_order
+    }
+    positional = all(conn.name is None for conn in inst.connections)
+    if positional and inst.connections:
+        for idx, conn in enumerate(inst.connections):
+            if idx >= len(child.port_order):
+                raise SynthesisError(
+                    f"instance {inst.inst_name!r}: too many connections for "
+                    f"module {child.name!r}"
+                )
+            result[child.port_order[idx]] = conn.expr
+    else:
+        for conn in inst.connections:
+            if conn.name is None:
+                raise SynthesisError(
+                    f"instance {inst.inst_name!r} mixes named and positional "
+                    "connections"
+                )
+            if conn.name not in result:
+                raise SynthesisError(
+                    f"instance {inst.inst_name!r} connects unknown port "
+                    f"{conn.name!r} of module {child.name!r}"
+                )
+            result[conn.name] = conn.expr
+    return result
+
+
+def _case_to_if(case: ast.Case) -> ast.Stmt:
+    """Desugar a case statement into a priority if/else chain."""
+    default_stmt: Optional[ast.Stmt] = None
+    arms: List[Tuple[List[ast.Expr], ast.Stmt]] = []
+    for item in case.items:
+        if item.is_default:
+            default_stmt = item.stmt
+        else:
+            arms.append((item.labels, item.stmt))
+
+    result: Optional[ast.Stmt] = default_stmt
+    if result is None:
+        result = ast.Block(stmts=[], line=case.line)
+    for labels, stmt in reversed(arms):
+        cond: Optional[ast.Expr] = None
+        for label in labels:
+            term = _case_match_expr(case.selector, label)
+            cond = term if cond is None else ast.Binary(
+                op="||", left=cond, right=term, line=case.line
+            )
+        assert cond is not None
+        result = ast.If(cond=cond, then_stmt=stmt, else_stmt=result,
+                        line=stmt.line)
+    return result
+
+
+def _case_match_expr(selector: ast.Expr, label: ast.Expr) -> ast.Expr:
+    if isinstance(label, ast.CaseLabelWild):
+        # Compare only the non-wildcard bits: (sel & mask) == value.
+        mask = int("".join("0" if b == "?" else "1" for b in label.bits), 2)
+        value = int("".join("0" if b == "?" else b for b in label.bits), 2)
+        width = len(label.bits)
+        masked = ast.Binary(
+            op="&",
+            left=selector,
+            right=ast.Number(value=mask, width=width, base="b"),
+            line=label.line,
+        )
+        return ast.Binary(
+            op="==",
+            left=masked,
+            right=ast.Number(value=value, width=width, base="b"),
+            line=label.line,
+        )
+    return ast.Binary(op="==", left=selector, right=label, line=label.line)
+
+
+def synthesize(design, root: Optional[str] = None,
+               name: Optional[str] = None,
+               do_optimize: bool = True) -> Netlist:
+    """Synthesize ``root`` (default: the design top) to a flat gate netlist.
+
+    With ``do_optimize`` the standard cleanup pipeline (constant propagation,
+    structural hashing, dead-code removal) runs afterwards — the equivalent of
+    the synthesis flags the paper relies on to delete redundant constraints.
+    """
+    netlist = Elaborator(design).synthesize(root, name)
+    if do_optimize:
+        from repro.synth.opt import optimize
+
+        netlist = optimize(netlist)
+    return netlist

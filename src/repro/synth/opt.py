@@ -1,0 +1,214 @@
+"""Gate-level netlist optimization.
+
+This is the "synthesis with the appropriate flags" of the paper: constant
+propagation collapses logic tied to hard-coded values (the very constraints
+FACTOR extracts), structural hashing merges duplicated cones, and dead-code
+elimination deletes everything outside the cone of influence of the outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.synth.netlist import (
+    CONST0,
+    CONST1,
+    Gate,
+    GateType,
+    Netlist,
+    SYMMETRIC_TYPES,
+)
+
+
+def _resolve(alias: Dict[int, int], net: int) -> int:
+    """Follow alias chains with path compression."""
+    seen = []
+    while net in alias:
+        seen.append(net)
+        net = alias[net]
+    for s in seen:
+        alias[s] = net
+    return net
+
+
+def _rebuild(netlist: Netlist, keep: Sequence[Gate],
+             alias: Dict[int, int]) -> Netlist:
+    """Create a new netlist with ``keep`` gates, inputs routed via ``alias``."""
+    out = Netlist(netlist.name)
+    out._names = list(netlist._names)
+    out.pis = list(netlist.pis)
+    regions = getattr(netlist, "regions", {})
+    out.regions = dict(regions)  # type: ignore[attr-defined]
+    for gate in keep:
+        inputs = tuple(_resolve(alias, i) for i in gate.inputs)
+        out.add_gate_to(gate.type, gate.output, inputs)
+    for net, name in netlist.po_pairs:
+        resolved = _resolve(alias, net)
+        out.add_po(resolved, name)
+    return out
+
+
+_INVERSE = {
+    GateType.AND: GateType.NAND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.NOR,
+    GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+}
+
+
+def constant_propagate(netlist: Netlist) -> Netlist:
+    """Fold constants through the netlist; collapse buffers.
+
+    Aliases BUF outputs to their inputs, evaluates gates whose controlling
+    or total inputs are constant, and strips constant inputs from
+    AND/OR-family gates.
+    """
+    alias: Dict[int, int] = {}
+    keep: List[Gate] = []
+    not_input_of: Dict[int, int] = {}  # NOT output net -> its input net
+
+    for gate in netlist.topological_order():
+        inputs = [_resolve(alias, i) for i in gate.inputs]
+        result = _fold_gate(gate.type, inputs)
+        if not isinstance(result, int) and result[0] is GateType.NOT:
+            # Collapse inverter chains: NOT(NOT(x)) == x.
+            inner = not_input_of.get(result[1][0])
+            if inner is not None:
+                result = inner
+        if isinstance(result, int):
+            alias[gate.output] = result
+        else:
+            gtype, new_inputs = result
+            if gtype is GateType.NOT:
+                not_input_of[gate.output] = new_inputs[0]
+            keep.append(Gate(type=gtype, output=gate.output,
+                             inputs=tuple(new_inputs)))
+
+    for dff in netlist.dffs():
+        keep.append(Gate(type=GateType.DFF, output=dff.output,
+                         inputs=(_resolve(alias, dff.inputs[0]),)))
+    return _rebuild(netlist, keep, alias)
+
+
+def _fold_gate(gtype: GateType, inputs: List[int]):
+    """Fold one gate.  Returns an alias net (int) or ``(type, inputs)``."""
+    if gtype is GateType.BUF:
+        return inputs[0]
+    if gtype is GateType.NOT:
+        if inputs[0] == CONST0:
+            return CONST1
+        if inputs[0] == CONST1:
+            return CONST0
+        return (GateType.NOT, inputs)
+    if gtype is GateType.DFF:
+        return (GateType.DFF, inputs)
+
+    if gtype in (GateType.AND, GateType.NAND):
+        dominant, neutral = CONST0, CONST1
+    elif gtype in (GateType.OR, GateType.NOR):
+        dominant, neutral = CONST1, CONST0
+    else:
+        dominant = neutral = None
+
+    if dominant is not None:
+        inverted = gtype in (GateType.NAND, GateType.NOR)
+        if dominant in inputs:
+            value = dominant == CONST1
+            return CONST1 if (value != inverted) else CONST0
+        filtered: List[int] = []
+        seen: Set[int] = set()
+        for net in inputs:
+            if net == neutral or net in seen:
+                continue
+            seen.add(net)
+            filtered.append(net)
+        if not filtered:
+            value = neutral == CONST1
+            return CONST1 if (value != inverted) else CONST0
+        if len(filtered) == 1:
+            if inverted:
+                return (GateType.NOT, filtered)
+            return filtered[0]
+        return (gtype, filtered)
+
+    # XOR / XNOR: drop paired duplicates, fold constants into parity.
+    parity = gtype is GateType.XNOR
+    counts: Dict[int, int] = {}
+    for net in inputs:
+        if net == CONST1:
+            parity = not parity
+        elif net != CONST0:
+            counts[net] = counts.get(net, 0) + 1
+    remaining = [net for net, cnt in counts.items() if cnt % 2 == 1]
+    if not remaining:
+        return CONST1 if parity else CONST0
+    if len(remaining) == 1:
+        if parity:
+            return (GateType.NOT, remaining)
+        return remaining[0]
+    return (GateType.XNOR if parity else GateType.XOR, remaining)
+
+
+def strash(netlist: Netlist) -> Netlist:
+    """Structural hashing: merge gates computing identical functions."""
+    alias: Dict[int, int] = {}
+    table: Dict[Tuple, int] = {}
+    keep: List[Gate] = []
+
+    for gate in netlist.topological_order():
+        inputs = tuple(_resolve(alias, i) for i in gate.inputs)
+        if gate.type in SYMMETRIC_TYPES:
+            key = (gate.type, tuple(sorted(inputs)))
+        else:
+            key = (gate.type, inputs)
+        existing = table.get(key)
+        if existing is not None:
+            alias[gate.output] = existing
+        else:
+            table[key] = gate.output
+            keep.append(Gate(type=gate.type, output=gate.output,
+                             inputs=inputs))
+
+    for dff in netlist.dffs():
+        keep.append(Gate(type=GateType.DFF, output=dff.output,
+                         inputs=(_resolve(alias, dff.inputs[0]),)))
+    return _rebuild(netlist, keep, alias)
+
+
+def remove_dead(netlist: Netlist) -> Netlist:
+    """Delete gates outside the cone of influence of the primary outputs.
+
+    Flip-flops are kept only when reachable (transitively, through their D
+    cones) from some primary output.
+    """
+    driver = {g.output: g for g in netlist.gates}
+    live: Set[int] = set()
+    stack = list(netlist.pos)
+    while stack:
+        net = stack.pop()
+        if net in live:
+            continue
+        live.add(net)
+        gate = driver.get(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+
+    keep = [g for g in netlist.gates if g.output in live]
+    return _rebuild(netlist, keep, {})
+
+
+def optimize(netlist: Netlist, max_rounds: int = 8) -> Netlist:
+    """Run constant propagation, hashing and DCE to a fixpoint."""
+    current = netlist
+    previous_size = None
+    for _ in range(max_rounds):
+        current = constant_propagate(current)
+        current = strash(current)
+        current = remove_dead(current)
+        size = (len(current.gates), current.num_nets)
+        if size == previous_size:
+            break
+        previous_size = size
+    return current

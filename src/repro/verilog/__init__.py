@@ -1,0 +1,31 @@
+"""Verilog frontend: lexer, AST, parser and writer for the synthesizable
+RT/gate-level subset that FACTOR operates on.
+
+This package is the stand-in for the "Rough Verilog Parser" the paper builds
+on: it turns Verilog source into an AST rich enough to compute def-use /
+use-def chains, enclosing-construct information, and to be re-emitted as
+synthesizable Verilog constraint netlists.
+"""
+
+from repro.verilog.lexer import Lexer, Token, TokenKind, LexError
+from repro.verilog.parser import Parser, ParseError, parse_source, parse_file
+from repro.verilog.preprocess import Preprocessor, PreprocessError, preprocess
+from repro.verilog.writer import write_module, write_source
+from repro.verilog import ast
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "LexError",
+    "Parser",
+    "ParseError",
+    "parse_source",
+    "parse_file",
+    "Preprocessor",
+    "PreprocessError",
+    "preprocess",
+    "write_module",
+    "write_source",
+    "ast",
+]

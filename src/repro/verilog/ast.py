@@ -1,0 +1,520 @@
+"""AST node classes for the synthesizable Verilog subset.
+
+The node set mirrors the internal data structure of the paper's Fig. 2: a
+module owns parameters, I/O declarations, nets, continuous assigns, gate/
+module instances and always blocks; statements nest through if/else, case,
+for and begin/end blocks; leaves are assignments or primitives.
+
+Every node carries ``line`` for diagnostics.  Expressions implement
+``signals()`` (the identifiers read by the expression) which is the raw
+material for the def-use / use-def chains built in :mod:`repro.hierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expressions."""
+
+    line: int = 0
+
+    def signals(self) -> Set[str]:
+        """Names of all identifiers read by this expression."""
+        raise NotImplementedError
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+    line: int = 0
+
+    def signals(self) -> Set[str]:
+        return {self.name}
+
+
+@dataclass
+class Number(Expr):
+    value: int
+    width: Optional[int] = None  # None = unsized
+    base: str = "d"
+    line: int = 0
+
+    def signals(self) -> Set[str]:
+        return set()
+
+
+@dataclass
+class BitSelect(Expr):
+    name: str
+    index: Expr
+    line: int = 0
+
+    def signals(self) -> Set[str]:
+        return {self.name} | self.index.signals()
+
+
+@dataclass
+class PartSelect(Expr):
+    name: str
+    msb: Expr
+    lsb: Expr
+    line: int = 0
+
+    def signals(self) -> Set[str]:
+        return {self.name} | self.msb.signals() | self.lsb.signals()
+
+
+@dataclass
+class Concat(Expr):
+    parts: List[Expr]
+    line: int = 0
+
+    def signals(self) -> Set[str]:
+        out: Set[str] = set()
+        for part in self.parts:
+            out |= part.signals()
+        return out
+
+
+@dataclass
+class Repeat(Expr):
+    count: Expr
+    value: Expr
+    line: int = 0
+
+    def signals(self) -> Set[str]:
+        return self.count.signals() | self.value.signals()
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # one of ~ ! - + & | ^ ~& ~| ~^
+    operand: Expr
+    line: int = 0
+
+    def signals(self) -> Set[str]:
+        return self.operand.signals()
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+    line: int = 0
+
+    def signals(self) -> Set[str]:
+        return self.left.signals() | self.right.signals()
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+    line: int = 0
+
+    def signals(self) -> Set[str]:
+        return self.cond.signals() | self.if_true.signals() | self.if_false.signals()
+
+
+@dataclass
+class CaseLabelWild(Expr):
+    """A casez label with ``?``/``z`` wildcard bits, e.g. ``4'b1??0``.
+
+    ``bits`` is MSB-first, each element '0', '1' or '?'.
+    """
+
+    bits: str
+    line: int = 0
+
+    def signals(self) -> Set[str]:
+        return set()
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+
+# ---------------------------------------------------------------------------
+# LHS targets
+# ---------------------------------------------------------------------------
+
+# An assignment LHS is an Ident, BitSelect, PartSelect or Concat of those.
+
+
+def lhs_base_names(expr: Expr) -> Set[str]:
+    """Names of the signals *written* by an assignment target."""
+    if isinstance(expr, Ident):
+        return {expr.name}
+    if isinstance(expr, (BitSelect, PartSelect)):
+        return {expr.name}
+    if isinstance(expr, Concat):
+        out: Set[str] = set()
+        for part in expr.parts:
+            out |= lhs_base_names(part)
+        return out
+    raise TypeError(f"invalid assignment target: {expr!r}")
+
+
+def lhs_index_signals(expr: Expr) -> Set[str]:
+    """Signals *read* by an assignment target (bit/part-select indices)."""
+    if isinstance(expr, Ident):
+        return set()
+    if isinstance(expr, BitSelect):
+        return expr.index.signals()
+    if isinstance(expr, PartSelect):
+        return expr.msb.signals() | expr.lsb.signals()
+    if isinstance(expr, Concat):
+        out: Set[str] = set()
+        for part in expr.parts:
+            out |= lhs_index_signals(part)
+        return out
+    raise TypeError(f"invalid assignment target: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Statements (inside always blocks)
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    line: int = 0
+
+    def defined(self) -> Set[str]:
+        """Signals assigned anywhere within this statement."""
+        raise NotImplementedError
+
+    def used(self) -> Set[str]:
+        """Signals read anywhere within this statement."""
+        raise NotImplementedError
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """Blocking (``=``) or non-blocking (``<=``) procedural assignment."""
+
+    target: Expr
+    rhs: Expr
+    blocking: bool = True
+    line: int = 0
+
+    def defined(self) -> Set[str]:
+        return lhs_base_names(self.target)
+
+    def used(self) -> Set[str]:
+        return self.rhs.signals() | lhs_index_signals(self.target)
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt]
+    line: int = 0
+
+    def defined(self) -> Set[str]:
+        out: Set[str] = set()
+        for stmt in self.stmts:
+            out |= stmt.defined()
+        return out
+
+    def used(self) -> Set[str]:
+        out: Set[str] = set()
+        for stmt in self.stmts:
+            out |= stmt.used()
+        return out
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_stmt: Stmt
+    else_stmt: Optional[Stmt] = None
+    line: int = 0
+
+    def defined(self) -> Set[str]:
+        out = self.then_stmt.defined()
+        if self.else_stmt is not None:
+            out = out | self.else_stmt.defined()
+        return out
+
+    def used(self) -> Set[str]:
+        out = self.cond.signals() | self.then_stmt.used()
+        if self.else_stmt is not None:
+            out = out | self.else_stmt.used()
+        return out
+
+
+@dataclass
+class CaseItem:
+    labels: List[Expr]  # empty = default
+    stmt: Stmt
+    line: int = 0
+
+    @property
+    def is_default(self) -> bool:
+        return not self.labels
+
+
+@dataclass
+class Case(Stmt):
+    selector: Expr
+    items: List[CaseItem]
+    kind: str = "case"  # case | casez | casex
+    line: int = 0
+
+    def defined(self) -> Set[str]:
+        out: Set[str] = set()
+        for item in self.items:
+            out |= item.stmt.defined()
+        return out
+
+    def used(self) -> Set[str]:
+        out = self.selector.signals()
+        for item in self.items:
+            for label in item.labels:
+                out |= label.signals()
+            out |= item.stmt.used()
+        return out
+
+
+@dataclass
+class For(Stmt):
+    init: AssignStmt
+    cond: Expr
+    step: AssignStmt
+    body: Stmt
+    line: int = 0
+
+    def defined(self) -> Set[str]:
+        return self.init.defined() | self.step.defined() | self.body.defined()
+
+    def used(self) -> Set[str]:
+        return (
+            self.init.used()
+            | self.cond.signals()
+            | self.step.used()
+            | self.body.used()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Module items
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Range:
+    """A ``[msb:lsb]`` vector range; expressions so parameters are allowed."""
+
+    msb: Expr
+    lsb: Expr
+
+    def signals(self) -> Set[str]:
+        return self.msb.signals() | self.lsb.signals()
+
+
+@dataclass
+class PortDecl:
+    direction: str  # input | output | inout
+    name: str
+    range: Optional[Range] = None
+    is_reg: bool = False
+    line: int = 0
+
+
+@dataclass
+class NetDecl:
+    kind: str  # wire | reg | integer
+    name: str
+    range: Optional[Range] = None
+    line: int = 0
+
+
+@dataclass
+class ParamDecl:
+    name: str
+    value: Expr
+    local: bool = False
+    line: int = 0
+
+
+@dataclass
+class ContAssign:
+    """Continuous ``assign lhs = rhs;``."""
+
+    target: Expr
+    rhs: Expr
+    line: int = 0
+
+    def defined(self) -> Set[str]:
+        return lhs_base_names(self.target)
+
+    def used(self) -> Set[str]:
+        return self.rhs.signals() | lhs_index_signals(self.target)
+
+
+@dataclass
+class SensItem:
+    """One event in a sensitivity list."""
+
+    edge: str  # posedge | negedge | level
+    signal: str
+
+
+@dataclass
+class Always:
+    sensitivity: List[SensItem]  # empty list means always @(*)
+    body: Stmt
+    line: int = 0
+
+    @property
+    def is_sequential(self) -> bool:
+        return any(item.edge in ("posedge", "negedge") for item in self.sensitivity)
+
+    def defined(self) -> Set[str]:
+        return self.body.defined()
+
+    def used(self) -> Set[str]:
+        out = self.body.used()
+        if not self.is_sequential:
+            return out
+        return out | {item.signal for item in self.sensitivity}
+
+
+@dataclass
+class PortConn:
+    name: Optional[str]  # None for positional connection
+    expr: Optional[Expr]  # None for unconnected port ()
+    line: int = 0
+
+
+@dataclass
+class Instance:
+    module_name: str
+    inst_name: str
+    connections: List[PortConn]
+    param_overrides: List[Tuple[Optional[str], Expr]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class GateInstance:
+    """Built-in primitive: and/or/nand/nor/xor/xnor/not/buf.
+
+    ``terminals[0]`` is the output (for not/buf, possibly several outputs
+    followed by one input — we keep the standard one-output form).
+    """
+
+    gate_type: str
+    inst_name: Optional[str]
+    terminals: List[Expr]
+    line: int = 0
+
+    def defined(self) -> Set[str]:
+        return lhs_base_names(self.terminals[0])
+
+    def used(self) -> Set[str]:
+        out: Set[str] = set()
+        for term in self.terminals[1:]:
+            out |= term.signals()
+        return out
+
+
+@dataclass
+class Module:
+    name: str
+    port_order: List[str]
+    ports: List[PortDecl]
+    params: List[ParamDecl] = field(default_factory=list)
+    nets: List[NetDecl] = field(default_factory=list)
+    assigns: List[ContAssign] = field(default_factory=list)
+    always_blocks: List[Always] = field(default_factory=list)
+    instances: List[Instance] = field(default_factory=list)
+    gates: List[GateInstance] = field(default_factory=list)
+    line: int = 0
+
+    def port(self, name: str) -> PortDecl:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"module {self.name} has no port {name!r}")
+
+    def port_names(self) -> List[str]:
+        return [p.name for p in self.ports]
+
+    def inputs(self) -> List[PortDecl]:
+        return [p for p in self.ports if p.direction == "input"]
+
+    def outputs(self) -> List[PortDecl]:
+        return [p for p in self.ports if p.direction == "output"]
+
+
+@dataclass
+class Source:
+    """A parsed collection of modules (one or more files)."""
+
+    modules: List[Module] = field(default_factory=list)
+
+    def module(self, name: str) -> Module:
+        for mod in self.modules:
+            if mod.name == name:
+                return mod
+        raise KeyError(f"no module named {name!r}")
+
+    def module_names(self) -> List[str]:
+        return [m.name for m in self.modules]
+
+    def extend(self, other: "Source") -> None:
+        existing = set(self.module_names())
+        for mod in other.modules:
+            if mod.name in existing:
+                raise ValueError(f"duplicate module {mod.name!r}")
+            self.modules.append(mod)
+
+
+def walk_exprs(root: Expr) -> Iterable[Expr]:
+    """Yield every sub-expression of ``root`` including itself (pre-order)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (BitSelect,)):
+            stack.append(node.index)
+        elif isinstance(node, PartSelect):
+            stack.extend((node.msb, node.lsb))
+        elif isinstance(node, Concat):
+            stack.extend(node.parts)
+        elif isinstance(node, Repeat):
+            stack.extend((node.count, node.value))
+        elif isinstance(node, Unary):
+            stack.append(node.operand)
+        elif isinstance(node, Binary):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, Ternary):
+            stack.extend((node.cond, node.if_true, node.if_false))
+
+
+def walk_stmts(root: Stmt) -> Iterable[Stmt]:
+    """Yield every statement under ``root`` including itself (pre-order)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, Block):
+            stack.extend(node.stmts)
+        elif isinstance(node, If):
+            stack.append(node.then_stmt)
+            if node.else_stmt is not None:
+                stack.append(node.else_stmt)
+        elif isinstance(node, Case):
+            stack.extend(item.stmt for item in node.items)
+        elif isinstance(node, For):
+            stack.append(node.body)

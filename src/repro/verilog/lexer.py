@@ -1,0 +1,262 @@
+"""Tokenizer for the synthesizable Verilog subset.
+
+Supports identifiers, keywords, sized/unsized numeric literals, one- and
+two-character operators, comments and compiler directives (skipped).  Every
+token records its line number so that downstream tools (testability traces,
+parse errors) can point back at source locations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class LexError(Exception):
+    """Raised when the input contains a character sequence we cannot token."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "module",
+        "endmodule",
+        "input",
+        "output",
+        "inout",
+        "wire",
+        "reg",
+        "integer",
+        "parameter",
+        "localparam",
+        "assign",
+        "always",
+        "initial",
+        "begin",
+        "end",
+        "if",
+        "else",
+        "case",
+        "casez",
+        "casex",
+        "endcase",
+        "default",
+        "for",
+        "while",
+        "posedge",
+        "negedge",
+        "or",
+        "and",
+        "nand",
+        "nor",
+        "xor",
+        "xnor",
+        "not",
+        "buf",
+        "signed",
+        "function",
+        "endfunction",
+        "generate",
+        "endgenerate",
+        "genvar",
+    }
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = [
+    "<<<",
+    ">>>",
+    "===",
+    "!==",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "~&",
+    "~|",
+    "~^",
+    "^~",
+    "**",
+    "+:",
+    "-:",
+]
+
+_SINGLE_OPS = set("+-*/%&|^~!<>=?:;,.()[]{}#@")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.value!r}, line={self.line})"
+
+
+class Lexer:
+    """Single-pass tokenizer.
+
+    Usage::
+
+        tokens = Lexer(source).tokenize()
+    """
+
+    def __init__(self, source: str):
+        self._src = source
+        self._pos = 0
+        self._line = 1
+        self._n = len(source)
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            tok = self._next_token()
+            tokens.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return tokens
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self._pos + offset
+        return self._src[idx] if idx < self._n else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos < self._n and self._src[self._pos] == "\n":
+                self._line += 1
+            self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace, comments and compiler directives."""
+        while self._pos < self._n:
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < self._n and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line = self._line
+                self._advance(2)
+                while self._pos < self._n:
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start_line)
+            elif ch == "`":
+                # Compiler directive (`timescale, `define, ...): skip the line.
+                while self._pos < self._n and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        if self._pos >= self._n:
+            return Token(TokenKind.EOF, "", self._line)
+
+        ch = self._peek()
+        line = self._line
+
+        if ch.isalpha() or ch == "_" or ch == "$":
+            return self._lex_ident(line)
+        if ch.isdigit() or (ch == "'" and self._peek(1) in "bBdDhHoO"):
+            return self._lex_number(line)
+        if ch == '"':
+            return self._lex_string(line)
+
+        for op in _MULTI_OPS:
+            if self._src.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenKind.OP, op, line)
+        if ch in _SINGLE_OPS:
+            self._advance()
+            return Token(TokenKind.OP, ch, line)
+
+        raise LexError(f"unexpected character {ch!r}", line)
+
+    def _lex_ident(self, line: int) -> Token:
+        start = self._pos
+        while self._pos < self._n and (self._peek().isalnum() or self._peek() in "_$"):
+            self._advance()
+        text = self._src[start : self._pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line)
+
+    def _lex_number(self, line: int) -> Token:
+        start = self._pos
+        # Optional decimal size prefix.
+        while self._pos < self._n and (self._peek().isdigit() or self._peek() == "_"):
+            self._advance()
+        if self._peek() == "'":
+            self._advance()
+            if self._peek() in "sS":
+                self._advance()
+            if self._peek() not in "bBdDhHoO":
+                raise LexError("malformed based literal", line)
+            self._advance()
+            while self._pos < self._n and (
+                self._peek().isalnum() or self._peek() in "_xXzZ?"
+            ):
+                self._advance()
+        return Token(TokenKind.NUMBER, self._src[start : self._pos], line)
+
+    def _lex_string(self, line: int) -> Token:
+        self._advance()  # opening quote
+        start = self._pos
+        while self._pos < self._n and self._peek() != '"':
+            if self._peek() == "\n":
+                raise LexError("unterminated string literal", line)
+            self._advance()
+        if self._pos >= self._n:
+            raise LexError("unterminated string literal", line)
+        text = self._src[start : self._pos]
+        self._advance()  # closing quote
+        return Token(TokenKind.STRING, text, line)
+
+
+def parse_number_literal(text: str) -> "tuple[Optional[int], int]":
+    """Decode a Verilog numeric literal into ``(width, value)``.
+
+    ``width`` is ``None`` for unsized literals.  ``x``/``z`` digits are not
+    representable in a plain int; they raise ``ValueError`` (the synthesizable
+    subset we target treats them as don't-care only inside casez labels, which
+    the parser handles separately).
+    """
+    text = text.replace("_", "")
+    if "'" not in text:
+        return None, int(text, 10)
+    size_txt, rest = text.split("'", 1)
+    width = int(size_txt) if size_txt else None
+    if rest[0] in "sS":
+        rest = rest[1:]
+    base_ch = rest[0].lower()
+    digits = rest[1:]
+    base = {"b": 2, "d": 10, "h": 16, "o": 8}[base_ch]
+    if any(c in "xXzZ?" for c in digits):
+        raise ValueError(f"literal {text!r} contains x/z digits")
+    value = int(digits, base) if digits else 0
+    if width is not None:
+        value &= (1 << width) - 1
+    return width, value

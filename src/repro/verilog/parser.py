@@ -1,0 +1,650 @@
+"""Recursive-descent parser for the synthesizable Verilog subset.
+
+Handles both ANSI (``module m(input [3:0] a, output b);``) and non-ANSI
+(``module m(a, b); input [3:0] a; ...``) port styles, continuous assigns,
+always blocks with if/else, case/casez, for loops and begin/end blocks,
+module instances (named and positional connections, parameter overrides) and
+the built-in gate primitives — i.e. the RT and gate-level constructs the
+paper's Rough Verilog Parser supports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.verilog import ast
+from repro.verilog.lexer import Lexer, Token, TokenKind, parse_number_literal
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+# Binary operator precedence, higher binds tighter.
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "^~": 4,
+    "~^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "===": 6,
+    "!==": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "<<<": 8,
+    ">>>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+    "**": 11,
+}
+
+_UNARY_OPS = {"~", "!", "-", "+", "&", "|", "^", "~&", "~|", "~^"}
+
+_GATE_TYPES = {"and", "or", "nand", "nor", "xor", "xnor", "not", "buf"}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self._tokens = Lexer(source).tokenize()
+        self._pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind is not TokenKind.EOF:
+            self._pos += 1
+        return tok
+
+    def _check(self, value: str) -> bool:
+        tok = self._peek()
+        return tok.kind in (TokenKind.OP, TokenKind.KEYWORD) and tok.value == value
+
+    def _accept(self, value: str) -> bool:
+        if self._check(value):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, value: str) -> Token:
+        if not self._check(value):
+            tok = self._peek()
+            raise ParseError(f"expected {value!r}, found {tok.value!r}", tok.line)
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        tok = self._peek()
+        if tok.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected identifier, found {tok.value!r}", tok.line)
+        return self._advance()
+
+    # -- top level ---------------------------------------------------------
+
+    def parse(self) -> ast.Source:
+        source = ast.Source()
+        while self._peek().kind is not TokenKind.EOF:
+            source.modules.append(self._parse_module())
+        return source
+
+    def _parse_module(self) -> ast.Module:
+        start = self._expect("module")
+        name = self._expect_ident().value
+        module = ast.Module(name=name, port_order=[], ports=[], line=start.line)
+
+        if self._accept("#"):
+            self._parse_module_params(module)
+
+        ansi_ports: List[ast.PortDecl] = []
+        if self._accept("("):
+            if not self._check(")"):
+                self._parse_port_list(module, ansi_ports)
+            self._expect(")")
+        self._expect(";")
+
+        declared = {p.name: p for p in ansi_ports}
+        module.ports = list(ansi_ports)
+
+        while not self._check("endmodule"):
+            self._parse_module_item(module, declared)
+        self._expect("endmodule")
+
+        # Non-ANSI style: port_order was collected from the header, port
+        # declarations appeared as items.  Order ports by header order.
+        if module.port_order and not ansi_ports:
+            ordered = []
+            for pname in module.port_order:
+                if pname not in declared:
+                    raise ParseError(
+                        f"port {pname!r} of module {name!r} has no direction "
+                        "declaration",
+                        module.line,
+                    )
+                ordered.append(declared[pname])
+            module.ports = ordered
+        elif not module.port_order:
+            module.port_order = [p.name for p in module.ports]
+        return module
+
+    def _parse_module_params(self, module: ast.Module) -> None:
+        self._expect("(")
+        self._expect("parameter")
+        while True:
+            name = self._expect_ident().value
+            self._expect("=")
+            value = self._parse_expr()
+            module.params.append(ast.ParamDecl(name=name, value=value))
+            if not self._accept(","):
+                break
+            self._accept("parameter")
+        self._expect(")")
+
+    def _parse_port_list(
+        self, module: ast.Module, ansi_ports: List[ast.PortDecl]
+    ) -> None:
+        """Parse the header port list, ANSI or plain-name style."""
+        direction: Optional[str] = None
+        rng: Optional[ast.Range] = None
+        while True:
+            tok = self._peek()
+            if tok.value in ("input", "output", "inout"):
+                direction = self._advance().value
+                is_reg = bool(self._accept("reg"))
+                self._accept("wire")
+                self._accept("signed")
+                rng = self._parse_optional_range()
+                name_tok = self._expect_ident()
+                ansi_ports.append(
+                    ast.PortDecl(
+                        direction=direction,
+                        name=name_tok.value,
+                        range=rng,
+                        is_reg=is_reg,
+                        line=name_tok.line,
+                    )
+                )
+                module.port_order.append(name_tok.value)
+            elif tok.kind is TokenKind.IDENT:
+                name_tok = self._advance()
+                if ansi_ports and direction is not None:
+                    # Continuation of the previous ANSI decl: input a, b
+                    prev = ansi_ports[-1]
+                    ansi_ports.append(
+                        ast.PortDecl(
+                            direction=prev.direction,
+                            name=name_tok.value,
+                            range=prev.range,
+                            is_reg=prev.is_reg,
+                            line=name_tok.line,
+                        )
+                    )
+                module.port_order.append(name_tok.value)
+            else:
+                raise ParseError(
+                    f"unexpected token {tok.value!r} in port list", tok.line
+                )
+            if not self._accept(","):
+                return
+
+    # -- module items ------------------------------------------------------
+
+    def _parse_module_item(self, module: ast.Module, declared: dict) -> None:
+        tok = self._peek()
+        value = tok.value
+
+        if value in ("input", "output", "inout"):
+            self._parse_port_item(module, declared)
+        elif value in ("wire", "reg", "integer"):
+            self._parse_net_decl(module)
+        elif value in ("parameter", "localparam"):
+            self._parse_param_item(module)
+        elif value == "assign":
+            self._parse_cont_assign(module)
+        elif value == "always":
+            self._parse_always(module)
+        elif value in _GATE_TYPES:
+            self._parse_gate(module)
+        elif tok.kind is TokenKind.IDENT:
+            self._parse_instance(module)
+        else:
+            raise ParseError(f"unexpected token {value!r} in module body", tok.line)
+
+    def _parse_optional_range(self) -> Optional[ast.Range]:
+        if not self._check("["):
+            return None
+        self._advance()
+        msb = self._parse_expr()
+        self._expect(":")
+        lsb = self._parse_expr()
+        self._expect("]")
+        return ast.Range(msb=msb, lsb=lsb)
+
+    def _parse_port_item(self, module: ast.Module, declared: dict) -> None:
+        direction = self._advance().value
+        is_reg = bool(self._accept("reg"))
+        self._accept("wire")
+        self._accept("signed")
+        rng = self._parse_optional_range()
+        while True:
+            name_tok = self._expect_ident()
+            port = ast.PortDecl(
+                direction=direction,
+                name=name_tok.value,
+                range=rng,
+                is_reg=is_reg,
+                line=name_tok.line,
+            )
+            declared[name_tok.value] = port
+            if not self._accept(","):
+                break
+        self._expect(";")
+
+    def _parse_net_decl(self, module: ast.Module) -> None:
+        kind = self._advance().value
+        self._accept("signed")
+        rng = self._parse_optional_range() if kind != "integer" else None
+        while True:
+            name_tok = self._expect_ident()
+            # Memory declarations (reg [7:0] mem [0:15]) are out of subset.
+            if self._check("["):
+                raise ParseError(
+                    f"memory arrays are not supported ({name_tok.value!r})",
+                    name_tok.line,
+                )
+            if self._accept("="):
+                # wire w = expr;  -> declaration plus continuous assign
+                rhs = self._parse_expr()
+                module.nets.append(
+                    ast.NetDecl(kind=kind, name=name_tok.value, range=rng,
+                                line=name_tok.line)
+                )
+                module.assigns.append(
+                    ast.ContAssign(
+                        target=ast.Ident(name=name_tok.value, line=name_tok.line),
+                        rhs=rhs,
+                        line=name_tok.line,
+                    )
+                )
+            else:
+                module.nets.append(
+                    ast.NetDecl(kind=kind, name=name_tok.value, range=rng,
+                                line=name_tok.line)
+                )
+            if not self._accept(","):
+                break
+        self._expect(";")
+
+    def _parse_param_item(self, module: ast.Module) -> None:
+        local = self._advance().value == "localparam"
+        self._parse_optional_range()
+        while True:
+            name = self._expect_ident().value
+            self._expect("=")
+            value = self._parse_expr()
+            module.params.append(ast.ParamDecl(name=name, value=value, local=local))
+            if not self._accept(","):
+                break
+        self._expect(";")
+
+    def _parse_cont_assign(self, module: ast.Module) -> None:
+        start = self._advance()  # 'assign'
+        while True:
+            target = self._parse_lhs()
+            self._expect("=")
+            rhs = self._parse_expr()
+            module.assigns.append(
+                ast.ContAssign(target=target, rhs=rhs, line=start.line)
+            )
+            if not self._accept(","):
+                break
+        self._expect(";")
+
+    def _parse_always(self, module: ast.Module) -> None:
+        start = self._advance()  # 'always'
+        self._expect("@")
+        sensitivity: List[ast.SensItem] = []
+        if self._accept("("):
+            if self._accept("*"):
+                pass  # empty sensitivity = combinational
+            else:
+                while True:
+                    edge = "level"
+                    if self._accept("posedge"):
+                        edge = "posedge"
+                    elif self._accept("negedge"):
+                        edge = "negedge"
+                    sig = self._expect_ident().value
+                    sensitivity.append(ast.SensItem(edge=edge, signal=sig))
+                    if not (self._accept("or") or self._accept(",")):
+                        break
+            self._expect(")")
+        elif self._accept("*"):
+            pass
+        else:
+            raise ParseError("expected sensitivity list", start.line)
+        body = self._parse_stmt()
+        module.always_blocks.append(
+            ast.Always(sensitivity=sensitivity, body=body, line=start.line)
+        )
+
+    def _parse_gate(self, module: ast.Module) -> None:
+        gate_tok = self._advance()
+        inst_name: Optional[str] = None
+        if self._peek().kind is TokenKind.IDENT:
+            inst_name = self._advance().value
+        self._expect("(")
+        terminals = [self._parse_expr()]
+        while self._accept(","):
+            terminals.append(self._parse_expr())
+        self._expect(")")
+        self._expect(";")
+        if len(terminals) < 2:
+            raise ParseError("gate needs at least two terminals", gate_tok.line)
+        module.gates.append(
+            ast.GateInstance(
+                gate_type=gate_tok.value,
+                inst_name=inst_name,
+                terminals=terminals,
+                line=gate_tok.line,
+            )
+        )
+
+    def _parse_instance(self, module: ast.Module) -> None:
+        mod_tok = self._expect_ident()
+        param_overrides: List[Tuple[Optional[str], ast.Expr]] = []
+        if self._accept("#"):
+            self._expect("(")
+            param_overrides = self._parse_connection_list()
+            self._expect(")")
+        inst_tok = self._expect_ident()
+        self._expect("(")
+        conns_raw = self._parse_connection_list() if not self._check(")") else []
+        self._expect(")")
+        self._expect(";")
+        connections = [
+            ast.PortConn(name=n, expr=e, line=inst_tok.line) for n, e in conns_raw
+        ]
+        module.instances.append(
+            ast.Instance(
+                module_name=mod_tok.value,
+                inst_name=inst_tok.value,
+                connections=connections,
+                param_overrides=param_overrides,
+                line=inst_tok.line,
+            )
+        )
+
+    def _parse_connection_list(self) -> List[Tuple[Optional[str], Optional[ast.Expr]]]:
+        conns: List[Tuple[Optional[str], Optional[ast.Expr]]] = []
+        while True:
+            if self._accept("."):
+                name = self._expect_ident().value
+                self._expect("(")
+                expr = None if self._check(")") else self._parse_expr()
+                self._expect(")")
+                conns.append((name, expr))
+            else:
+                conns.append((None, self._parse_expr()))
+            if not self._accept(","):
+                return conns
+
+    # -- statements --------------------------------------------------------
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.value == "begin":
+            return self._parse_block()
+        if tok.value == "if":
+            return self._parse_if()
+        if tok.value in ("case", "casez", "casex"):
+            return self._parse_case()
+        if tok.value == "for":
+            return self._parse_for()
+        if tok.value == ";":
+            self._advance()
+            return ast.Block(stmts=[], line=tok.line)
+        return self._parse_assign_stmt()
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect("begin")
+        if self._accept(":"):
+            self._expect_ident()  # named block; name ignored
+        stmts: List[ast.Stmt] = []
+        while not self._check("end"):
+            stmts.append(self._parse_stmt())
+        self._expect("end")
+        return ast.Block(stmts=stmts, line=start.line)
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect("if")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        then_stmt = self._parse_stmt()
+        else_stmt = self._parse_stmt() if self._accept("else") else None
+        return ast.If(cond=cond, then_stmt=then_stmt, else_stmt=else_stmt,
+                      line=start.line)
+
+    def _parse_case(self) -> ast.Case:
+        start = self._advance()
+        kind = start.value
+        self._expect("(")
+        selector = self._parse_expr()
+        self._expect(")")
+        items: List[ast.CaseItem] = []
+        while not self._check("endcase"):
+            item_line = self._peek().line
+            if self._accept("default"):
+                self._accept(":")
+                stmt = self._parse_stmt()
+                items.append(ast.CaseItem(labels=[], stmt=stmt, line=item_line))
+            else:
+                labels = [self._parse_case_label(kind)]
+                while self._accept(","):
+                    labels.append(self._parse_case_label(kind))
+                self._expect(":")
+                stmt = self._parse_stmt()
+                items.append(ast.CaseItem(labels=labels, stmt=stmt, line=item_line))
+        self._expect("endcase")
+        return ast.Case(selector=selector, items=items, kind=kind, line=start.line)
+
+    def _parse_case_label(self, case_kind: str) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.NUMBER and any(c in "xXzZ?" for c in tok.value):
+            self._advance()
+            return _wildcard_label(tok, case_kind)
+        return self._parse_expr()
+
+    def _parse_for(self) -> ast.For:
+        start = self._expect("for")
+        self._expect("(")
+        init = self._parse_simple_assign()
+        self._expect(";")
+        cond = self._parse_expr()
+        self._expect(";")
+        step = self._parse_simple_assign()
+        self._expect(")")
+        body = self._parse_stmt()
+        return ast.For(init=init, cond=cond, step=step, body=body, line=start.line)
+
+    def _parse_simple_assign(self) -> ast.AssignStmt:
+        target = self._parse_lhs()
+        self._expect("=")
+        rhs = self._parse_expr()
+        return ast.AssignStmt(target=target, rhs=rhs, blocking=True,
+                              line=target.line)
+
+    def _parse_assign_stmt(self) -> ast.AssignStmt:
+        target = self._parse_lhs()
+        blocking = True
+        if self._accept("<="):
+            blocking = False
+        else:
+            self._expect("=")
+        rhs = self._parse_expr()
+        self._expect(";")
+        return ast.AssignStmt(target=target, rhs=rhs, blocking=blocking,
+                              line=target.line)
+
+    # -- expressions -------------------------------------------------------
+
+    def _parse_lhs(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.value == "{":
+            return self._parse_concat()
+        name_tok = self._expect_ident()
+        return self._parse_select_suffix(name_tok)
+
+    def _parse_select_suffix(self, name_tok: Token) -> ast.Expr:
+        if not self._check("["):
+            return ast.Ident(name=name_tok.value, line=name_tok.line)
+        self._advance()
+        first = self._parse_expr()
+        if self._accept(":"):
+            lsb = self._parse_expr()
+            self._expect("]")
+            return ast.PartSelect(name=name_tok.value, msb=first, lsb=lsb,
+                                  line=name_tok.line)
+        self._expect("]")
+        return ast.BitSelect(name=name_tok.value, index=first, line=name_tok.line)
+
+    def _parse_concat(self) -> ast.Expr:
+        start = self._expect("{")
+        first = self._parse_expr()
+        if self._check("{"):
+            # Replication: {N{expr}}
+            self._advance()
+            value = self._parse_expr()
+            while self._accept(","):
+                nxt = self._parse_expr()
+                value = ast.Concat(parts=_concat_parts(value) + [nxt],
+                                   line=start.line)
+            self._expect("}")
+            self._expect("}")
+            return ast.Repeat(count=first, value=value, line=start.line)
+        parts = [first]
+        while self._accept(","):
+            parts.append(self._parse_expr())
+        self._expect("}")
+        if len(parts) == 1:
+            return parts[0]
+        return ast.Concat(parts=parts, line=start.line)
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._accept("?"):
+            if_true = self._parse_ternary()
+            self._expect(":")
+            if_false = self._parse_ternary()
+            return ast.Ternary(cond=cond, if_true=if_true, if_false=if_false,
+                               line=cond.line)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.kind is not TokenKind.OP:
+                return left
+            prec = _BINARY_PRECEDENCE.get(tok.value, 0)
+            if prec < min_prec:
+                return left
+            self._advance()
+            right = self._parse_binary(prec + 1)
+            left = ast.Binary(op=tok.value, left=left, right=right, line=tok.line)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.OP and tok.value in _UNARY_OPS:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(op=tok.value, operand=operand, line=tok.line)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.NUMBER:
+            self._advance()
+            if any(c in "xXzZ?" for c in tok.value):
+                return _wildcard_label(tok, "casez")
+            width, value = parse_number_literal(tok.value)
+            base = "d"
+            if "'" in tok.value:
+                base = tok.value.split("'", 1)[1].lstrip("sS")[0].lower()
+            return ast.Number(value=value, width=width, base=base, line=tok.line)
+        if tok.value == "(":
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(")")
+            return expr
+        if tok.value == "{":
+            return self._parse_concat()
+        if tok.kind is TokenKind.IDENT:
+            name_tok = self._advance()
+            return self._parse_select_suffix(name_tok)
+        raise ParseError(f"unexpected token {tok.value!r} in expression", tok.line)
+
+
+def _concat_parts(expr: ast.Expr) -> List[ast.Expr]:
+    if isinstance(expr, ast.Concat):
+        return list(expr.parts)
+    return [expr]
+
+
+def _wildcard_label(tok: Token, case_kind: str) -> ast.Expr:
+    """Turn ``4'b1??0`` into a :class:`~repro.verilog.ast.CaseLabelWild`."""
+    text = tok.value.replace("_", "")
+    if "'" not in text:
+        raise ParseError("wildcard literal must be based", tok.line)
+    size_txt, rest = text.split("'", 1)
+    if rest[0] in "sS":
+        rest = rest[1:]
+    base_ch = rest[0].lower()
+    digits = rest[1:]
+    if base_ch != "b":
+        raise ParseError("wildcard case labels must use binary base", tok.line)
+    width = int(size_txt) if size_txt else len(digits)
+    bits = ""
+    for ch in digits:
+        if ch in "01":
+            bits += ch
+        elif ch in "zZ?":
+            bits += "?"
+        elif ch in "xX":
+            if case_kind != "casex":
+                raise ParseError("x digits only allowed in casex labels", tok.line)
+            bits += "?"
+        else:
+            raise ParseError(f"bad binary digit {ch!r}", tok.line)
+    bits = bits.rjust(width, "0")[-width:]
+    return ast.CaseLabelWild(bits=bits, line=tok.line)
+
+
+def parse_source(text: str) -> ast.Source:
+    """Parse Verilog source text into a :class:`~repro.verilog.ast.Source`."""
+    return Parser(text).parse()
+
+
+def parse_file(path: str) -> ast.Source:
+    """Parse a Verilog file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_source(handle.read())

@@ -1,0 +1,210 @@
+"""Verilog compiler-directive preprocessor.
+
+Supports the directives real RTL uses before parsing:
+
+- ```define NAME value`` / ```undef NAME`` — object-like macros,
+  substituted at ```NAME`` references,
+- ```ifdef`` / ```ifndef`` / ```else`` / ```elsif`` /
+  ```endif`` — conditional compilation,
+- ```include "file"`` — textual inclusion relative to the including
+  file,
+- ```timescale``, ```default_nettype`` and other no-op directives
+  are dropped.
+
+The output contains no backtick directives, so the lexer's line-skip
+fallback never has to fire on preprocessed text.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional, Sequence
+
+_MACRO_REF = re.compile(r"`([A-Za-z_][A-Za-z0-9_$]*)")
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+# Directives silently dropped (simulation/lint concerns, not synthesis).
+_NOOP_DIRECTIVES = frozenset({
+    "timescale", "default_nettype", "resetall", "celldefine",
+    "endcelldefine", "nounconnected_drive", "unconnected_drive",
+})
+
+_MAX_EXPANSION_DEPTH = 64
+_MAX_INCLUDE_DEPTH = 32
+
+
+class PreprocessError(Exception):
+    def __init__(self, message: str, filename: str, line: int):
+        super().__init__(f"{filename}:{line}: {message}")
+        self.filename = filename
+        self.line = line
+
+
+class Preprocessor:
+    """Single-pass line-oriented preprocessor with macro substitution."""
+
+    def __init__(self, defines: Optional[Dict[str, str]] = None,
+                 include_dirs: Sequence[str] = ()):
+        self.macros: Dict[str, str] = dict(defines or {})
+        self.include_dirs = list(include_dirs)
+
+    # -- public -------------------------------------------------------------
+
+    def process_text(self, text: str, filename: str = "<text>") -> str:
+        out: List[str] = []
+        self._process_lines(text.splitlines(), filename, out, depth=0)
+        return "\n".join(out) + "\n"
+
+    def process_file(self, path: str) -> str:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        return self.process_text(text, filename=path)
+
+    # -- internals ------------------------------------------------------------
+
+    def _process_lines(self, lines: Sequence[str], filename: str,
+                       out: List[str], depth: int) -> None:
+        if depth > _MAX_INCLUDE_DEPTH:
+            raise PreprocessError("include depth exceeded", filename, 0)
+        # Conditional stack entries: (taking, seen_true, in_else)
+        stack: List[List[bool]] = []
+
+        def active() -> bool:
+            return all(frame[0] for frame in stack)
+
+        for lineno, raw in enumerate(lines, start=1):
+            stripped = raw.strip()
+            if stripped.startswith("`"):
+                handled = self._directive(
+                    stripped, filename, lineno, out, stack, active, depth
+                )
+                if handled:
+                    continue
+            if not active():
+                continue
+            out.append(self._expand(raw, filename, lineno))
+
+        if stack:
+            raise PreprocessError("unterminated `ifdef", filename,
+                                  len(lines))
+
+    def _directive(self, line: str, filename: str, lineno: int,
+                   out: List[str], stack: List[List[bool]], active,
+                   depth: int) -> bool:
+        body = line[1:]
+        parts = body.split(None, 1)
+        name = parts[0] if parts else ""
+        rest = parts[1].strip() if len(parts) > 1 else ""
+
+        if name == "ifdef" or name == "ifndef":
+            if not _IDENT.match(rest.split()[0] if rest else ""):
+                raise PreprocessError(f"bad `{name} operand", filename,
+                                      lineno)
+            symbol = rest.split()[0]
+            defined = symbol in self.macros
+            truth = defined if name == "ifdef" else not defined
+            taking = active() and truth
+            stack.append([taking, truth, False])
+            return True
+        if name == "elsif":
+            if not stack:
+                raise PreprocessError("`elsif without `ifdef", filename,
+                                      lineno)
+            frame = stack[-1]
+            if frame[2]:
+                raise PreprocessError("`elsif after `else", filename, lineno)
+            symbol = rest.split()[0] if rest else ""
+            truth = symbol in self.macros and not frame[1]
+            frame[0] = truth and all(f[0] for f in stack[:-1])
+            frame[1] = frame[1] or truth
+            return True
+        if name == "else":
+            if not stack:
+                raise PreprocessError("`else without `ifdef", filename,
+                                      lineno)
+            frame = stack[-1]
+            if frame[2]:
+                raise PreprocessError("duplicate `else", filename, lineno)
+            frame[2] = True
+            frame[0] = (not frame[1]) and all(f[0] for f in stack[:-1])
+            frame[1] = True
+            return True
+        if name == "endif":
+            if not stack:
+                raise PreprocessError("`endif without `ifdef", filename,
+                                      lineno)
+            stack.pop()
+            return True
+
+        if not active():
+            return True  # suppressed region: swallow remaining directives
+
+        if name == "define":
+            define_parts = rest.split(None, 1)
+            if not define_parts or not _IDENT.match(define_parts[0]):
+                raise PreprocessError("bad `define", filename, lineno)
+            macro = define_parts[0]
+            if "(" in macro:
+                raise PreprocessError(
+                    "function-like macros are not supported", filename,
+                    lineno,
+                )
+            value = define_parts[1] if len(define_parts) > 1 else ""
+            self.macros[macro] = value.strip()
+            return True
+        if name == "undef":
+            symbol = rest.split()[0] if rest else ""
+            self.macros.pop(symbol, None)
+            return True
+        if name == "include":
+            match = re.match(r'^"([^"]+)"', rest)
+            if not match:
+                raise PreprocessError('`include expects "file"', filename,
+                                      lineno)
+            target = self._resolve_include(match.group(1), filename)
+            with open(target, "r", encoding="utf-8") as handle:
+                self._process_lines(handle.read().splitlines(), target, out,
+                                    depth + 1)
+            return True
+        if name in _NOOP_DIRECTIVES:
+            return True
+        # Unknown directive that is not a macro reference: if it names a
+        # defined macro, fall through to expansion; otherwise error.
+        if name in self.macros:
+            return False
+        raise PreprocessError(f"unknown directive `{name}", filename,
+                              lineno)
+
+    def _resolve_include(self, name: str, from_file: str) -> str:
+        candidates = []
+        if from_file not in ("<text>",):
+            candidates.append(os.path.join(os.path.dirname(from_file), name))
+        candidates.extend(os.path.join(d, name) for d in self.include_dirs)
+        candidates.append(name)
+        for cand in candidates:
+            if os.path.exists(cand):
+                return cand
+        raise PreprocessError(f"include file {name!r} not found", from_file,
+                              0)
+
+    def _expand(self, line: str, filename: str, lineno: int) -> str:
+        for _ in range(_MAX_EXPANSION_DEPTH):
+            match = _MACRO_REF.search(line)
+            if match is None:
+                return line
+            name = match.group(1)
+            if name not in self.macros:
+                raise PreprocessError(f"undefined macro `{name}", filename,
+                                      lineno)
+            line = (line[: match.start()] + self.macros[name]
+                    + line[match.end():])
+        raise PreprocessError("macro expansion too deep (recursive "
+                              "`define?)", filename, lineno)
+
+
+def preprocess(text: str, defines: Optional[Dict[str, str]] = None,
+               include_dirs: Sequence[str] = (),
+               filename: str = "<text>") -> str:
+    """One-shot convenience wrapper."""
+    return Preprocessor(defines, include_dirs).process_text(text, filename)

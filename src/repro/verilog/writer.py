@@ -1,0 +1,247 @@
+"""Emit synthesizable Verilog text from the AST.
+
+FACTOR writes extracted constraints back out as Verilog netlists; this module
+provides that serialization.  The output is parseable by our own parser
+(round-trip tested) so extracted constraint files can be re-read, composed and
+synthesized.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.verilog import ast
+
+_INDENT = "  "
+
+# Expression precedence for minimal parenthesisation (mirrors parser table).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "^~": 4,
+    "~^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "===": 6,
+    "!==": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "<<<": 8,
+    ">>>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+    "**": 11,
+}
+
+_UNARY_PREC = 12
+_TERNARY_PREC = 0
+
+
+def write_expr(expr: ast.Expr, parent_prec: int = -1) -> str:
+    """Render an expression, parenthesising only where needed."""
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    if isinstance(expr, ast.Number):
+        if expr.width is not None:
+            if expr.base == "b":
+                return f"{expr.width}'b{expr.value:0{expr.width}b}"
+            if expr.base == "h":
+                return f"{expr.width}'h{expr.value:x}"
+            if expr.base == "o":
+                return f"{expr.width}'o{expr.value:o}"
+            return f"{expr.width}'d{expr.value}"
+        return str(expr.value)
+    if isinstance(expr, ast.CaseLabelWild):
+        return f"{len(expr.bits)}'b{expr.bits}"
+    if isinstance(expr, ast.BitSelect):
+        return f"{expr.name}[{write_expr(expr.index)}]"
+    if isinstance(expr, ast.PartSelect):
+        return f"{expr.name}[{write_expr(expr.msb)}:{write_expr(expr.lsb)}]"
+    if isinstance(expr, ast.Concat):
+        inner = ", ".join(write_expr(p) for p in expr.parts)
+        return "{" + inner + "}"
+    if isinstance(expr, ast.Repeat):
+        return "{" + write_expr(expr.count) + "{" + write_expr(expr.value) + "}}"
+    if isinstance(expr, ast.Unary):
+        inner = write_expr(expr.operand, _UNARY_PREC)
+        if isinstance(expr.operand, ast.Unary):
+            # Adjacent unary operators would re-lex as one multi-character
+            # token (e.g. "^" + "~&x" -> "^~" "&x"): force parentheses.
+            inner = f"({inner})"
+        text = f"{expr.op}{inner}"
+        return text if parent_prec <= _UNARY_PREC else f"({text})"
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        left = write_expr(expr.left, prec)
+        right = write_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return text if prec >= parent_prec else f"({text})"
+    if isinstance(expr, ast.Ternary):
+        text = (
+            f"{write_expr(expr.cond, 1)} ? "
+            f"{write_expr(expr.if_true, _TERNARY_PREC)} : "
+            f"{write_expr(expr.if_false, _TERNARY_PREC)}"
+        )
+        return text if parent_prec <= _TERNARY_PREC else f"({text})"
+    raise TypeError(f"cannot write expression {expr!r}")
+
+
+def _write_range(rng) -> str:
+    if rng is None:
+        return ""
+    return f"[{write_expr(rng.msb)}:{write_expr(rng.lsb)}] "
+
+
+def _write_stmt(stmt: ast.Stmt, lines: List[str], depth: int) -> None:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Block):
+        if len(stmt.stmts) == 1:
+            _write_stmt(stmt.stmts[0], lines, depth)
+            return
+        lines.append(f"{pad}begin")
+        for inner in stmt.stmts:
+            _write_stmt(inner, lines, depth + 1)
+        lines.append(f"{pad}end")
+    elif isinstance(stmt, ast.AssignStmt):
+        op = "=" if stmt.blocking else "<="
+        lines.append(f"{pad}{write_expr(stmt.target)} {op} {write_expr(stmt.rhs)};")
+    elif isinstance(stmt, ast.If):
+        lines.append(f"{pad}if ({write_expr(stmt.cond)})")
+        # An unwrapped then-branch ending in an else-less `if` would capture
+        # this statement's `else` on re-parse (dangling else); force begin/end.
+        force = stmt.else_stmt is not None and _captures_else(stmt.then_stmt)
+        _write_nested(stmt.then_stmt, lines, depth, force_block=force)
+        if stmt.else_stmt is not None:
+            lines.append(f"{pad}else")
+            _write_nested(stmt.else_stmt, lines, depth)
+    elif isinstance(stmt, ast.Case):
+        lines.append(f"{pad}{stmt.kind} ({write_expr(stmt.selector)})")
+        for item in stmt.items:
+            if item.is_default:
+                lines.append(f"{pad}{_INDENT}default:")
+            else:
+                labels = ", ".join(write_expr(lbl) for lbl in item.labels)
+                lines.append(f"{pad}{_INDENT}{labels}:")
+            _write_nested(item.stmt, lines, depth + 1)
+        lines.append(f"{pad}endcase")
+    elif isinstance(stmt, ast.For):
+        init = f"{write_expr(stmt.init.target)} = {write_expr(stmt.init.rhs)}"
+        step = f"{write_expr(stmt.step.target)} = {write_expr(stmt.step.rhs)}"
+        lines.append(f"{pad}for ({init}; {write_expr(stmt.cond)}; {step})")
+        _write_nested(stmt.body, lines, depth)
+    else:
+        raise TypeError(f"cannot write statement {stmt!r}")
+
+
+def _captures_else(stmt: ast.Stmt) -> bool:
+    """Would this statement, written bare, swallow a following ``else``?"""
+    if isinstance(stmt, ast.If):
+        if stmt.else_stmt is None:
+            return True
+        return _captures_else(stmt.else_stmt)
+    if isinstance(stmt, ast.For):
+        return _captures_else(stmt.body)
+    if isinstance(stmt, ast.Block):
+        # Only relevant when the block would be unwrapped (single statement).
+        return len(stmt.stmts) == 1 and _captures_else(stmt.stmts[0])
+    return False
+
+
+def _write_nested(stmt: ast.Stmt, lines: List[str], depth: int,
+                  force_block: bool = False) -> None:
+    """Write the body of an if/else/case arm, wrapping blocks properly."""
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Block) and (force_block or len(stmt.stmts) != 1):
+        lines.append(f"{pad}begin")
+        for inner in stmt.stmts:
+            _write_stmt(inner, lines, depth + 1)
+        lines.append(f"{pad}end")
+    elif force_block:
+        lines.append(f"{pad}begin")
+        _write_stmt(stmt, lines, depth + 1)
+        lines.append(f"{pad}end")
+    else:
+        _write_stmt(stmt, lines, depth + 1)
+
+
+def write_module(module: ast.Module) -> str:
+    """Render a complete module declaration."""
+    lines: List[str] = []
+    header_ports = ", ".join(module.port_order)
+    lines.append(f"module {module.name}({header_ports});")
+
+    for param in module.params:
+        kw = "localparam" if param.local else "parameter"
+        lines.append(f"{_INDENT}{kw} {param.name} = {write_expr(param.value)};")
+
+    for port in module.ports:
+        reg_txt = "reg " if port.is_reg else ""
+        lines.append(
+            f"{_INDENT}{port.direction} {reg_txt}{_write_range(port.range)}"
+            f"{port.name};"
+        )
+
+    for net in module.nets:
+        lines.append(f"{_INDENT}{net.kind} {_write_range(net.range)}{net.name};")
+
+    for gate in module.gates:
+        name_txt = f" {gate.inst_name}" if gate.inst_name else ""
+        terms = ", ".join(write_expr(t) for t in gate.terminals)
+        lines.append(f"{_INDENT}{gate.gate_type}{name_txt}({terms});")
+
+    for assign in module.assigns:
+        lines.append(
+            f"{_INDENT}assign {write_expr(assign.target)} = "
+            f"{write_expr(assign.rhs)};"
+        )
+
+    for inst in module.instances:
+        param_txt = ""
+        if inst.param_overrides:
+            parts = []
+            for name, expr in inst.param_overrides:
+                if name is None:
+                    parts.append(write_expr(expr))
+                else:
+                    parts.append(f".{name}({write_expr(expr)})")
+            param_txt = " #(" + ", ".join(parts) + ")"
+        conns = []
+        for conn in inst.connections:
+            expr_txt = "" if conn.expr is None else write_expr(conn.expr)
+            if conn.name is None:
+                conns.append(expr_txt)
+            else:
+                conns.append(f".{conn.name}({expr_txt})")
+        lines.append(
+            f"{_INDENT}{inst.module_name}{param_txt} {inst.inst_name}"
+            f"({', '.join(conns)});"
+        )
+
+    for always in module.always_blocks:
+        if not always.sensitivity:
+            sens = "*"
+        else:
+            sens = " or ".join(
+                (f"{item.edge} {item.signal}" if item.edge != "level" else item.signal)
+                for item in always.sensitivity
+            )
+        lines.append(f"{_INDENT}always @({sens})")
+        _write_nested(always.body, lines, 1)
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_source(source: ast.Source) -> str:
+    """Render every module in a source collection."""
+    return "\n".join(write_module(mod) for mod in source.modules)

@@ -1,0 +1,162 @@
+"""Unit tests for AST helper methods (signals, defined/used, walks)."""
+
+import pytest
+
+from repro.verilog import ast
+from repro.verilog.parser import parse_source
+
+
+def module_of(src):
+    return parse_source(src).modules[0]
+
+
+class TestLhsHelpers:
+    def test_ident_target(self):
+        assert ast.lhs_base_names(ast.Ident(name="y")) == {"y"}
+        assert ast.lhs_index_signals(ast.Ident(name="y")) == set()
+
+    def test_bit_select_target(self):
+        target = ast.BitSelect(name="y", index=ast.Ident(name="i"))
+        assert ast.lhs_base_names(target) == {"y"}
+        assert ast.lhs_index_signals(target) == {"i"}
+
+    def test_part_select_target(self):
+        target = ast.PartSelect(
+            name="y", msb=ast.Number(value=3), lsb=ast.Number(value=0)
+        )
+        assert ast.lhs_base_names(target) == {"y"}
+        assert ast.lhs_index_signals(target) == set()
+
+    def test_concat_target(self):
+        target = ast.Concat(parts=[ast.Ident(name="a"), ast.Ident(name="b")])
+        assert ast.lhs_base_names(target) == {"a", "b"}
+
+    def test_invalid_target_raises(self):
+        with pytest.raises(TypeError):
+            ast.lhs_base_names(ast.Number(value=1))
+
+
+class TestStatementDefUse:
+    def test_if_collects_both_branches(self):
+        mod = module_of("""
+        module m(input c, input a, output reg y, output reg z);
+          always @(*)
+            if (c) y = a;
+            else z = a;
+        endmodule
+        """)
+        stmt = mod.always_blocks[0].body
+        assert stmt.defined() == {"y", "z"}
+        assert stmt.used() == {"c", "a"}
+
+    def test_case_collects_selector_and_labels(self):
+        mod = module_of("""
+        module m(input [1:0] s, input a, output reg y);
+          always @(*)
+            case (s)
+              2'd0: y = a;
+              default: y = 1'b0;
+            endcase
+        endmodule
+        """)
+        stmt = mod.always_blocks[0].body
+        assert stmt.used() == {"s", "a"}
+        assert stmt.defined() == {"y"}
+
+    def test_for_collects_loop_variable(self):
+        mod = module_of("""
+        module m(input a, output reg [3:0] y);
+          integer i;
+          always @(*)
+            for (i = 0; i < 4; i = i + 1)
+              y[i] = a;
+        endmodule
+        """)
+        stmt = mod.always_blocks[0].body
+        assert "i" in stmt.defined()
+        assert "y" in stmt.defined()
+        assert {"i", "a"} <= stmt.used()
+
+    def test_sequential_always_uses_clock(self):
+        mod = module_of("""
+        module m(input clk, input d, output reg q);
+          always @(posedge clk) q <= d;
+        endmodule
+        """)
+        always = mod.always_blocks[0]
+        assert "clk" in always.used()
+        assert always.defined() == {"q"}
+
+    def test_combinational_always_ignores_sensitivity_names(self):
+        mod = module_of("""
+        module m(input d, output reg q);
+          always @(d) q = d;
+        endmodule
+        """)
+        assert mod.always_blocks[0].used() == {"d"}
+
+    def test_gate_def_use(self):
+        mod = module_of("""
+        module m(input a, input b, output y);
+          and g(y, a, b);
+        endmodule
+        """)
+        gate = mod.gates[0]
+        assert gate.defined() == {"y"}
+        assert gate.used() == {"a", "b"}
+
+    def test_cont_assign_index_is_use(self):
+        mod = module_of("""
+        module m(input [1:0] i, input a, output [3:0] y);
+          assign y[i] = a;
+        endmodule
+        """)
+        assign = mod.assigns[0]
+        assert assign.defined() == {"y"}
+        assert assign.used() == {"i", "a"}
+
+
+class TestWalks:
+    def test_walk_exprs_visits_all(self):
+        mod = module_of("""
+        module m(input a, input b, output y);
+          assign y = (a & b) | {2{a ^ b}};
+        endmodule
+        """)
+        nodes = list(ast.walk_exprs(mod.assigns[0].rhs))
+        idents = [n.name for n in nodes if isinstance(n, ast.Ident)]
+        assert sorted(idents) == ["a", "a", "b", "b"]
+
+    def test_walk_stmts_visits_nested(self):
+        mod = module_of("""
+        module m(input c, input a, output reg y);
+          always @(*)
+            if (c) begin
+              y = a;
+              if (a) y = 1'b0;
+            end else
+              y = 1'b1;
+        endmodule
+        """)
+        stmts = list(ast.walk_stmts(mod.always_blocks[0].body))
+        assigns = [s for s in stmts if isinstance(s, ast.AssignStmt)]
+        assert len(assigns) == 3
+
+
+class TestModuleAccessors:
+    def test_port_lookup(self):
+        mod = module_of("module m(input a, output y); endmodule")
+        assert mod.port("a").direction == "input"
+        with pytest.raises(KeyError):
+            mod.port("zz")
+
+    def test_source_duplicate_module_rejected_on_extend(self):
+        src1 = parse_source("module m(); endmodule")
+        src2 = parse_source("module m(); endmodule")
+        with pytest.raises(ValueError):
+            src1.extend(src2)
+
+    def test_source_lookup_missing(self):
+        src = parse_source("module m(); endmodule")
+        with pytest.raises(KeyError):
+            src.module("nope")

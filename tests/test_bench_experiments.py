@@ -1,0 +1,73 @@
+"""Tests for the benchmark experiment driver (fast pieces only — the ATPG
+tables are exercised by benchmarks/)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    Arm2Experiments,
+    bench_scale,
+    default_atpg_options,
+)
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Arm2Experiments()
+
+
+class TestOptions:
+    def test_default_options_consistent(self):
+        opts = default_atpg_options()
+        assert opts.max_frames == 4
+        assert opts.schedule()[-1] == 4
+
+    def test_overrides(self):
+        opts = default_atpg_options(fault_region="x.", fault_sample=5)
+        assert opts.fault_region == "x."
+        assert opts.fault_sample == 5
+
+    def test_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == "paper"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert bench_scale() == "smoke"
+
+
+class TestStructuralTables:
+    def test_table1_columns(self, exp):
+        rows = exp.table1_rows()
+        assert len(rows) == 4
+        for row in rows:
+            assert set(row) == {
+                "module", "hier_level", "PI", "PO", "gates_in_module",
+                "gates_in_surrounding", "stuck_at_faults",
+            }
+
+    def test_table2_and_3_consistency(self, exp):
+        t2 = {r["module"]: r for r in exp.table2_rows()}
+        t3 = {r["module"]: r for r in exp.table3_rows()}
+        assert set(t2) == set(t3)
+        for name in t2:
+            # Composition keeps no more surrounding logic.
+            assert (t3[name]["gates_in_surrounding"]
+                    <= t2[name]["gates_in_surrounding"])
+            assert 0 < t3[name]["gate_reduction_%"] <= 100
+
+    def test_standalone_netlists_cached(self, exp):
+        mut = exp.muts()[0]
+        assert exp.standalone_netlist(mut) is exp.standalone_netlist(mut)
+
+    def test_testability_rows(self, exp):
+        rows = exp.testability_rows()
+        by = {r["module"]: r for r in rows}
+        assert by["arm_alu"]["hard_coded_inputs"] == 13
+
+    def test_ablation_deadcode(self, exp):
+        rows = exp.ablation_deadcode_rows()
+        by = {r["config"]: r for r in rows}
+        assert by["optimized"]["total_gates"] < by["raw"]["total_gates"]
+
+    def test_ablation_reuse(self, exp):
+        rows = exp.ablation_reuse_rows()
+        by = {r["config"]: r for r in rows}
+        assert by["reuse"]["tasks_run"] < by["no_reuse"]["tasks_run"]

@@ -1,0 +1,196 @@
+"""Unit tests for def-use / use-def chains and enclosure tracking."""
+
+import pytest
+
+from repro.hierarchy import ChainDB, Design
+from repro.verilog import ast
+from repro.verilog.parser import parse_source
+
+
+def chains_for(src, module=None):
+    design = Design(parse_source(src))
+    db = ChainDB(design)
+    return db.chains(module or design.top)
+
+
+class TestBasicChains:
+    def test_cont_assign_def_and_use(self):
+        chains = chains_for("""
+        module m(input a, output y);
+          assign y = a;
+        endmodule
+        """)
+        assert len(chains.ud_chain("y")) == 1
+        assert chains.ud_chain("y")[0].kind == "cont_assign"
+        # 'a' is defined by its input port and used by the assign.
+        kinds = {s.kind for s in chains.ud_chain("a")}
+        assert kinds == {"input_port"}
+        assert {s.kind for s in chains.du_chain("a")} == {"cont_assign"}
+
+    def test_output_port_is_use(self):
+        chains = chains_for("""
+        module m(input a, output y);
+          assign y = a;
+        endmodule
+        """)
+        assert {s.kind for s in chains.du_chain("y")} == {"output_port"}
+
+    def test_gate_sites(self):
+        chains = chains_for("""
+        module m(input a, input b, output y);
+          and g(y, a, b);
+        endmodule
+        """)
+        assert chains.ud_chain("y")[0].kind == "gate"
+        assert chains.du_chain("a")[0].kind == "gate"
+
+    def test_proc_assign_sites(self):
+        chains = chains_for("""
+        module m(input a, output reg y);
+          always @(*) y = a;
+        endmodule
+        """)
+        site = chains.ud_chain("y")[0]
+        assert site.kind == "proc_assign"
+        assert site.always is not None
+
+    def test_multiple_defs(self):
+        chains = chains_for("""
+        module m(input a, input b, input c, output reg y);
+          always @(*)
+            if (c) y = a;
+            else y = b;
+        endmodule
+        """)
+        assert len(chains.ud_chain("y")) == 2
+
+
+class TestEnclosures:
+    SRC = """
+    module m(input [1:0] s, input c, input a, output reg y);
+      always @(*) begin
+        y = 1'b0;
+        if (c)
+          case (s)
+            2'd1: y = a;
+            default: y = ~a;
+          endcase
+      end
+    endmodule
+    """
+
+    def test_enclosing_control_signals(self):
+        chains = chains_for(self.SRC)
+        defs = chains.ud_chain("y")
+        # default assignment: no enclosures; case arms: {c, s}.
+        enclosed = [d for d in defs if d.enclosures]
+        plain = [d for d in defs if not d.enclosures]
+        assert len(plain) == 1
+        assert len(enclosed) == 2
+        for site in enclosed:
+            assert site.enclosing_control_signals() == {"c", "s"}
+
+    def test_control_signals_count_as_uses(self):
+        chains = chains_for(self.SRC)
+        assert chains.du_chain("c")
+        assert chains.du_chain("s")
+
+    def test_sequential_clock_is_control(self):
+        chains = chains_for("""
+        module m(input clk, input d, output reg q);
+          always @(posedge clk) q <= d;
+        endmodule
+        """)
+        site = chains.ud_chain("q")[0]
+        assert "clk" in site.enclosing_control_signals()
+        assert chains.du_chain("clk")
+
+    def test_for_loop_enclosure(self):
+        chains = chains_for("""
+        module m(input a, output reg [3:0] y);
+          integer i;
+          always @(*) begin
+            y = 4'd0;
+            for (i = 0; i < 4; i = i + 1)
+              y[i] = a;
+          end
+        endmodule
+        """)
+        loop_sites = [s for s in chains.ud_chain("y") if s.enclosures]
+        assert loop_sites
+        assert "i" in loop_sites[0].enclosing_control_signals()
+
+
+class TestInstanceBoundaries:
+    SRC = """
+    module child(input i, output o);
+      assign o = ~i;
+    endmodule
+    module top(input a, output y);
+      wire t;
+      child u1(.i(a), .o(t));
+      assign y = t;
+    endmodule
+    """
+
+    def test_instance_defines_output_net(self):
+        chains = chains_for(self.SRC, "top")
+        assert {s.kind for s in chains.ud_chain("t")} == {"instance"}
+
+    def test_instance_uses_input_net(self):
+        chains = chains_for(self.SRC, "top")
+        kinds = {s.kind for s in chains.du_chain("a")}
+        assert "instance" in kinds
+
+    def test_positional_connections_resolved(self):
+        src = """
+        module child(input i, output o);
+          assign o = ~i;
+        endmodule
+        module top(input a, output y);
+          child u1(a, y);
+        endmodule
+        """
+        chains = chains_for(src, "top")
+        assert {s.kind for s in chains.ud_chain("y")} == {"instance"}
+        assert "instance" in {s.kind for s in chains.du_chain("a")}
+
+
+class TestDiagnostics:
+    def test_undriven_signal(self):
+        chains = chains_for("""
+        module m(input a, output y);
+          wire ghost;
+          assign y = a & ghost;
+        endmodule
+        """)
+        assert chains.undriven_signals() == ["ghost"]
+
+    def test_unused_signal(self):
+        chains = chains_for("""
+        module m(input a, output y);
+          wire dead;
+          assign dead = ~a;
+          assign y = a;
+        endmodule
+        """)
+        assert chains.unused_signals() == ["dead"]
+
+    def test_clean_module_has_no_diagnostics(self):
+        chains = chains_for("""
+        module m(input a, output y);
+          assign y = ~a;
+        endmodule
+        """)
+        assert chains.undriven_signals() == []
+        assert chains.unused_signals() == []
+
+    def test_site_rhs_and_defined_signals(self):
+        chains = chains_for("""
+        module m(input a, input b, output y);
+          assign y = a & b;
+        endmodule
+        """)
+        site = chains.ud_chain("y")[0]
+        assert site.rhs_signals() == {"a", "b"}
+        assert site.defined_signals() == {"y"}

@@ -1,0 +1,117 @@
+"""CLI tests (driven in-process through cli.main)."""
+
+import pytest
+
+from repro.cli import main
+from repro.designs import arm2_source
+
+
+@pytest.fixture(scope="module")
+def design_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "arm2.v"
+    path.write_text(arm2_source())
+    return str(path)
+
+
+class TestAnalyze:
+    def test_analyze_prints_summary(self, design_file, capsys):
+        rc = main(["analyze", design_file, "--top", "arm",
+                   "--mut", "forward"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "transformed:" in out
+        assert "MUT forward" in out
+
+    def test_analyze_writes_constraints(self, design_file, tmp_path,
+                                        capsys):
+        out_dir = str(tmp_path / "constraints")
+        rc = main(["analyze", design_file, "--top", "arm",
+                   "--mut", "exc", "--out", out_dir])
+        assert rc == 0
+        import os
+
+        assert os.path.isdir(out_dir)
+        assert any(f.endswith(".v") for f in os.listdir(out_dir))
+
+    def test_conventional_mode(self, design_file, capsys):
+        rc = main(["analyze", design_file, "--top", "arm",
+                   "--mut", "exc", "--mode", "conventional"])
+        assert rc == 0
+
+    def test_missing_file_errors(self, capsys):
+        rc = main(["analyze", "/nonexistent.v", "--mut", "x"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTestability:
+    def test_reports_hard_coded(self, design_file, capsys):
+        rc = main(["testability", design_file, "--top", "arm",
+                   "--mut", "arm_alu", "--path", "u_core.u_dp.u_alu."])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "13 of 15" in out
+
+
+class TestAtpg:
+    def test_atpg_on_small_mut(self, design_file, capsys):
+        rc = main(["atpg", design_file, "--top", "arm", "--mut", "forward",
+                   "--frames", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ATPG report for forward" in out
+        assert "detected" in out
+
+
+class TestStatsAndPiers:
+    def test_stats_full_design(self, design_file, capsys):
+        rc = main(["stats", design_file, "--top", "arm"])
+        assert rc == 0
+        assert "Netlist statistics: arm" in capsys.readouterr().out
+
+    def test_stats_single_module(self, design_file, capsys):
+        rc = main(["stats", design_file, "--top", "arm",
+                   "--module", "arm_alu"])
+        assert rc == 0
+        assert "arm_alu" in capsys.readouterr().out
+
+    def test_piers_lists_registers(self, design_file, capsys):
+        rc = main(["piers", design_file, "--top", "arm"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reg16" in out
+        assert "PIER" in out
+
+
+class TestPreprocessorFlags:
+    def test_define_and_include(self, tmp_path, capsys):
+        inc = tmp_path / "inc"
+        inc.mkdir()
+        (inc / "w.vh").write_text("`define W 4\n")
+        design = tmp_path / "chip.v"
+        design.write_text("""
+`include "w.vh"
+module chip(input [`W-1:0] a, output [`W-1:0] y);
+`ifdef INVERT
+  assign y = ~a;
+`else
+  assign y = a;
+`endif
+endmodule
+""")
+        rc = main(["stats", str(design), "--top", "chip",
+                   "-I", str(inc), "-D", "INVERT"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chip" in out
+
+    def test_define_with_value(self, tmp_path, capsys):
+        design = tmp_path / "chip.v"
+        design.write_text("""
+module chip(input [`WIDTH-1:0] a, output y);
+  assign y = ^a;
+endmodule
+""")
+        rc = main(["stats", str(design), "--top", "chip",
+                   "--define", "WIDTH=8"])
+        assert rc == 0

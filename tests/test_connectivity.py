@@ -1,0 +1,110 @@
+"""Tests for cross-module connectivity resolution."""
+
+import pytest
+
+from repro.hierarchy.connectivity import (
+    instance_port_map,
+    port_connection_signals,
+    signal_instance_sinks,
+    signal_instance_sources,
+)
+from repro.verilog.parser import parse_source
+
+
+SRC = """
+module child(input i1, input [3:0] i2, output o1, output [3:0] o2);
+  assign o1 = i1;
+  assign o2 = i2;
+endmodule
+
+module top(input a, input [3:0] bus, output y, output [3:0] wide);
+  child u_named(.i1(a), .i2(bus), .o1(y), .o2(wide));
+endmodule
+
+module top_pos(input a, input [3:0] bus, output y, output [3:0] wide);
+  child u_pos(a, bus, y, wide);
+endmodule
+
+module top_partial(input a, output y);
+  child u_part(.i1(a), .o1(y), .i2(), .o2());
+endmodule
+"""
+
+
+def modules():
+    src = parse_source(SRC)
+    return {m.name: m for m in src.modules}
+
+
+class TestInstancePortMap:
+    def test_named(self):
+        mods = modules()
+        inst = mods["top"].instances[0]
+        pmap = instance_port_map(mods["child"], inst)
+        assert pmap["i1"].signals() == {"a"}
+        assert pmap["o2"].signals() == {"wide"}
+
+    def test_positional(self):
+        mods = modules()
+        inst = mods["top_pos"].instances[0]
+        pmap = instance_port_map(mods["child"], inst)
+        assert pmap["i1"].signals() == {"a"}
+        assert pmap["i2"].signals() == {"bus"}
+
+    def test_unconnected(self):
+        mods = modules()
+        inst = mods["top_partial"].instances[0]
+        pmap = instance_port_map(mods["child"], inst)
+        assert pmap["i2"] is None
+        assert pmap["o2"] is None
+
+    def test_unknown_port_rejected(self):
+        src = parse_source("""
+        module child(input i, output o); assign o = i; endmodule
+        module top(input a, output y);
+          child u(.nope(a), .o(y));
+        endmodule
+        """)
+        mods = {m.name: m for m in src.modules}
+        with pytest.raises(ValueError):
+            instance_port_map(mods["child"], mods["top"].instances[0])
+
+    def test_too_many_positional_rejected(self):
+        src = parse_source("""
+        module child(input i, output o); assign o = i; endmodule
+        module top(input a, input b, output y);
+          child u(a, y, b);
+        endmodule
+        """)
+        mods = {m.name: m for m in src.modules}
+        with pytest.raises(ValueError):
+            instance_port_map(mods["child"], mods["top"].instances[0])
+
+
+class TestSinksAndSources:
+    def test_sinks(self):
+        mods = modules()
+        sinks = signal_instance_sinks(mods["top"], "a", mods)
+        assert [(i.inst_name, p) for i, p in sinks] == [("u_named", "i1")]
+
+    def test_sources(self):
+        mods = modules()
+        sources = signal_instance_sources(mods["top"], "y", mods)
+        assert [(i.inst_name, p) for i, p in sources] == [("u_named", "o1")]
+
+    def test_bus_connection(self):
+        mods = modules()
+        sinks = signal_instance_sinks(mods["top"], "bus", mods)
+        assert [(i.inst_name, p) for i, p in sinks] == [("u_named", "i2")]
+
+    def test_no_match(self):
+        mods = modules()
+        assert signal_instance_sinks(mods["top"], "y", mods) == []
+        assert signal_instance_sources(mods["top"], "a", mods) == []
+
+    def test_port_connection_signals(self):
+        mods = modules()
+        inst = mods["top"].instances[0]
+        assert port_connection_signals(mods["child"], inst, "i2") == {"bus"}
+        inst_part = mods["top_partial"].instances[0]
+        assert port_connection_signals(mods["child"], inst_part, "i2") == set()

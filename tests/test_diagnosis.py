@@ -1,0 +1,93 @@
+"""Fault diagnosis tests."""
+
+import pytest
+
+from repro.atpg.diagnosis import Diagnoser
+from repro.atpg.engine import AtpgEngine, AtpgOptions
+from repro.atpg.faults import build_fault_list
+from repro.atpg.vectors import TestSet
+from repro.designs import adder_source, fsm_source
+from repro.hierarchy import Design
+from repro.synth import synthesize
+from repro.verilog.parser import parse_source
+
+
+@pytest.fixture(scope="module")
+def adder_setup():
+    nl = synthesize(Design(parse_source(adder_source())))
+    engine = AtpgEngine(nl, AtpgOptions(max_frames=1))
+    engine.run()
+    ts = TestSet.from_engine(engine, nl)
+    return nl, ts, Diagnoser(nl, ts)
+
+
+class TestDiagnosis:
+    def test_true_fault_ranked_first_class(self, adder_setup):
+        nl, ts, diag = adder_setup
+        faults = build_fault_list(nl)
+        hits = 0
+        for fault in faults[::5]:
+            observed = diag.observe(fault)
+            if not any(observed):
+                continue  # undetected fault: no syndrome to diagnose
+            candidates = diag.diagnose(observed,
+                                       max_candidates=len(faults))
+            best_score = candidates[0].score()
+            top_equivalents = [c.fault for c in candidates
+                               if c.score() == best_score]
+            assert fault in top_equivalents
+            hits += 1
+        assert hits > 5
+
+    def test_perfect_candidate_flagged(self, adder_setup):
+        nl, ts, diag = adder_setup
+        fault = build_fault_list(nl)[0]
+        observed = diag.observe(fault)
+        if any(observed):
+            best = diag.diagnose(observed)[0]
+            assert best.perfect
+
+    def test_all_pass_syndrome_gives_no_candidates(self, adder_setup):
+        nl, ts, diag = adder_setup
+        observed = [False] * len(ts.tests)
+        assert diag.diagnose(observed) == []
+
+    def test_bad_syndrome_length_rejected(self, adder_setup):
+        _, _, diag = adder_setup
+        with pytest.raises(ValueError):
+            diag.diagnose([True])
+
+    def test_resolution_counts_equivalents(self, adder_setup):
+        nl, ts, diag = adder_setup
+        fault = build_fault_list(nl)[2]
+        res = diag.resolution(fault)
+        assert res >= 1
+
+    def test_noisy_syndrome_still_ranks_close(self, adder_setup):
+        nl, ts, diag = adder_setup
+        faults = build_fault_list(nl)
+        fault = faults[4]
+        observed = list(diag.observe(fault))
+        if sum(observed) >= 2:
+            # Flip one failing test to passing (tester noise).
+            observed[observed.index(True)] = False
+            candidates = diag.diagnose(observed, max_candidates=len(faults))
+            ranked_faults = [c.fault for c in candidates]
+            assert fault in ranked_faults[: max(5, len(faults) // 4)]
+
+    def test_sequential_design(self):
+        nl = synthesize(Design(parse_source(fsm_source())))
+        engine = AtpgEngine(
+            nl, AtpgOptions(max_frames=8, backtrack_limit=4000,
+                            fault_time_limit=5.0)
+        )
+        engine.run()
+        ts = TestSet.from_engine(engine, nl)
+        diag = Diagnoser(nl, ts)
+        fault = build_fault_list(nl)[1]
+        observed = diag.observe(fault)
+        if any(observed):
+            best_score = diag.diagnose(observed)[0].score()
+            tied = [c.fault for c in diag.diagnose(observed)
+                    if c.score() == best_score]
+            assert fault in tied

@@ -1,0 +1,430 @@
+"""Elaboration semantics: synthesized circuits must match Verilog semantics.
+
+Uses the CircuitHarness to compare gate-level evaluation against Python
+integer arithmetic, including hypothesis property tests over operand values.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hierarchy import Design
+from repro.synth import SynthesisError, synthesize
+from repro.verilog.parser import parse_source
+
+from .conftest import CircuitHarness
+
+word8 = st.integers(min_value=0, max_value=255)
+word4 = st.integers(min_value=0, max_value=15)
+
+MASK8 = 0xFF
+
+
+def combi(expr, extra_decls="", width=8):
+    """Harness for `y = <expr over a, b, c>` with 8-bit a/b and 1-bit c."""
+    return CircuitHarness(f"""
+    module m(input [7:0] a, input [7:0] b, input c,
+             output [{width - 1}:0] y);
+      {extra_decls}
+      assign y = {expr};
+    endmodule
+    """)
+
+
+class TestArithmetic:
+    @settings(max_examples=40, deadline=None)
+    @given(word8, word8)
+    def test_add(self, a, b):
+        assert combi("a + b").eval(a=a, b=b, c=0)["y"] == (a + b) & MASK8
+
+    @settings(max_examples=40, deadline=None)
+    @given(word8, word8)
+    def test_sub(self, a, b):
+        assert combi("a - b").eval(a=a, b=b, c=0)["y"] == (a - b) & MASK8
+
+    @settings(max_examples=30, deadline=None)
+    @given(word8, word8)
+    def test_mul(self, a, b):
+        assert combi("a * b").eval(a=a, b=b, c=0)["y"] == (a * b) & MASK8
+
+    @settings(max_examples=20, deadline=None)
+    @given(word8, word8, st.integers(0, 1))
+    def test_add_with_carry_in(self, a, b, c):
+        h = combi("a + b + c")
+        assert h.eval(a=a, b=b, c=c)["y"] == (a + b + c) & MASK8
+
+    def test_wider_lhs_captures_carry(self):
+        h = CircuitHarness("""
+        module m(input [7:0] a, input [7:0] b, output [8:0] y);
+          assign y = a + b;
+        endmodule
+        """)
+        assert h.eval(a=255, b=255)["y"] == 510
+
+    def test_unary_minus(self):
+        h = combi("-a")
+        assert h.eval(a=1, b=0, c=0)["y"] == 255
+
+    @settings(max_examples=20, deadline=None)
+    @given(word8)
+    def test_divide_by_power_of_two(self, a):
+        assert combi("a / 4").eval(a=a, b=0, c=0)["y"] == a // 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(word8)
+    def test_modulo_power_of_two(self, a):
+        assert combi("a % 8").eval(a=a, b=0, c=0)["y"] == a % 8
+
+    def test_non_power_of_two_divisor_rejected(self):
+        with pytest.raises(SynthesisError):
+            combi("a / 3")
+
+
+class TestBitwiseAndLogical:
+    @settings(max_examples=30, deadline=None)
+    @given(word8, word8)
+    def test_and_or_xor(self, a, b):
+        assert combi("a & b").eval(a=a, b=b, c=0)["y"] == a & b
+        assert combi("a | b").eval(a=a, b=b, c=0)["y"] == a | b
+        assert combi("a ^ b").eval(a=a, b=b, c=0)["y"] == a ^ b
+
+    @settings(max_examples=20, deadline=None)
+    @given(word8)
+    def test_not(self, a):
+        assert combi("~a").eval(a=a, b=0, c=0)["y"] == (~a) & MASK8
+
+    @settings(max_examples=20, deadline=None)
+    @given(word8, word8)
+    def test_logical_ops(self, a, b):
+        h = combi("(a && b) | (a || b)", width=1)
+        expected = int(bool(a) and bool(b)) | int(bool(a) or bool(b))
+        assert h.eval(a=a, b=b, c=0)["y"] == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(word8)
+    def test_reductions(self, a):
+        assert combi("&a", width=1).eval(a=a, b=0, c=0)["y"] == int(a == 255)
+        assert combi("|a", width=1).eval(a=a, b=0, c=0)["y"] == int(a != 0)
+        assert combi("^a", width=1).eval(a=a, b=0, c=0)["y"] == (
+            bin(a).count("1") % 2
+        )
+        assert combi("!a", width=1).eval(a=a, b=0, c=0)["y"] == int(a == 0)
+
+
+class TestComparisons:
+    @settings(max_examples=40, deadline=None)
+    @given(word8, word8)
+    def test_all_comparisons(self, a, b):
+        checks = {
+            "a == b": a == b,
+            "a != b": a != b,
+            "a < b": a < b,
+            "a <= b": a <= b,
+            "a > b": a > b,
+            "a >= b": a >= b,
+        }
+        for expr, expected in checks.items():
+            got = combi(expr, width=1).eval(a=a, b=b, c=0)["y"]
+            assert got == int(expected), expr
+
+
+class TestShifts:
+    @settings(max_examples=30, deadline=None)
+    @given(word8, st.integers(0, 10))
+    def test_variable_shift_left(self, a, amt):
+        h = CircuitHarness("""
+        module m(input [7:0] a, input [3:0] s, output [7:0] y);
+          assign y = a << s;
+        endmodule
+        """)
+        assert h.eval(a=a, s=amt)["y"] == (a << amt) & MASK8
+
+    @settings(max_examples=30, deadline=None)
+    @given(word8, st.integers(0, 10))
+    def test_variable_shift_right(self, a, amt):
+        h = CircuitHarness("""
+        module m(input [7:0] a, input [3:0] s, output [7:0] y);
+          assign y = a >> s;
+        endmodule
+        """)
+        assert h.eval(a=a, s=amt)["y"] == (a >> amt) & MASK8
+
+    @settings(max_examples=20, deadline=None)
+    @given(word8)
+    def test_constant_shifts(self, a):
+        assert combi("a << 3").eval(a=a, b=0, c=0)["y"] == (a << 3) & MASK8
+        assert combi("a >> 2").eval(a=a, b=0, c=0)["y"] == a >> 2
+
+
+class TestSelectsAndConcat:
+    @settings(max_examples=20, deadline=None)
+    @given(word8)
+    def test_part_select(self, a):
+        h = CircuitHarness("""
+        module m(input [7:0] a, output [3:0] y);
+          assign y = a[6:3];
+        endmodule
+        """)
+        assert h.eval(a=a)["y"] == (a >> 3) & 0xF
+
+    @settings(max_examples=20, deadline=None)
+    @given(word8, st.integers(0, 7))
+    def test_dynamic_bit_select(self, a, idx):
+        h = CircuitHarness("""
+        module m(input [7:0] a, input [2:0] i, output y);
+          assign y = a[i];
+        endmodule
+        """)
+        assert h.eval(a=a, i=idx)["y"] == (a >> idx) & 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(word4, word4)
+    def test_concat(self, hi, lo):
+        h = CircuitHarness("""
+        module m(input [3:0] a, input [3:0] b, output [7:0] y);
+          assign y = {a, b};
+        endmodule
+        """)
+        assert h.eval(a=hi, b=lo)["y"] == (hi << 4) | lo
+
+    def test_replication(self):
+        h = CircuitHarness("""
+        module m(input [1:0] a, output [7:0] y);
+          assign y = {4{a}};
+        endmodule
+        """)
+        assert h.eval(a=0b10)["y"] == 0b10101010
+
+    def test_concat_lhs(self):
+        h = CircuitHarness("""
+        module m(input [7:0] a, output [3:0] hi, output [3:0] lo);
+          assign {hi, lo} = a;
+        endmodule
+        """)
+        out = h.eval(a=0xA5)
+        assert out["hi"] == 0xA and out["lo"] == 0x5
+
+    def test_ternary(self):
+        h = combi("c ? a : b")
+        assert h.eval(a=1, b=2, c=1)["y"] == 1
+        assert h.eval(a=1, b=2, c=0)["y"] == 2
+
+
+class TestAlwaysSemantics:
+    def test_case_priority_and_default(self):
+        h = CircuitHarness("""
+        module m(input [1:0] s, input [3:0] a, output reg [3:0] y);
+          always @(*)
+            case (s)
+              2'd0: y = a;
+              2'd1: y = ~a;
+              default: y = 4'd7;
+            endcase
+        endmodule
+        """)
+        assert h.eval(s=0, a=5)["y"] == 5
+        assert h.eval(s=1, a=5)["y"] == 10
+        assert h.eval(s=2, a=5)["y"] == 7
+        assert h.eval(s=3, a=5)["y"] == 7
+
+    def test_casez_wildcards(self):
+        h = CircuitHarness("""
+        module m(input [3:0] s, output reg [1:0] y);
+          always @(*)
+            casez (s)
+              4'b1???: y = 2'd3;
+              4'b01??: y = 2'd2;
+              default: y = 2'd0;
+            endcase
+        endmodule
+        """)
+        assert h.eval(s=0b1010)["y"] == 3
+        assert h.eval(s=0b0110)["y"] == 2
+        assert h.eval(s=0b0010)["y"] == 0
+
+    def test_default_then_override(self):
+        h = CircuitHarness("""
+        module m(input c, input [3:0] a, output reg [3:0] y);
+          always @(*) begin
+            y = 4'd0;
+            if (c) y = a;
+          end
+        endmodule
+        """)
+        assert h.eval(c=0, a=9)["y"] == 0
+        assert h.eval(c=1, a=9)["y"] == 9
+
+    def test_blocking_sequencing(self):
+        h = CircuitHarness("""
+        module m(input [3:0] a, output reg [3:0] y);
+          reg [3:0] t;
+          always @(*) begin
+            t = a + 4'd1;
+            y = t + 4'd1;
+          end
+        endmodule
+        """)
+        assert h.eval(a=3)["y"] == 5
+
+    def test_for_loop_unrolled(self):
+        h = CircuitHarness("""
+        module m(input [3:0] a, output reg [3:0] y);
+          integer i;
+          always @(*) begin
+            y = 4'd0;
+            for (i = 0; i < 4; i = i + 1)
+              y[i] = a[3 - i];
+          end
+        endmodule
+        """)
+        assert h.eval(a=0b0011)["y"] == 0b1100
+
+    def test_latch_detected(self):
+        with pytest.raises(SynthesisError) as err:
+            CircuitHarness("""
+            module m(input c, input a, output reg y);
+              always @(*)
+                if (c) y = a;
+            endmodule
+            """)
+        assert "latch" in str(err.value)
+
+    def test_read_before_write_in_comb_is_latch(self):
+        with pytest.raises(SynthesisError):
+            CircuitHarness("""
+            module m(input a, output reg y);
+              always @(*) y = y ^ a;
+            endmodule
+            """)
+
+    def test_multiple_drivers_rejected(self):
+        with pytest.raises(Exception):
+            CircuitHarness("""
+            module m(input a, output y);
+              assign y = a;
+              assign y = ~a;
+            endmodule
+            """)
+
+    def test_undeclared_signal_rejected(self):
+        with pytest.raises(SynthesisError):
+            CircuitHarness("""
+            module m(input a, output y);
+              assign y = ghost;
+            endmodule
+            """)
+
+
+class TestSequential:
+    def test_dff_with_enable_holds(self):
+        h = CircuitHarness("""
+        module m(input clk, input rst, input en, input [3:0] d,
+                 output [3:0] q);
+          reg [3:0] r;
+          always @(posedge clk)
+            if (rst) r <= 4'd0;
+            else if (en) r <= d;
+          assign q = r;
+        endmodule
+        """)
+        h.clock(clk=0, rst=1, en=0, d=0)
+        assert h.clock(clk=0, rst=0, en=1, d=9)["q"] == 0
+        assert h.clock(clk=0, rst=0, en=0, d=5)["q"] == 9
+        assert h.clock(clk=0, rst=0, en=0, d=5)["q"] == 9
+
+    def test_nonblocking_swap(self):
+        h = CircuitHarness("""
+        module m(input clk, input rst, output [1:0] ab);
+          reg a;
+          reg b;
+          always @(posedge clk)
+            if (rst) begin
+              a <= 1'b0;
+              b <= 1'b1;
+            end else begin
+              a <= b;
+              b <= a;
+            end
+          assign ab = {a, b};
+        endmodule
+        """)
+        h.clock(clk=0, rst=1)
+        assert h.clock(clk=0, rst=0)["ab"] == 0b01
+        assert h.clock(clk=0, rst=0)["ab"] == 0b10
+        assert h.clock(clk=0, rst=0)["ab"] == 0b01
+
+    def test_nba_rhs_sees_old_value_after_blocking_mix(self):
+        h = CircuitHarness("""
+        module m(input clk, input rst, output [3:0] q);
+          reg [3:0] r;
+          always @(posedge clk)
+            if (rst) r <= 4'd1;
+            else r <= r + 4'd1;
+          assign q = r;
+        endmodule
+        """)
+        h.clock(clk=0, rst=1)
+        assert h.clock(clk=0, rst=0)["q"] == 1
+        assert h.clock(clk=0, rst=0)["q"] == 2
+
+    def test_uninitialised_state_is_x(self):
+        h = CircuitHarness("""
+        module m(input clk, input d, output q);
+          reg r;
+          always @(posedge clk) r <= d;
+          assign q = r;
+        endmodule
+        """)
+        assert h.eval(clk=0, d=1)["q"] is None  # X before any clock
+
+
+class TestHierarchyAndParams:
+    def test_parameter_override(self):
+        h = CircuitHarness("""
+        module add1 #(parameter W = 2)(input [W-1:0] a, output [W-1:0] y);
+          assign y = a + 1;
+        endmodule
+        module top(input [7:0] a, output [7:0] y);
+          add1 #(.W(8)) u(.a(a), .y(y));
+        endmodule
+        """)
+        assert h.eval(a=7)["y"] == 8
+
+    def test_port_width_adaptation(self):
+        h = CircuitHarness("""
+        module wide(input [7:0] i, output [7:0] o);
+          assign o = i;
+        endmodule
+        module top(input [3:0] a, output [7:0] y);
+          wide u(.i(a), .o(y));
+        endmodule
+        """)
+        assert h.eval(a=0xF)["y"] == 0x0F
+
+    def test_unconnected_input_ties_zero(self):
+        h = CircuitHarness("""
+        module leaf(input i, output o);
+          assign o = ~i;
+        endmodule
+        module top(input a, output y);
+          wire t;
+          leaf u(.i(), .o(t));
+          assign y = t & a;
+        endmodule
+        """)
+        assert h.eval(a=1)["y"] == 1
+
+    def test_three_levels(self):
+        h = CircuitHarness("""
+        module l2(input [3:0] a, output [3:0] y);
+          assign y = a ^ 4'b1111;
+        endmodule
+        module l1(input [3:0] a, output [3:0] y);
+          wire [3:0] t;
+          l2 u(.a(a), .y(t));
+          assign y = t + 4'd1;
+        endmodule
+        module top(input [3:0] a, output [3:0] y);
+          l1 u(.a(a), .y(y));
+        endmodule
+        """)
+        assert h.eval(a=0b0101)["y"] == ((0b1010 + 1) & 0xF)

@@ -1,0 +1,261 @@
+"""Additional elaboration edge cases and error paths."""
+
+import pytest
+
+from repro.hierarchy import Design
+from repro.synth import SynthesisError, synthesize
+from repro.verilog.parser import parse_source
+
+from .conftest import CircuitHarness
+
+
+class TestParameterEdges:
+    def test_localparam_derived_from_param(self):
+        h = CircuitHarness("""
+        module m #(parameter W = 4)(input [W-1:0] a, output [W-1:0] y);
+          localparam MASK = (1 << W) - 1;
+          assign y = a ^ MASK;
+        endmodule
+        """)
+        assert h.eval(a=0b0101)["y"] == 0b1010
+
+    def test_positional_parameter_override(self):
+        h = CircuitHarness("""
+        module inv #(parameter W = 1)(input [W-1:0] a, output [W-1:0] y);
+          assign y = ~a;
+        endmodule
+        module top(input [3:0] a, output [3:0] y);
+          inv #(4) u(.a(a), .y(y));
+        endmodule
+        """)
+        assert h.eval(a=0b1100)["y"] == 0b0011
+
+    def test_parameter_in_range_and_body(self):
+        h = CircuitHarness("""
+        module m #(parameter HI = 6, parameter LO = 3)
+                  (input [7:0] a, output [HI-LO:0] y);
+          assign y = a[HI:LO];
+        endmodule
+        """)
+        assert h.eval(a=0b01111000)["y"] == 0b1111
+
+    def test_non_constant_parameter_rejected(self):
+        with pytest.raises(SynthesisError):
+            CircuitHarness("""
+            module m(input a, output y);
+              parameter P = a;
+              assign y = P;
+            endmodule
+            """)
+
+
+class TestWidthEdges:
+    def test_comparison_of_mixed_widths(self):
+        h = CircuitHarness("""
+        module m(input [7:0] a, input [3:0] b, output y);
+          assign y = a == b;
+        endmodule
+        """)
+        assert h.eval(a=5, b=5)["y"] == 1
+        assert h.eval(a=0x15, b=5)["y"] == 0
+
+    def test_unsized_constant_adapts(self):
+        h = CircuitHarness("""
+        module m(input [7:0] a, output [7:0] y);
+          assign y = a + 255;
+        endmodule
+        """)
+        assert h.eval(a=1)["y"] == 0
+
+    def test_truncating_assignment(self):
+        h = CircuitHarness("""
+        module m(input [7:0] a, output [3:0] y);
+          assign y = a;
+        endmodule
+        """)
+        assert h.eval(a=0xAB)["y"] == 0xB
+
+    def test_shift_amount_beyond_width(self):
+        h = CircuitHarness("""
+        module m(input [3:0] a, input [3:0] s, output [3:0] y);
+          assign y = a << s;
+        endmodule
+        """)
+        assert h.eval(a=0xF, s=8)["y"] == 0
+
+    def test_reduction_of_single_bit(self):
+        h = CircuitHarness("""
+        module m(input a, output y);
+          assign y = &a;
+        endmodule
+        """)
+        assert h.eval(a=1)["y"] == 1
+
+
+class TestStructuralEdges:
+    def test_out_of_range_bit_select_rejected(self):
+        with pytest.raises(SynthesisError):
+            CircuitHarness("""
+            module m(input [3:0] a, output y);
+              assign y = a[9];
+            endmodule
+            """)
+
+    def test_out_of_range_part_select_rejected(self):
+        with pytest.raises(SynthesisError):
+            CircuitHarness("""
+            module m(input [3:0] a, output [3:0] y);
+              assign y = a[7:4];
+            endmodule
+            """)
+
+    def test_descending_range_rejected(self):
+        with pytest.raises(SynthesisError):
+            CircuitHarness("""
+            module m(input [0:3] a, output y);
+              assign y = a[0];
+            endmodule
+            """)
+
+    def test_unknown_port_connection_rejected(self):
+        with pytest.raises(Exception):
+            CircuitHarness("""
+            module leaf(input i, output o);
+              assign o = i;
+            endmodule
+            module top(input a, output y);
+              leaf u(.ghost(a), .o(y));
+            endmodule
+            """)
+
+    def test_gate_primitives_all_types(self):
+        h = CircuitHarness("""
+        module m(input a, input b,
+                 output y_and, output y_or, output y_nand, output y_nor,
+                 output y_xor, output y_xnor, output y_not, output y_buf);
+          and  (y_and, a, b);
+          or   (y_or, a, b);
+          nand (y_nand, a, b);
+          nor  (y_nor, a, b);
+          xor  (y_xor, a, b);
+          xnor (y_xnor, a, b);
+          not  (y_not, a);
+          buf  (y_buf, a);
+        endmodule
+        """)
+        out = h.eval(a=1, b=0)
+        assert out == {
+            "y_and": 0, "y_or": 1, "y_nand": 1, "y_nor": 0,
+            "y_xor": 1, "y_xnor": 0, "y_not": 0, "y_buf": 1,
+        }
+
+    def test_three_input_gate(self):
+        h = CircuitHarness("""
+        module m(input a, input b, input c, output y);
+          and (y, a, b, c);
+        endmodule
+        """)
+        assert h.eval(a=1, b=1, c=1)["y"] == 1
+        assert h.eval(a=1, b=1, c=0)["y"] == 0
+
+    def test_for_loop_with_zero_iterations(self):
+        h = CircuitHarness("""
+        module m(input [3:0] a, output reg [3:0] y);
+          integer i;
+          always @(*) begin
+            y = a;
+            for (i = 4; i < 4; i = i + 1)
+              y[i] = 1'b0;
+          end
+        endmodule
+        """)
+        assert h.eval(a=0xF)["y"] == 0xF
+
+    def test_nested_for_loops(self):
+        h = CircuitHarness("""
+        module m(input [3:0] a, output reg [3:0] cnt);
+          integer i;
+          integer j;
+          reg [3:0] acc;
+          always @(*) begin
+            acc = 4'd0;
+            for (i = 0; i < 2; i = i + 1)
+              for (j = 0; j < 2; j = j + 1)
+                acc = acc + {3'b000, a[i * 2 + j]};
+            cnt = acc;
+          end
+        endmodule
+        """)
+        assert h.eval(a=0b1011)["cnt"] == 3
+
+    def test_variable_lhs_index_rejected(self):
+        with pytest.raises(SynthesisError):
+            CircuitHarness("""
+            module m(input [1:0] i, input a, output reg [3:0] y);
+              always @(*) begin
+                y = 4'd0;
+                y[i] = a;
+              end
+            endmodule
+            """)
+
+
+class TestSequentialEdges:
+    def test_async_reset_folded_synchronously(self):
+        h = CircuitHarness("""
+        module m(input clk, input rst_n, input d, output q);
+          reg r;
+          always @(posedge clk or negedge rst_n)
+            if (!rst_n) r <= 1'b0;
+            else r <= d;
+          assign q = r;
+        endmodule
+        """)
+        h.clock(clk=0, rst_n=0, d=1)
+        assert h.clock(clk=0, rst_n=1, d=1)["q"] == 0
+        assert h.clock(clk=0, rst_n=1, d=0)["q"] == 1
+
+    def test_two_always_blocks_different_regs(self):
+        h = CircuitHarness("""
+        module m(input clk, input d, output q1, output q2);
+          reg r1;
+          reg r2;
+          always @(posedge clk) r1 <= d;
+          always @(posedge clk) r2 <= ~d;
+          assign q1 = r1;
+          assign q2 = r2;
+        endmodule
+        """)
+        h.clock(clk=0, d=1)
+        out = h.clock(clk=0, d=1)
+        assert out["q1"] == 1 and out["q2"] == 0
+
+    def test_same_reg_in_two_blocks_rejected(self):
+        with pytest.raises(Exception):
+            CircuitHarness("""
+            module m(input clk, input d, output q);
+              reg r;
+              always @(posedge clk) r <= d;
+              always @(posedge clk) r <= ~d;
+              assign q = r;
+            endmodule
+            """)
+
+    def test_blocking_temporary_in_sequential_block(self):
+        h = CircuitHarness("""
+        module m(input clk, input rst, input [3:0] d, output [3:0] q);
+          reg [3:0] r;
+          reg [3:0] t;
+          always @(posedge clk)
+            if (rst)
+              r <= 4'd0;
+            else begin
+              t = d + 4'd1;
+              r <= t + 4'd1;
+            end
+          assign q = r;
+        endmodule
+        """)
+        h.clock(clk=0, rst=1, d=0)
+        assert h.clock(clk=0, rst=0, d=3)["q"] == 0
+        assert h.clock(clk=0, rst=0, d=0)["q"] == 5

@@ -1,0 +1,162 @@
+"""ATPG engine tests: the full random + deterministic flow and reporting."""
+
+import pytest
+
+from repro.atpg.engine import AtpgEngine, AtpgOptions, SequentialAtpg
+from repro.atpg.faults import build_fault_list
+from repro.designs import adder_source, counter_source, fsm_source
+from repro.hierarchy import Design
+from repro.synth import synthesize
+from repro.verilog.parser import parse_source
+
+
+def netlist_of(src, top=None):
+    return synthesize(Design(parse_source(src), top=top))
+
+
+class TestOptions:
+    def test_default_schedule_capped_by_max_frames(self):
+        opts = AtpgOptions(max_frames=5)
+        sched = opts.schedule()
+        assert sched[-1] == 5
+        assert all(f <= 5 for f in sched)
+        assert sched == sorted(sched)
+
+    def test_explicit_schedule(self):
+        opts = AtpgOptions(max_frames=8, frame_schedule=[2, 8])
+        assert opts.schedule() == [2, 8]
+
+    def test_schedule_appends_max(self):
+        opts = AtpgOptions(max_frames=7, frame_schedule=[2, 3])
+        assert opts.schedule() == [2, 3, 7]
+
+
+class TestCombinationalRun:
+    def test_adder_full_coverage(self):
+        nl = netlist_of(adder_source())
+        report = AtpgEngine(nl, AtpgOptions(max_frames=1)).run()
+        assert report.coverage_percent == 100.0
+        assert report.efficiency_percent == 100.0
+        assert report.detected == report.total_faults
+        assert report.aborted == 0
+
+    def test_accounting_adds_up(self):
+        nl = netlist_of(fsm_source())
+        report = AtpgEngine(
+            nl, AtpgOptions(max_frames=8, backtrack_limit=4000,
+                            fault_time_limit=5.0)
+        ).run()
+        assert (report.detected + report.untestable + report.aborted
+                == report.total_faults)
+        assert report.random_detected <= report.detected
+        assert 0 <= report.coverage_percent <= 100
+        assert report.coverage_percent <= report.efficiency_percent
+
+    def test_random_phase_disabled(self):
+        nl = netlist_of(adder_source())
+        report = AtpgEngine(
+            nl, AtpgOptions(max_frames=1, random_sequences=0)
+        ).run()
+        assert report.random_detected == 0
+        assert report.coverage_percent == 100.0
+
+    def test_deterministic_given_seed(self):
+        nl = netlist_of(fsm_source())
+        opts = dict(max_frames=4, seed=5, backtrack_limit=100)
+        r1 = AtpgEngine(nl, AtpgOptions(**opts)).run()
+        r2 = AtpgEngine(nl, AtpgOptions(**opts)).run()
+        assert r1.detected == r2.detected
+        assert r1.num_tests == r2.num_tests
+
+
+class TestSequentialRun:
+    def test_fsm_high_efficiency(self):
+        nl = netlist_of(fsm_source())
+        report = AtpgEngine(
+            nl,
+            AtpgOptions(max_frames=8, backtrack_limit=5000,
+                        fault_time_limit=5.0),
+        ).run()
+        # Every fault is either detected or proven untestable.
+        assert report.efficiency_percent == 100.0
+        assert report.coverage_percent > 70.0
+
+    def test_fault_sample(self):
+        nl = netlist_of(counter_source())
+        report = AtpgEngine(
+            nl, AtpgOptions(max_frames=4, fault_sample=10)
+        ).run()
+        assert report.total_faults == 10
+
+    def test_region_restriction(self):
+        src = """
+        module leaf(input i, output o);
+          assign o = ~i;
+        endmodule
+        module top(input a, output y);
+          wire t;
+          leaf u1(.i(a), .o(t));
+          assign y = t & a;
+        endmodule
+        """
+        nl = netlist_of(src)
+        all_report = AtpgEngine(nl, AtpgOptions(max_frames=1)).run()
+        region_report = AtpgEngine(
+            nl, AtpgOptions(max_frames=1, fault_region="u1.")
+        ).run()
+        assert 0 < region_report.total_faults < all_report.total_faults
+
+    def test_total_time_limit_abandons(self):
+        nl = netlist_of(fsm_source())
+        report = AtpgEngine(
+            nl,
+            AtpgOptions(max_frames=8, total_time_limit=0.0,
+                        random_sequences=0),
+        ).run()
+        # Everything beyond the budget counts as aborted/unattempted.
+        assert report.unattempted == report.total_faults
+        assert report.detected == 0
+
+    def test_tests_recorded(self):
+        nl = netlist_of(counter_source())
+        engine = AtpgEngine(nl, AtpgOptions(max_frames=6))
+        report = engine.run()
+        assert report.num_tests == len(engine.tests)
+        assert report.num_vectors == sum(len(v) for v, _ in engine.tests)
+        for vectors, init in engine.tests:
+            for vec in vectors:
+                assert all(pi in nl.pis for pi in vec)
+
+
+class TestSequentialAtpgEscalation:
+    def test_models_cached_per_depth(self):
+        nl = netlist_of(fsm_source())
+        seq = SequentialAtpg(nl, AtpgOptions(max_frames=4))
+        m1 = seq.model(3)
+        m2 = seq.model(3)
+        assert m1 is m2
+        assert seq.model(4) is not m1
+
+    def test_generate_accumulates_time(self):
+        nl = netlist_of(fsm_source())
+        seq = SequentialAtpg(
+            nl, AtpgOptions(max_frames=4, frame_schedule=[1, 2, 4])
+        )
+        # A fault needing several frames accumulates cpu across depths.
+        faults = build_fault_list(nl)
+        result = seq.generate(faults[0])
+        assert result.status in ("detected", "untestable", "aborted")
+        assert result.cpu_seconds >= 0
+
+
+class TestReportRow:
+    def test_as_row_fields(self):
+        nl = netlist_of(adder_source())
+        report = AtpgEngine(nl, AtpgOptions(max_frames=1)).run()
+        row = report.as_row()
+        assert row["name"] == nl.name
+        assert row["cov%"] == 100.0
+        assert set(row) == {
+            "name", "faults", "detected", "cov%", "eff%", "tgen_s",
+            "total_s", "tests", "vectors",
+        }

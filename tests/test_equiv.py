@@ -1,0 +1,104 @@
+"""Equivalence checker tests."""
+
+import pytest
+
+from repro.designs import adder_source, counter_source, small_designs
+from repro.hierarchy import Design
+from repro.synth import synthesize
+from repro.synth.elaborate import Elaborator
+from repro.synth.equiv import EquivError, build_miter, check_equivalence
+from repro.synth.netlist import GateType, Netlist
+from repro.verilog.parser import parse_source
+
+
+def raw_and_optimized(src, top=None):
+    design = Design(parse_source(src), top=top)
+    raw = Elaborator(design).synthesize()
+    return raw, synthesize(design)
+
+
+class TestProofs:
+    @pytest.mark.parametrize("name", ["adder", "counter", "fsm", "parity",
+                                      "shifter", "mux_tree"])
+    def test_optimizer_preserves_function(self, name):
+        raw, opt = raw_and_optimized(small_designs()[name])
+        result = check_equivalence(raw, opt)
+        assert result.equivalent
+        assert result.proved_outputs == result.checked_outputs > 0
+
+    def test_same_netlist_equivalent(self):
+        nl = synthesize(Design(parse_source(adder_source())))
+        assert check_equivalence(nl, nl.clone()).equivalent
+
+    def test_demorgan_equivalence(self):
+        a = Netlist("a")
+        x, y = a.add_pi("x"), a.add_pi("y")
+        a.add_po(a.add_gate(GateType.NAND, (x, y)), "out")
+        b = Netlist("b")
+        x2, y2 = b.add_pi("x"), b.add_pi("y")
+        nx = b.add_gate(GateType.NOT, (x2,))
+        ny = b.add_gate(GateType.NOT, (y2,))
+        b.add_po(b.add_gate(GateType.OR, (nx, ny)), "out")
+        assert check_equivalence(a, b).equivalent
+
+
+class TestRefutations:
+    def test_distinguishing_input_found(self):
+        a = Netlist("a")
+        x, y = a.add_pi("x"), a.add_pi("y")
+        a.add_po(a.add_gate(GateType.AND, (x, y)), "out")
+        b = Netlist("b")
+        x2, y2 = b.add_pi("x"), b.add_pi("y")
+        b.add_po(b.add_gate(GateType.OR, (x2, y2)), "out")
+        result = check_equivalence(a, b)
+        assert not result.equivalent
+        assert result.mismatched_output == "out"
+        cex = result.counterexample
+        # AND and OR differ exactly when inputs differ.
+        assert cex["x"] != cex["y"]
+
+    def test_broken_optimization_detected(self):
+        # A deliberately wrong "optimization": drop one adder input bit.
+        src_ok = adder_source(4)
+        src_bad = src_ok.replace("assign full = a + b + cin;",
+                                 "assign full = a + b;")
+        nl_ok = synthesize(Design(parse_source(src_ok)))
+        nl_bad = synthesize(Design(parse_source(src_bad)))
+        result = check_equivalence(nl_ok, nl_bad)
+        assert not result.equivalent
+        assert result.counterexample["cin"] == 1
+
+    def test_sequential_next_state_checked(self):
+        # Counter with en vs without: differs in next-state logic.
+        src_b = counter_source().replace("else if (en)", "else if (1'b1)")
+        nl_a = synthesize(Design(parse_source(counter_source())))
+        nl_b = synthesize(Design(parse_source(src_b)))
+        result = check_equivalence(nl_a, nl_b)
+        assert not result.equivalent
+        assert "$next" in result.mismatched_output
+
+
+class TestInterfaceChecks:
+    def test_pi_mismatch_rejected(self):
+        a = Netlist("a")
+        a.add_po(a.add_pi("x"), "out")
+        b = Netlist("b")
+        b.add_po(b.add_pi("z"), "out")
+        with pytest.raises(EquivError):
+            check_equivalence(a, b)
+
+    def test_po_mismatch_rejected(self):
+        a = Netlist("a")
+        a.add_po(a.add_pi("x"), "out")
+        b = Netlist("b")
+        b.add_po(b.add_pi("x"), "different")
+        with pytest.raises(EquivError):
+            check_equivalence(a, b)
+
+
+class TestMiterStructure:
+    def test_miter_outputs_per_po(self):
+        nl = synthesize(Design(parse_source(adder_source(2))))
+        miter, xors = build_miter(nl, nl.clone())
+        assert len(xors) == len(nl.pos)
+        assert all(name.startswith("diff$") for name in xors)

@@ -1,0 +1,265 @@
+"""Extractor tests on small hand-analyzable hierarchical designs."""
+
+import pytest
+
+from repro.core.extractor import (
+    ExtractionMode,
+    FunctionalConstraintExtractor,
+    MutSpec,
+)
+from repro.hierarchy import Design
+from repro.verilog.parser import parse_source
+
+
+def extract(src, module, path, mode=ExtractionMode.COMPOSE, top=None):
+    design = Design(parse_source(src), top=top)
+    extractor = FunctionalConstraintExtractor(design, mode)
+    return extractor.extract(MutSpec(module=module, path=path)), extractor
+
+
+# A design with a MUT plus relevant and irrelevant surrounding logic.
+SLICE_SRC = """
+module mut(input [3:0] m_in, output [3:0] m_out);
+  assign m_out = ~m_in;
+endmodule
+
+module other(input [3:0] i, output [3:0] o);
+  assign o = i + 4'd1;
+endmodule
+
+module top(input [3:0] a, input [3:0] b, output [3:0] y, output [3:0] w);
+  wire [3:0] pre;
+  wire [3:0] post;
+  assign pre = a & b;
+  mut u_mut(.m_in(pre), .m_out(post));
+  assign y = post | b;
+  // Entirely unrelated cone:
+  other u_other(.i(b), .o(w));
+endmodule
+"""
+
+
+class TestSlicing:
+    def test_relevant_logic_kept(self):
+        result, _ = extract(SLICE_SRC, "mut", "u_mut.")
+        top_marks = result.marks["top"]
+        mod = Design(parse_source(SLICE_SRC)).module("top")
+        kept_targets = {
+            next(iter(mod.assigns[i].defined())) for i in top_marks.assigns
+        }
+        assert "pre" in kept_targets    # justification of the MUT input
+        assert "y" in kept_targets      # propagation of the MUT output
+
+    def test_irrelevant_instance_dropped(self):
+        result, _ = extract(SLICE_SRC, "mut", "u_mut.")
+        assert "other" not in result.kept_modules()
+        assert "u_other" not in result.marks["top"].instances
+
+    def test_mut_kept_whole(self):
+        result, _ = extract(SLICE_SRC, "mut", "u_mut.")
+        assert result.marks["mut"].whole
+
+    def test_chip_interface_recorded(self):
+        result, _ = extract(SLICE_SRC, "mut", "u_mut.")
+        assert result.chip_inputs == {"a", "b"}
+        assert result.chip_outputs == {"y"}
+        assert "w" not in result.chip_outputs
+
+
+ENCLOSURE_SRC = """
+module mut(input m_in, output m_out);
+  assign m_out = ~m_in;
+endmodule
+
+module top(input sel, input d0, input d1, input unused_in,
+           output y, output unrelated);
+  reg pre;
+  always @(*)
+    if (sel) pre = d0;
+    else pre = d1;
+  mut u_mut(.m_in(pre), .m_out(y));
+  assign unrelated = unused_in;
+endmodule
+"""
+
+
+class TestEnclosures:
+    def test_condition_signals_justified(self):
+        result, _ = extract(ENCLOSURE_SRC, "mut", "u_mut.")
+        # sel steers the mux feeding the MUT: it must be a chip input
+        # constraint even though it never appears on an assignment RHS.
+        assert {"sel", "d0", "d1"} <= result.chip_inputs
+        assert "unused_in" not in result.chip_inputs
+
+    def test_unrelated_assign_dropped(self):
+        result, _ = extract(ENCLOSURE_SRC, "mut", "u_mut.")
+        mod = Design(parse_source(ENCLOSURE_SRC)).module("top")
+        kept = {
+            next(iter(mod.assigns[i].defined()))
+            for i in result.marks["top"].assigns
+        }
+        assert "unrelated" not in kept
+
+
+SIBLING_SRC = """
+module mut(input m_in, output m_out);
+  assign m_out = ~m_in;
+endmodule
+
+module sibling(input thin_in, input [7:0] fat_in,
+               output thin_out, output [7:0] fat_out);
+  assign thin_out = ~thin_in;
+  assign fat_out = fat_in + 8'd1;
+endmodule
+
+module top(input a, input [7:0] cfg, output y, output [7:0] dbg);
+  wire t;
+  mut u_mut(.m_in(t), .m_out(y));
+  sibling u_sib(.thin_in(a), .fat_in(cfg), .thin_out(t), .fat_out(dbg));
+endmodule
+"""
+
+
+class TestModes:
+    def test_compose_slices_sibling(self):
+        result, _ = extract(SIBLING_SRC, "mut", "u_mut.",
+                            ExtractionMode.COMPOSE)
+        sib = result.marks["sibling"]
+        assert not sib.whole
+        # Only the thin path is kept: the fat adder is out of the cone.
+        mod = Design(parse_source(SIBLING_SRC)).module("sibling")
+        kept = {
+            next(iter(mod.assigns[i].defined())) for i in sib.assigns
+        }
+        assert kept == {"thin_out"}
+        assert "cfg" not in result.chip_inputs
+
+    def test_conventional_keeps_sibling_whole(self):
+        result, _ = extract(SIBLING_SRC, "mut", "u_mut.",
+                            ExtractionMode.CONVENTIONAL)
+        assert result.marks["sibling"].whole
+        # Whole sibling forces justification of ALL its inputs.
+        assert "cfg" in result.chip_inputs
+
+    def test_conventional_superset_of_compose(self):
+        comp, _ = extract(SIBLING_SRC, "mut", "u_mut.",
+                          ExtractionMode.COMPOSE)
+        conv, _ = extract(SIBLING_SRC, "mut", "u_mut.",
+                          ExtractionMode.CONVENTIONAL)
+        assert comp.chip_inputs <= conv.chip_inputs
+        assert comp.chip_outputs <= conv.chip_outputs
+
+
+class TestReuse:
+    TWO_MUTS = """
+    module mut_a(input i, output o);
+      assign o = ~i;
+    endmodule
+    module mut_b(input i, output o);
+      assign o = ~i;
+    endmodule
+    module shared(input [7:0] x, output s);
+      assign s = ^x;
+    endmodule
+    module top(input [7:0] x, output ya, output yb);
+      wire s;
+      shared u_sh(.x(x), .s(s));
+      mut_a u_a(.i(s), .o(ya));
+      mut_b u_b(.i(s), .o(yb));
+    endmodule
+    """
+
+    def test_compose_reuses_tasks_across_muts(self):
+        design = Design(parse_source(self.TWO_MUTS))
+        extractor = FunctionalConstraintExtractor(design,
+                                                  ExtractionMode.COMPOSE)
+        first = extractor.extract(MutSpec(module="mut_a", path="u_a."))
+        second = extractor.extract(MutSpec(module="mut_b", path="u_b."))
+        assert first.tasks_run > 0
+        # The shared cone was computed once: the second extraction mostly
+        # hits the cache.
+        assert second.tasks_reused > 0
+        assert second.tasks_run < first.tasks_run
+
+    def test_reused_marks_still_complete(self):
+        design = Design(parse_source(self.TWO_MUTS))
+        extractor = FunctionalConstraintExtractor(design,
+                                                  ExtractionMode.COMPOSE)
+        extractor.extract(MutSpec(module="mut_a", path="u_a."))
+        second = extractor.extract(MutSpec(module="mut_b", path="u_b."))
+        # Despite the cache hits, mut_b's result still contains the shared
+        # module's slice (the reuse-correctness property).
+        assert "shared" in second.kept_modules()
+        assert second.chip_inputs == {"x"}
+
+    def test_conventional_does_not_reuse(self):
+        design = Design(parse_source(self.TWO_MUTS))
+        extractor = FunctionalConstraintExtractor(
+            design, ExtractionMode.CONVENTIONAL
+        )
+        extractor.extract(MutSpec(module="mut_a", path="u_a."))
+        second = extractor.extract(MutSpec(module="mut_b", path="u_b."))
+        assert second.tasks_reused == 0
+
+
+class TestDiagnostics:
+    def test_empty_ud_chain_reported(self):
+        src = """
+        module mut(input i, output o);
+          assign o = ~i;
+        endmodule
+        module top(input a, output y);
+          wire floating;
+          mut u_mut(.m_in(floating), .m_out(y));
+        endmodule
+        """.replace("m_in", "i").replace("m_out", "o")
+        result, _ = extract(src, "mut", "u_mut.")
+        kinds = {(t.kind, t.signal) for t in result.empty_chains}
+        assert ("no_driver", "floating") in kinds
+
+    def test_empty_du_chain_reported(self):
+        src = """
+        module mut(input i, output o);
+          assign o = ~i;
+        endmodule
+        module top(input a, output y);
+          wire dead;
+          mut u_mut(.i(a), .o(dead));
+          assign y = a;
+        endmodule
+        """
+        result, _ = extract(src, "mut", "u_mut.")
+        kinds = {(t.kind, t.signal) for t in result.empty_chains}
+        assert ("no_propagation", "dead") in kinds
+
+    def test_constant_defs_recorded(self):
+        src = """
+        module mut(input [1:0] ctl, output o);
+          assign o = ctl[0] ^ ctl[1];
+        endmodule
+        module top(input [1:0] sel, output y);
+          reg [1:0] ctl;
+          always @(*)
+            case (sel)
+              2'd0: ctl = 2'b01;
+              2'd1: ctl = 2'b10;
+              default: ctl = 2'b00;
+            endcase
+          mut u_mut(.ctl(ctl), .o(y));
+        endmodule
+        """
+        result, _ = extract(src, "mut", "u_mut.")
+        assert ("top", "ctl") in result.constant_defs
+        assert len(result.constant_defs[("top", "ctl")]) == 3
+
+
+class TestStatementCounts:
+    def test_total_statements_positive(self):
+        result, _ = extract(SLICE_SRC, "mut", "u_mut.")
+        assert result.total_statements() > 0
+
+    def test_result_metadata(self):
+        result, _ = extract(SLICE_SRC, "mut", "u_mut.")
+        assert result.mut.module == "mut"
+        assert result.mode is ExtractionMode.COMPOSE
+        assert result.extraction_seconds >= 0

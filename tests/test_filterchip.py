@@ -1,0 +1,154 @@
+"""The DSP filter benchmark: behaviour + full FACTOR flow generality."""
+
+import pytest
+
+from repro import Factor
+from repro.atpg.engine import AtpgOptions
+from repro.atpg.simulator import LogicSimulator
+from repro.designs.filterchip import (
+    FILTERCHIP_MUTS,
+    filterchip_design,
+    filterchip_source,
+)
+from repro.synth import synthesize
+
+
+class ChipRunner:
+    def __init__(self):
+        self.netlist = synthesize(filterchip_design())
+        self.sim = LogicSimulator(self.netlist)
+        self._default = {
+            self.netlist.net_name(pi): 0 for pi in self.netlist.pis
+        }
+
+    def cycle(self, **pins):
+        bits = dict(self._default)
+        for name, value in pins.items():
+            if name in bits:
+                bits[name] = value
+            else:
+                width = sum(1 for k in bits if k.startswith(f"{name}["))
+                for i in range(width):
+                    bits[f"{name}[{i}]"] = (value >> i) & 1
+        self._out = self.sim.step_scalar(bits)
+        return self._out
+
+    def word(self, base, width=16):
+        value = 0
+        for i in range(width):
+            bit = self._out.get(f"{base}[{i}]")
+            if bit is None:
+                return None
+            value |= bit << i
+        return value
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return ChipRunner()
+
+
+class TestFilterBehaviour:
+    def load_coeffs(self, chip, coeffs):
+        chip.cycle(rst=1)
+        for addr, value in enumerate(coeffs):
+            chip.cycle(coef_wr=1, coef_addr=addr, coef_data=value)
+
+    def test_impulse_response_is_coefficients(self, chip):
+        coeffs = [3, 5, 7, 11]
+        self.load_coeffs(chip, coeffs)
+        # Push an impulse followed by zeros; the accumulator output walks
+        # through the coefficient values.
+        outputs = []
+        chip.cycle(sample_en=1, sample_in=1)
+        for _ in range(4):
+            chip.cycle(sample_en=1, sample_in=0)
+            outputs.append(chip.word("filt_out"))
+        assert outputs == coeffs
+
+    def test_dc_response_is_coefficient_sum(self, chip):
+        coeffs = [1, 2, 3, 4]
+        self.load_coeffs(chip, coeffs)
+        for _ in range(6):
+            chip.cycle(sample_en=1, sample_in=10)
+        assert chip.word("filt_out") == 10 * sum(coeffs)
+
+    def test_limiter_clips_by_mode(self, chip):
+        self.load_coeffs(chip, [255, 255, 255, 255])
+        for _ in range(5):
+            chip.cycle(sample_en=1, sample_in=255, mode=3)
+        out = chip.word("filt_out")
+        assert out == 0x0FFF
+        assert self_clipped(chip) == 1
+
+    def test_mode0_never_clips(self, chip):
+        self.load_coeffs(chip, [255, 255, 255, 255])
+        for _ in range(5):
+            chip.cycle(sample_en=1, sample_in=255, mode=0)
+        assert self_clipped(chip) == 0
+
+    def test_tone_detector_independent(self, chip):
+        chip.cycle(rst=1)
+        for step in range(6):
+            chip.cycle(td_en=1, td_in=step * 10, td_ref=20)
+        chip.cycle(td_ref=20)  # registered energy settles
+        assert chip.word("td_energy") == 50
+        assert chip._out["td_hit"] == 1
+
+
+def self_clipped(chip):
+    return chip._out["clipped"]
+
+
+class TestFactorFlowOnFilterchip:
+    @pytest.fixture(scope="class")
+    def factor(self):
+        return Factor.from_verilog(filterchip_source(), top="filterchip")
+
+    @pytest.mark.parametrize("mut", FILTERCHIP_MUTS, ids=lambda m: m.name)
+    def test_extraction_reduces_environment(self, factor, mut):
+        result = factor.analyze(mut.name, path=mut.path)
+        full = synthesize(factor.design)
+        tr = result.transformed
+        full_surr = full.gate_count() - tr.mut_gates
+        assert tr.surrounding_gates < full_surr
+        # The tone detector never belongs to a DSP-core MUT's cone.
+        assert "tone_detect" not in result.extraction.kept_modules()
+
+    def test_mac_tap_union_of_sibling_contexts(self, factor):
+        # Extraction for one tap keeps the statements of the fir4 level that
+        # any tap instance needs ("all possible paths").
+        result = factor.analyze("mac_tap", path="u_dsp.u_fir.u_mac1.")
+        fir_marks = result.extraction.marks["fir4"]
+        assert len(fir_marks.instances) >= 2  # neighbours on the sum chain
+
+    def test_limiter_threshold_hard_coded(self, factor):
+        result = factor.analyze("limiter", path="u_dsp.u_lim.")
+        hard = {h.port for h in result.testability.hard_coded_ports}
+        assert "threshold" in hard
+        assert "enable" in hard
+        assert "value" not in hard
+        selectors = {
+            s for h in result.testability.hard_coded_ports
+            for s in h.selectors
+        }
+        assert "mode" in selectors
+
+    def test_coeff_bank_is_pier(self, factor):
+        piers = {(p.module, p.signal): p for p in factor.piers()}
+        for reg in ("r0", "r1", "r2", "r3"):
+            info = piers[("coeff_bank", reg)]
+            assert info.loadable  # written straight from the bus pins
+
+    def test_transformed_atpg_beats_processor_level(self, factor):
+        from repro.atpg.engine import AtpgEngine
+
+        mut = FILTERCHIP_MUTS[0]  # mac_tap
+        result = factor.analyze(mut.name, path=mut.path)
+        opts = AtpgOptions(max_frames=4, frame_schedule=(2, 4),
+                           backtrack_limit=200, fault_time_limit=0.4,
+                           random_sequences=8, random_sequence_length=24,
+                           fault_region=mut.path,
+                           pier_qs=frozenset(result.pier_nets), seed=2002)
+        report = AtpgEngine(result.transformed.netlist, opts).run()
+        assert report.coverage_percent > 85.0

@@ -1,0 +1,116 @@
+"""Cross-module integration tests."""
+
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.atpg.simulator import LogicSimulator
+from repro.designs import arm2_source, small_designs
+from repro.hierarchy import Design
+from repro.synth import synthesize
+from repro.verilog.parser import parse_source
+from repro.verilog.writer import write_source
+
+
+def random_equivalent(nl_a, nl_b, cycles=16, seed=9):
+    """Two netlists with identical PI/PO names behave identically."""
+    sim_a, sim_b = LogicSimulator(nl_a), LogicSimulator(nl_b)
+    names = [nl_a.net_name(pi) for pi in nl_a.pis]
+    assert sorted(names) == sorted(nl_b.net_name(pi) for pi in nl_b.pis)
+    rng = random.Random(seed)
+    for _ in range(cycles):
+        bits = {n: rng.randint(0, 1) for n in names}
+        out_a = sim_a.step_scalar(bits)
+        out_b = sim_b.step_scalar(bits)
+        assert out_a == out_b
+
+
+class TestWriterSemanticRoundTrip:
+    """Emitted Verilog must synthesize to behaviourally identical logic."""
+
+    @pytest.mark.parametrize("name", sorted(small_designs()))
+    def test_small_designs(self, name):
+        src = small_designs()[name]
+        design = Design(parse_source(src))
+        emitted = write_source(design.source)
+        design2 = Design(parse_source(emitted), top=design.top)
+        random_equivalent(synthesize(design), synthesize(design2))
+
+    def test_arm2(self):
+        design = Design(parse_source(arm2_source()), top="arm")
+        emitted = write_source(design.source)
+        design2 = Design(parse_source(emitted), top="arm")
+        random_equivalent(synthesize(design), synthesize(design2), cycles=6)
+
+
+class TestFullFlowOnTinyDesign:
+    """Parse -> extract -> transform -> ATPG -> vectors replay, end to end."""
+
+    SRC = """
+    module mut(input [1:0] sel, input [3:0] d, output reg o);
+      always @(*)
+        case (sel)
+          2'd0: o = d[0];
+          2'd1: o = d[1];
+          2'd2: o = d[2];
+          default: o = d[3];
+        endcase
+    endmodule
+    module top(input clk, input rst, input [3:0] pins, output out);
+      reg [1:0] state;
+      always @(posedge clk)
+        if (rst) state <= 2'd0;
+        else state <= state + 2'd1;
+      mut u_mut(.sel(state), .d(pins), .o(out));
+    endmodule
+    """
+
+    def test_flow(self):
+        from repro import Factor
+        from repro.atpg.engine import AtpgOptions
+        from repro.atpg.fault_sim import FaultSimulator
+        from repro.atpg.faults import build_fault_list
+
+        factor = Factor.from_verilog(self.SRC, top="top")
+        result = factor.analyze("mut", path="u_mut.")
+        report = factor.generate_tests(
+            result,
+            AtpgOptions(max_frames=6, backtrack_limit=2000,
+                        fault_time_limit=5.0),
+        )
+        # The MUT's sel input cycles through all states: every mux path is
+        # exercisable, so coverage should be complete or nearly so.
+        assert report.coverage_percent > 90.0
+
+        # Replay every recorded test through the fault simulator and check
+        # the bookkeeping: the union of detections matches the report.
+        engine_tests = []  # re-run to capture tests
+        from repro.atpg.engine import AtpgEngine
+
+        opts = AtpgOptions(max_frames=6, backtrack_limit=2000,
+                           fault_time_limit=5.0,
+                           fault_region=result.transformed.mut_region,
+                           pier_qs=frozenset(result.pier_nets))
+        engine = AtpgEngine(result.transformed.netlist, opts)
+        rep2 = engine.run()
+        fsim = FaultSimulator(result.transformed.netlist)
+        faults = build_fault_list(result.transformed.netlist,
+                                  region=result.transformed.mut_region)
+        detected = set()
+        for vectors, init in engine.tests:
+            detected |= fsim.detected_faults(vectors, faults,
+                                             initial_state=init or None)
+        assert len(detected) >= rep2.detected * 0.95
+
+
+class TestExamplesRun:
+    def test_quickstart_runs(self):
+        proc = subprocess.run(
+            [sys.executable, "examples/quickstart.py"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "fault coverage" in proc.stdout
+        assert "hard-coded" in proc.stdout

@@ -1,0 +1,152 @@
+"""Unit tests for the Verilog tokenizer."""
+
+import pytest
+
+from repro.verilog.lexer import (
+    Lexer,
+    LexError,
+    Token,
+    TokenKind,
+    parse_number_literal,
+)
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in Lexer(source).tokenize()[:-1]]
+
+
+class TestBasicTokens:
+    def test_identifier(self):
+        assert kinds("foo") == [(TokenKind.IDENT, "foo")]
+
+    def test_identifier_with_dollar_and_underscore(self):
+        assert kinds("_a$b1") == [(TokenKind.IDENT, "_a$b1")]
+
+    def test_keyword(self):
+        assert kinds("module") == [(TokenKind.KEYWORD, "module")]
+
+    def test_keyword_prefix_is_identifier(self):
+        assert kinds("modulex") == [(TokenKind.IDENT, "modulex")]
+
+    def test_eof_token_present(self):
+        tokens = Lexer("a").tokenize()
+        assert tokens[-1].kind is TokenKind.EOF
+
+    def test_empty_input(self):
+        tokens = Lexer("").tokenize()
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_string_literal(self):
+        assert kinds('"hello world"') == [(TokenKind.STRING, "hello world")]
+
+
+class TestNumbers:
+    def test_plain_decimal(self):
+        assert kinds("42") == [(TokenKind.NUMBER, "42")]
+
+    def test_sized_hex(self):
+        assert kinds("8'hFF") == [(TokenKind.NUMBER, "8'hFF")]
+
+    def test_sized_binary(self):
+        assert kinds("4'b1010") == [(TokenKind.NUMBER, "4'b1010")]
+
+    def test_underscores_allowed(self):
+        assert kinds("16'hDE_AD") == [(TokenKind.NUMBER, "16'hDE_AD")]
+
+    def test_unsized_based(self):
+        assert kinds("'b0") == [(TokenKind.NUMBER, "'b0")]
+
+    def test_wildcard_digits_kept_in_token(self):
+        assert kinds("4'b1?1?") == [(TokenKind.NUMBER, "4'b1?1?")]
+
+    def test_malformed_based_literal(self):
+        with pytest.raises(LexError):
+            Lexer("4'q0").tokenize()
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", [
+        "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "~&", "~|", "~^",
+        "^~", "===", "!==", "<<<", ">>>", "**", "+:", "-:",
+    ])
+    def test_multichar_operator(self, op):
+        assert kinds(op) == [(TokenKind.OP, op)]
+
+    def test_maximal_munch(self):
+        # "<<<" must lex as one token, not "<<" then "<".
+        assert kinds("a <<< b") == [
+            (TokenKind.IDENT, "a"),
+            (TokenKind.OP, "<<<"),
+            (TokenKind.IDENT, "b"),
+        ]
+
+    def test_single_ops(self):
+        assert kinds("(a+b)") == [
+            (TokenKind.OP, "("),
+            (TokenKind.IDENT, "a"),
+            (TokenKind.OP, "+"),
+            (TokenKind.IDENT, "b"),
+            (TokenKind.OP, ")"),
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            Lexer("a \x01 b").tokenize()
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [
+            (TokenKind.IDENT, "a"), (TokenKind.IDENT, "b")
+        ]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [
+            (TokenKind.IDENT, "a"), (TokenKind.IDENT, "b")
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            Lexer("/* oops").tokenize()
+
+    def test_compiler_directive_skipped(self):
+        assert kinds("`timescale 1ns/1ps\nfoo") == [(TokenKind.IDENT, "foo")]
+
+    def test_line_numbers(self):
+        tokens = Lexer("a\nb\n\nc").tokenize()
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_line_numbers_after_block_comment(self):
+        tokens = Lexer("/* one\ntwo */ x").tokenize()
+        assert tokens[0].line == 2
+
+
+class TestParseNumberLiteral:
+    def test_plain(self):
+        assert parse_number_literal("42") == (None, 42)
+
+    def test_sized_hex(self):
+        assert parse_number_literal("8'hff") == (8, 255)
+
+    def test_sized_binary(self):
+        assert parse_number_literal("4'b1010") == (4, 10)
+
+    def test_octal(self):
+        assert parse_number_literal("6'o77") == (6, 63)
+
+    def test_signed_marker(self):
+        assert parse_number_literal("8'sd5") == (8, 5)
+
+    def test_truncation_to_width(self):
+        assert parse_number_literal("4'hff") == (4, 15)
+
+    def test_underscores(self):
+        assert parse_number_literal("16'hAB_CD") == (16, 0xABCD)
+
+    def test_x_digits_rejected(self):
+        with pytest.raises(ValueError):
+            parse_number_literal("4'b1x0z")
+
+    def test_unsized_based(self):
+        assert parse_number_literal("'d9") == (None, 9)

@@ -1,0 +1,208 @@
+"""Optimizer tests: size reductions and functional equivalence.
+
+The key property: optimization must never change circuit behaviour.  We
+check it by simulating random vectors through the raw and optimized netlists
+of several designs (including sequential ones, cycle by cycle).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg.simulator import LogicSimulator
+from repro.designs import small_designs, arm2_source
+from repro.hierarchy import Design
+from repro.synth.elaborate import Elaborator
+from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
+from repro.synth.opt import constant_propagate, optimize, remove_dead, strash
+from repro.verilog.parser import parse_source
+
+
+def raw_netlist(src, top=None):
+    return Elaborator(Design(parse_source(src), top=top)).synthesize()
+
+
+def simulate_sequence(netlist, vectors):
+    """Run a vector sequence; returns per-cycle (po_name -> tri-state bit)."""
+    sim = LogicSimulator(netlist)
+    results = []
+    for vec in vectors:
+        values = sim.step({
+            pi: ((1, 0) if vec.get(netlist.net_name(pi), 0) else (0, 1))
+            for pi in netlist.pis
+        })
+        row = {}
+        for po, name in netlist.po_pairs:
+            ones, zeros = values.get(po, (0, 0))
+            row[name] = 1 if ones else (0 if zeros else None)
+        results.append(row)
+    return results
+
+
+def assert_equivalent(raw, opt, cycles=24, seed=7):
+    rng = random.Random(seed)
+    names = [raw.net_name(pi) for pi in raw.pis]
+    vectors = [
+        {name: rng.randint(0, 1) for name in names} for _ in range(cycles)
+    ]
+    assert simulate_sequence(raw, vectors) == simulate_sequence(opt, vectors)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", sorted(small_designs()))
+    def test_small_designs_equivalent(self, name):
+        raw = raw_netlist(small_designs()[name])
+        opt = optimize(raw)
+        assert_equivalent(raw, opt)
+        assert opt.gate_count(include_buffers=True) <= raw.gate_count(
+            include_buffers=True
+        )
+
+    def test_arm2_equivalent_sampled(self):
+        raw = raw_netlist(arm2_source(), top="arm")
+        opt = optimize(raw)
+        assert_equivalent(raw, opt, cycles=12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2 ** 31 - 1))
+    def test_random_expression_circuits(self, seed):
+        rng = random.Random(seed)
+        ops = ["+", "-", "&", "|", "^"]
+        expr = "a"
+        for _ in range(rng.randint(1, 4)):
+            expr = f"({expr} {rng.choice(ops)} {rng.choice(['a', 'b', 'c'])})"
+        src = f"""
+        module m(input [3:0] a, input [3:0] b, input [3:0] c,
+                 output [3:0] y);
+          assign y = {expr};
+        endmodule
+        """
+        raw = raw_netlist(src)
+        opt = optimize(raw)
+        assert_equivalent(raw, opt, cycles=16, seed=seed)
+
+
+class TestConstantPropagation:
+    def test_tied_inputs_fold_away(self):
+        src = """
+        module m(input a, output y);
+          wire t;
+          assign t = a & 1'b0;
+          assign y = t | a;
+        endmodule
+        """
+        opt = optimize(raw_netlist(src))
+        # y == a: everything folds to a wire.
+        assert opt.gate_count(include_buffers=True) == 0
+        assert opt.pos[0] == opt.pis[0]
+
+    def test_constant_output(self):
+        src = """
+        module m(input a, output y);
+          assign y = a ^ a;
+        endmodule
+        """
+        opt = optimize(raw_netlist(src))
+        assert opt.pos[0] == CONST0
+
+    def test_nand_nor_folding(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        n1 = nl.add_gate(GateType.NAND, (a, CONST1))
+        n2 = nl.add_gate(GateType.NOR, (n1, CONST0))
+        nl.add_po(n2, "y")
+        opt = optimize(nl)
+        # NAND(a,1) = ~a; NOR(~a,0) = a.
+        assert opt.pos[0] == a
+
+    def test_xor_parity_folding(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        x = nl.add_gate(GateType.XOR, (a, a, CONST1))
+        nl.add_po(x, "y")
+        opt = constant_propagate(nl)
+        # a^a^1 = 1.
+        assert opt.pos[0] == CONST1
+
+
+class TestStrash:
+    def test_duplicate_gates_merged(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        b = nl.add_pi("b")
+        g1 = nl.add_gate(GateType.AND, (a, b))
+        g2 = nl.add_gate(GateType.AND, (b, a))  # commuted duplicate
+        y = nl.add_gate(GateType.XOR, (g1, g2))
+        nl.add_po(y, "y")
+        opt = optimize(nl)
+        # XOR(x, x) == 0 after merging.
+        assert opt.pos[0] == CONST0
+
+    def test_noncommutative_not_merged_blindly(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        b = nl.add_pi("b")
+        g1 = nl.add_gate(GateType.AND, (a, b))
+        g2 = nl.add_gate(GateType.OR, (a, b))
+        y = nl.add_gate(GateType.XOR, (g1, g2))
+        nl.add_po(y, "y")
+        opt = strash(nl)
+        assert len(opt.gates) == 3
+
+
+class TestDeadCodeRemoval:
+    def test_unreachable_logic_deleted(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        b = nl.add_pi("b")
+        keep = nl.add_gate(GateType.AND, (a, b))
+        nl.add_gate(GateType.OR, (a, b))  # dead
+        nl.add_po(keep, "y")
+        opt = remove_dead(nl)
+        assert len(opt.gates) == 1
+
+    def test_unobserved_flop_deleted(self):
+        src = """
+        module m(input clk, input d, output q);
+          reg live;
+          reg dead;
+          always @(posedge clk) live <= d;
+          always @(posedge clk) dead <= ~d;
+          assign q = live;
+        endmodule
+        """
+        opt = optimize(raw_netlist(src))
+        assert len(opt.dffs()) == 1
+
+    def test_feedback_flop_kept_when_observed(self):
+        src = """
+        module m(input clk, input rst, output [1:0] q);
+          reg [1:0] cnt;
+          always @(posedge clk)
+            if (rst) cnt <= 2'd0;
+            else cnt <= cnt + 2'd1;
+          assign q = cnt;
+        endmodule
+        """
+        opt = optimize(raw_netlist(src))
+        assert len(opt.dffs()) == 2
+
+
+class TestRegionsPreserved:
+    def test_regions_survive_optimization(self):
+        src = """
+        module leaf(input i, output o);
+          assign o = ~i;
+        endmodule
+        module top(input a, output y);
+          wire t;
+          leaf u1(.i(a), .o(t));
+          assign y = t;
+        endmodule
+        """
+        design = Design(parse_source(src))
+        raw = Elaborator(design).synthesize()
+        opt = optimize(raw)
+        regions = getattr(opt, "regions", {})
+        assert any(r.startswith("u1.") for r in regions.values())

@@ -1,0 +1,336 @@
+"""Unit tests for the Verilog parser."""
+
+import pytest
+
+from repro.verilog import ast
+from repro.verilog.parser import ParseError, parse_source
+
+
+def parse_module(body, header="module m(a, b); input a; output b;"):
+    src = f"{header}\n{body}\nendmodule"
+    return parse_source(src).module("m")
+
+
+def parse_expr(text):
+    mod = parse_module(f"assign b = {text};")
+    return mod.assigns[-1].rhs
+
+
+class TestModuleStructure:
+    def test_empty_module(self):
+        source = parse_source("module m(); endmodule")
+        assert source.module_names() == ["m"]
+        assert source.module("m").ports == []
+
+    def test_module_without_port_list(self):
+        source = parse_source("module m; endmodule")
+        assert source.module("m").ports == []
+
+    def test_ansi_ports(self):
+        mod = parse_source(
+            "module m(input [3:0] a, output reg b, inout c); endmodule"
+        ).module("m")
+        assert [p.direction for p in mod.ports] == ["input", "output", "inout"]
+        assert mod.port("b").is_reg
+        assert mod.port("a").range is not None
+        assert mod.port_order == ["a", "b", "c"]
+
+    def test_ansi_port_continuation(self):
+        mod = parse_source(
+            "module m(input a, b, output y); endmodule"
+        ).module("m")
+        assert [p.name for p in mod.inputs()] == ["a", "b"]
+        assert [p.name for p in mod.outputs()] == ["y"]
+
+    def test_non_ansi_ports_ordered_by_header(self):
+        mod = parse_source(
+            "module m(y, a); input a; output y; endmodule"
+        ).module("m")
+        assert [p.name for p in mod.ports] == ["y", "a"]
+
+    def test_non_ansi_missing_direction_is_error(self):
+        with pytest.raises(ParseError):
+            parse_source("module m(a); endmodule")
+
+    def test_multiple_modules(self):
+        source = parse_source(
+            "module a(); endmodule\nmodule b(); endmodule"
+        )
+        assert source.module_names() == ["a", "b"]
+
+    def test_parameters(self):
+        mod = parse_source(
+            "module m #(parameter W = 8, parameter D = W * 2)(); endmodule"
+        ).module("m")
+        assert [p.name for p in mod.params] == ["W", "D"]
+
+    def test_body_parameters_and_localparam(self):
+        mod = parse_module("parameter P = 3; localparam Q = P + 1;")
+        names = {(p.name, p.local) for p in mod.params}
+        assert names == {("P", False), ("Q", True)}
+
+
+class TestDeclarations:
+    def test_wire_and_reg(self):
+        mod = parse_module("wire [7:0] w; reg r1, r2;")
+        kinds = {(n.name, n.kind) for n in mod.nets}
+        assert kinds == {("w", "wire"), ("r1", "reg"), ("r2", "reg")}
+
+    def test_integer(self):
+        mod = parse_module("integer i;")
+        assert mod.nets[0].kind == "integer"
+
+    def test_wire_with_initializer_becomes_assign(self):
+        mod = parse_module("wire w = a;")
+        assert mod.nets[0].name == "w"
+        assert len(mod.assigns) == 1
+        assert mod.assigns[0].defined() == {"w"}
+
+    def test_memory_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("reg [7:0] mem [0:15];")
+
+
+class TestContinuousAssign:
+    def test_simple(self):
+        mod = parse_module("assign b = a;")
+        assert mod.assigns[0].defined() == {"b"}
+        assert mod.assigns[0].used() == {"a"}
+
+    def test_multiple_in_one_statement(self):
+        mod = parse_module("wire c; assign b = a, c = a;")
+        assert len(mod.assigns) == 2
+
+    def test_concat_lhs(self):
+        mod = parse_module("wire c; assign {c, b} = a;")
+        assert mod.assigns[0].defined() == {"b", "c"}
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("a + a * a")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_precedence_compare_over_logical(self):
+        expr = parse_expr("a == a && a != a")
+        assert expr.op == "&&"
+
+    def test_parentheses(self):
+        expr = parse_expr("(a + a) * a")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_ternary_nests_right(self):
+        expr = parse_expr("a ? a : a ? a : a")
+        assert isinstance(expr, ast.Ternary)
+        assert isinstance(expr.if_false, ast.Ternary)
+
+    def test_unary_reduction(self):
+        expr = parse_expr("&a")
+        assert isinstance(expr, ast.Unary) and expr.op == "&"
+
+    def test_chained_unary(self):
+        expr = parse_expr("~|a")
+        assert isinstance(expr, ast.Unary) and expr.op == "~|"
+
+    def test_bit_select(self):
+        expr = parse_expr("a[3]")
+        assert isinstance(expr, ast.BitSelect)
+
+    def test_part_select(self):
+        expr = parse_expr("a[7:4]")
+        assert isinstance(expr, ast.PartSelect)
+        assert expr.signals() == {"a"}
+
+    def test_concat(self):
+        expr = parse_expr("{a, a[0], 2'b01}")
+        assert isinstance(expr, ast.Concat)
+        assert len(expr.parts) == 3
+
+    def test_replication(self):
+        expr = parse_expr("{4{a}}")
+        assert isinstance(expr, ast.Repeat)
+
+    def test_number_width_and_base(self):
+        expr = parse_expr("8'hA5")
+        assert isinstance(expr, ast.Number)
+        assert (expr.width, expr.value, expr.base) == (8, 0xA5, "h")
+
+    def test_signals_of_complex_expr(self):
+        expr = parse_expr("(x & y) | (z ? w : v)")
+        assert expr.signals() == {"x", "y", "z", "w", "v"}
+
+    def test_unexpected_token_in_expr(self):
+        with pytest.raises(ParseError):
+            parse_module("assign b = ;")
+
+
+class TestAlwaysBlocks:
+    def test_combinational_star(self):
+        mod = parse_module("reg t; always @(*) t = a;", )
+        always = mod.always_blocks[0]
+        assert always.sensitivity == []
+        assert not always.is_sequential
+
+    def test_edge_sensitivity(self):
+        mod = parse_module(
+            "reg t; always @(posedge a or negedge b) t <= a;",
+            header="module m(a, b); input a; input b;",
+        )
+        always = mod.always_blocks[0]
+        assert always.is_sequential
+        assert [(s.edge, s.signal) for s in always.sensitivity] == [
+            ("posedge", "a"), ("negedge", "b")
+        ]
+
+    def test_level_sensitivity(self):
+        mod = parse_module("reg t; always @(a) t = a;")
+        assert mod.always_blocks[0].sensitivity[0].edge == "level"
+
+    def test_blocking_vs_nonblocking(self):
+        mod = parse_module(
+            "reg t, u; always @(*) begin t = a; u <= a; end"
+        )
+        block = mod.always_blocks[0].body
+        assert block.stmts[0].blocking
+        assert not block.stmts[1].blocking
+
+    def test_if_else_chain(self):
+        mod = parse_module(
+            "reg t; always @(*) if (a) t = 1'b0; "
+            "else if (!a) t = 1'b1; else t = a;"
+        )
+        stmt = mod.always_blocks[0].body
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_stmt, ast.If)
+
+    def test_case_with_default(self):
+        mod = parse_module(
+            "reg [1:0] t; always @(*) case (a) 1'b0: t = 2'd1; "
+            "default: t = 2'd2; endcase"
+        )
+        case = mod.always_blocks[0].body
+        assert isinstance(case, ast.Case)
+        assert case.items[1].is_default
+
+    def test_case_multiple_labels(self):
+        mod = parse_module(
+            "reg t; always @(*) case (a) 1'b0, 1'b1: t = a; endcase"
+        )
+        assert len(mod.always_blocks[0].body.items[0].labels) == 2
+
+    def test_casez_wildcards(self):
+        mod = parse_module(
+            "reg t; wire [3:0] s; always @(*) casez (s) "
+            "4'b1??0: t = 1'b1; default: t = 1'b0; endcase"
+        )
+        label = mod.always_blocks[0].body.items[0].labels[0]
+        assert isinstance(label, ast.CaseLabelWild)
+        assert label.bits == "1??0"
+
+    def test_casex_x_digits(self):
+        mod = parse_module(
+            "reg t; wire [1:0] s; always @(*) casex (s) "
+            "2'b1x: t = 1'b1; default: t = 1'b0; endcase"
+        )
+        label = mod.always_blocks[0].body.items[0].labels[0]
+        assert label.bits == "1?"
+
+    def test_x_digits_rejected_in_casez(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                "reg t; always @(*) casez (a) 1'bx: t = 1'b1; endcase"
+            )
+
+    def test_for_loop(self):
+        mod = parse_module(
+            "reg [3:0] t; integer i; always @(*) "
+            "for (i = 0; i < 4; i = i + 1) t[i] = a;"
+        )
+        stmt = mod.always_blocks[0].body
+        assert isinstance(stmt, ast.For)
+
+    def test_named_block(self):
+        mod = parse_module("reg t; always @(*) begin : blk t = a; end")
+        assert isinstance(mod.always_blocks[0].body, ast.Block)
+
+
+class TestInstancesAndGates:
+    HEADER = "module m(a, y); input a; output y;"
+
+    def test_named_connections(self):
+        src = """
+        module child(input i, output o); assign o = i; endmodule
+        module m(input a, output y);
+          child u1(.i(a), .o(y));
+        endmodule
+        """
+        mod = parse_source(src).module("m")
+        inst = mod.instances[0]
+        assert inst.module_name == "child"
+        assert inst.connections[0].name == "i"
+
+    def test_positional_connections(self):
+        src = """
+        module child(input i, output o); assign o = i; endmodule
+        module m(input a, output y);
+          child u1(a, y);
+        endmodule
+        """
+        inst = parse_source(src).module("m").instances[0]
+        assert all(c.name is None for c in inst.connections)
+
+    def test_unconnected_port(self):
+        src = """
+        module child(input i, output o); assign o = i; endmodule
+        module m(input a, output y);
+          child u1(.i(a), .o());
+          assign y = a;
+        endmodule
+        """
+        inst = parse_source(src).module("m").instances[0]
+        assert inst.connections[1].expr is None
+
+    def test_parameter_override(self):
+        src = """
+        module child #(parameter W = 1)(input i, output o);
+          assign o = i;
+        endmodule
+        module m(input a, output y);
+          child #(.W(4)) u1(.i(a), .o(y));
+        endmodule
+        """
+        inst = parse_source(src).module("m").instances[0]
+        assert inst.param_overrides[0][0] == "W"
+
+    def test_gate_primitives(self):
+        mod = parse_module(
+            "wire w1, w2; and g1(w1, a, b); not (w2, w1);",
+            header="module m(a, b, y); input a; input b; output y;",
+        )
+        assert mod.gates[0].gate_type == "and"
+        assert mod.gates[0].inst_name == "g1"
+        assert mod.gates[1].inst_name is None
+
+    def test_gate_needs_two_terminals(self):
+        with pytest.raises(ParseError):
+            parse_module("wire w; and g(w);")
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_source("module m() endmodule")
+
+    def test_missing_endmodule(self):
+        with pytest.raises(ParseError):
+            parse_source("module m();")
+
+    def test_error_reports_line(self):
+        try:
+            parse_source("module m();\n  wire w\nendmodule")
+        except ParseError as err:
+            assert err.line >= 2
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

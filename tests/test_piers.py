@@ -1,0 +1,172 @@
+"""PIER identification tests."""
+
+import pytest
+
+from repro.core.piers import find_piers, pier_q_nets
+from repro.designs import arm2_design
+from repro.hierarchy import Design
+from repro.synth import synthesize
+from repro.verilog.parser import parse_source
+
+
+def piers_of(src, top=None, **kw):
+    design = Design(parse_source(src), top=top)
+    return {(p.module, p.signal): p for p in find_piers(design, **kw)}
+
+
+class TestDirectAccess:
+    SRC = """
+    module top(input clk, input [7:0] din, input load,
+               output [7:0] dout);
+      reg [7:0] r;
+      always @(posedge clk)
+        if (load) r <= din;
+      assign dout = r;
+    endmodule
+    """
+
+    def test_directly_accessible_register(self):
+        piers = piers_of(self.SRC)
+        info = piers[("top", "r")]
+        assert info.loadable and info.storable and info.is_pier
+
+
+class TestBlockedPaths:
+    def test_unloadable_register(self):
+        src = """
+        module top(input clk, input rst, output [3:0] q);
+          reg [3:0] cnt;
+          always @(posedge clk)
+            if (rst) cnt <= 4'd0;
+            else cnt <= cnt + 4'd1;
+          assign q = cnt;
+        endmodule
+        """
+        piers = piers_of(src)
+        info = piers[("top", "cnt")]
+        # Counter state is storable but not loadable from any data pin
+        # (its only sources are the constant reset and its own feedback).
+        assert info.storable
+        assert not info.loadable
+
+    def test_unstorable_register(self):
+        src = """
+        module top(input clk, input [3:0] din, output y);
+          reg [3:0] shadow;
+          always @(posedge clk) shadow <= din;
+          assign y = 1'b0 & shadow[0];
+        endmodule
+        """
+        # shadow only reaches the PO through a constant-0 AND; still a du
+        # path structurally, so use a truly dead register instead:
+        src_dead = """
+        module top(input clk, input [3:0] din, output y);
+          reg [3:0] shadow;
+          always @(posedge clk) shadow <= din;
+          assign y = din[0];
+        endmodule
+        """
+        piers = piers_of(src_dead)
+        info = piers[("top", "shadow")]
+        assert info.loadable
+        assert not info.storable
+
+
+class TestHopBudget:
+    PIPELINED = """
+    module top(input clk, input [3:0] din, output [3:0] dout);
+      reg [3:0] stage1;
+      reg [3:0] r;
+      always @(posedge clk) begin
+        stage1 <= din;
+        r <= stage1;
+      end
+      assign dout = r;
+    endmodule
+    """
+
+    def test_one_hop_load_allowed_by_default(self):
+        piers = piers_of(self.PIPELINED)
+        assert piers[("top", "r")].loadable
+
+    def test_zero_hop_budget_blocks_pipelined_load(self):
+        piers = piers_of(self.PIPELINED, load_hops=0)
+        assert not piers[("top", "r")].loadable
+        # stage1 is still directly loadable.
+        assert piers[("top", "stage1")].loadable
+
+    def test_store_hops(self):
+        src = """
+        module top(input clk, input [3:0] din, output [3:0] dout);
+          reg [3:0] r;
+          reg [3:0] out_stage;
+          always @(posedge clk) begin
+            r <= din;
+            out_stage <= r;
+          end
+          assign dout = out_stage;
+        endmodule
+        """
+        assert not piers_of(src, store_hops=0)[("top", "r")].storable
+        assert piers_of(src, store_hops=1)[("top", "r")].storable
+
+
+class TestHierarchicalAccess:
+    SRC = """
+    module cell(input clk, input we, input [3:0] d, output [3:0] q);
+      reg [3:0] r;
+      always @(posedge clk)
+        if (we) r <= d;
+      assign q = r;
+    endmodule
+    module top(input clk, input we, input [3:0] din, output [3:0] dout);
+      cell u_cell(.clk(clk), .we(we), .d(din), .q(dout));
+    endmodule
+    """
+
+    def test_register_inside_submodule(self):
+        piers = piers_of(self.SRC)
+        assert piers[("cell", "r")].is_pier
+
+
+class TestArm2Piers:
+    @pytest.fixture(scope="class")
+    def arm(self):
+        design = arm2_design()
+        return design, find_piers(design)
+
+    def test_register_file_is_pier(self, arm):
+        _, piers = arm
+        info = {(p.module, p.signal): p for p in piers}
+        assert info[("reg16", "r")].is_pier
+
+    def test_flags_not_a_pier(self, arm):
+        _, piers = arm
+        info = {(p.module, p.signal): p for p in piers}
+        # Condition flags can be set through a compare-with-immediate (so
+        # they are loadable) but only influence the PC — there is no
+        # combinational store path to any pin.
+        flags = info[("datapath", "flags")]
+        assert flags.loadable
+        assert not flags.storable
+        assert not flags.is_pier
+
+    def test_pier_q_nets_mapping(self, arm):
+        design, piers = arm
+        netlist = synthesize(design)
+        nets = pier_q_nets(netlist, design, piers)
+        # All 8 x 16 register file bits must be present.
+        rf_bits = [
+            q for q in nets
+            if ".u_rf.u_r" in netlist.net_name(q)
+        ]
+        assert len(rf_bits) == 128
+
+    def test_region_restriction(self, arm):
+        design, piers = arm
+        netlist = synthesize(design)
+        nets = pier_q_nets(netlist, design, piers,
+                           region="u_core.u_dp.u_rb.u_rf.")
+        assert nets
+        for q in nets:
+            assert netlist.net_name(q).startswith("u_core.u_dp.u_rb.u_rf.")

@@ -1,0 +1,169 @@
+"""Preprocessor tests."""
+
+import pytest
+
+from repro.verilog.parser import parse_source
+from repro.verilog.preprocess import PreprocessError, Preprocessor, preprocess
+
+
+class TestDefines:
+    def test_simple_substitution(self):
+        out = preprocess("`define W 8\nwire [`W-1:0] x;\n")
+        assert "wire [8-1:0] x;" in out
+        assert "`" not in out
+
+    def test_redefinition_wins(self):
+        out = preprocess("`define V 1\n`define V 2\na = `V;\n")
+        assert "a = 2;" in out
+
+    def test_undef(self):
+        src = "`define V 1\n`undef V\n`ifdef V\nyes\n`endif\nno\n"
+        out = preprocess(src)
+        assert "yes" not in out
+        assert "no" in out
+
+    def test_nested_macros(self):
+        src = "`define A 4\n`define B (`A + 1)\nx = `B;\n"
+        assert "x = (4 + 1);" in preprocess(src)
+
+    def test_recursive_macro_rejected(self):
+        src = "`define A `B\n`define B `A\nx = `A;\n"
+        with pytest.raises(PreprocessError):
+            preprocess(src)
+
+    def test_undefined_macro_rejected(self):
+        with pytest.raises(PreprocessError):
+            preprocess("x = `GHOST;\n")
+
+    def test_function_like_macro_rejected(self):
+        with pytest.raises(PreprocessError):
+            preprocess("`define F(x) x\n")
+
+    def test_predefines(self):
+        out = preprocess("w = `WIDTH;\n", defines={"WIDTH": "16"})
+        assert "w = 16;" in out
+
+
+class TestConditionals:
+    SRC = (
+        "`ifdef FAST\n"
+        "fast_line\n"
+        "`else\n"
+        "slow_line\n"
+        "`endif\n"
+    )
+
+    def test_ifdef_taken(self):
+        out = preprocess(self.SRC, defines={"FAST": ""})
+        assert "fast_line" in out
+        assert "slow_line" not in out
+
+    def test_ifdef_not_taken(self):
+        out = preprocess(self.SRC)
+        assert "fast_line" not in out
+        assert "slow_line" in out
+
+    def test_ifndef(self):
+        out = preprocess("`ifndef X\nbody\n`endif\n")
+        assert "body" in out
+
+    def test_elsif(self):
+        src = (
+            "`ifdef A\na\n"
+            "`elsif B\nb\n"
+            "`else\nc\n"
+            "`endif\n"
+        )
+        assert "b" in preprocess(src, defines={"B": ""})
+        assert "c" in preprocess(src)
+        assert "a" in preprocess(src, defines={"A": "", "B": ""})
+
+    def test_nested_conditionals(self):
+        src = (
+            "`ifdef A\n"
+            "`ifdef B\nboth\n`endif\n"
+            "only_a\n"
+            "`endif\n"
+        )
+        out = preprocess(src, defines={"A": ""})
+        assert "only_a" in out and "both" not in out
+        out2 = preprocess(src, defines={"A": "", "B": ""})
+        assert "both" in out2
+
+    def test_suppressed_region_defines_ignored(self):
+        src = "`ifdef NOPE\n`define V 1\n`endif\nx\n"
+        pp = Preprocessor()
+        pp.process_text(src)
+        assert "V" not in pp.macros
+
+    def test_unterminated_ifdef(self):
+        with pytest.raises(PreprocessError):
+            preprocess("`ifdef A\n")
+
+    def test_stray_endif(self):
+        with pytest.raises(PreprocessError):
+            preprocess("`endif\n")
+
+
+class TestIncludes:
+    def test_include_relative(self, tmp_path):
+        (tmp_path / "defs.vh").write_text("`define W 4\n")
+        main = tmp_path / "top.v"
+        main.write_text('`include "defs.vh"\nwire [`W-1:0] x;\n')
+        out = Preprocessor().process_file(str(main))
+        assert "wire [4-1:0] x;" in out
+
+    def test_include_search_path(self, tmp_path):
+        inc = tmp_path / "inc"
+        inc.mkdir()
+        (inc / "lib.vh").write_text("lib_line\n")
+        pp = Preprocessor(include_dirs=[str(inc)])
+        out = pp.process_text('`include "lib.vh"\n')
+        assert "lib_line" in out
+
+    def test_missing_include(self):
+        with pytest.raises(PreprocessError):
+            preprocess('`include "nope.vh"\n')
+
+    def test_include_cycle_bounded(self, tmp_path):
+        a = tmp_path / "a.vh"
+        a.write_text(f'`include "{a}"\n')
+        with pytest.raises(PreprocessError):
+            Preprocessor().process_file(str(a))
+
+
+class TestNoops:
+    def test_timescale_dropped(self):
+        out = preprocess("`timescale 1ns/1ps\nmodule m(); endmodule\n")
+        assert "timescale" not in out
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(PreprocessError):
+            preprocess("`pragma whatever\n")
+
+
+class TestEndToEnd:
+    def test_preprocessed_design_parses_and_synthesizes(self):
+        src = """
+`define WIDTH 8
+`define RESET_VAL `WIDTH'd0
+`timescale 1ns/1ps
+module m(input clk, input rst, input [`WIDTH-1:0] d,
+         output [`WIDTH-1:0] q);
+  reg [`WIDTH-1:0] r;
+  always @(posedge clk)
+`ifdef NO_RESET
+    r <= d;
+`else
+    if (rst) r <= `RESET_VAL;
+    else r <= d;
+`endif
+  assign q = r;
+endmodule
+"""
+        from repro.hierarchy import Design
+        from repro.synth import synthesize
+
+        text = preprocess(src)
+        nl = synthesize(Design(parse_source(text)))
+        assert len(nl.dffs()) == 8

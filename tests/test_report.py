@@ -1,0 +1,38 @@
+"""Table formatting tests."""
+
+from repro.core.report import format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        out = format_table("Empty", [])
+        assert "no rows" in out
+
+    def test_alignment(self):
+        rows = [
+            {"name": "a", "value": 1},
+            {"name": "longer", "value": 123456},
+        ]
+        out = format_table("T", rows)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        # All data lines have equal width.
+        assert len(lines[2]) == len(lines[3]) == len(lines[4])
+        assert "longer" in out
+
+    def test_float_formatting(self):
+        out = format_table("T", [{"x": 3.14159}])
+        assert "3.14" in out
+        assert "3.14159" not in out
+
+    def test_explicit_columns_subset_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        out = format_table("T", rows, columns=["c", "a"])
+        header = out.splitlines()[1]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_cell_blank(self):
+        out = format_table("T", [{"a": 1}, {"a": 2, "b": 9}],
+                           columns=["a", "b"])
+        assert "9" in out

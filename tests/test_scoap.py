@@ -1,0 +1,142 @@
+"""SCOAP testability measure tests against hand-computed values."""
+
+import pytest
+
+from repro.atpg.scoap import scoap_measures
+from repro.designs import counter_source
+from repro.hierarchy import Design
+from repro.synth import synthesize
+from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
+from repro.verilog.parser import parse_source
+
+
+class TestCombinationalControllability:
+    def test_pi_costs_one(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        nl.add_po(a, "y")
+        m = scoap_measures(nl)
+        assert m.cc0[a] == 1
+        assert m.cc1[a] == 1
+
+    def test_and_gate(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        b = nl.add_pi("b")
+        y = nl.add_gate(GateType.AND, (a, b))
+        nl.add_po(y, "y")
+        m = scoap_measures(nl)
+        assert m.cc1[y] == 1 + 1 + 1  # both inputs to 1, +1
+        assert m.cc0[y] == 1 + 1      # cheapest input to 0, +1
+
+    def test_or_gate(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        b = nl.add_pi("b")
+        y = nl.add_gate(GateType.OR, (a, b))
+        nl.add_po(y, "y")
+        m = scoap_measures(nl)
+        assert m.cc0[y] == 3
+        assert m.cc1[y] == 2
+
+    def test_not_swaps(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        y = nl.add_gate(GateType.NOT, (a,))
+        nl.add_po(y, "y")
+        m = scoap_measures(nl)
+        assert m.cc0[y] == 2
+        assert m.cc1[y] == 2
+
+    def test_xor_gate(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        b = nl.add_pi("b")
+        y = nl.add_gate(GateType.XOR, (a, b))
+        nl.add_po(y, "y")
+        m = scoap_measures(nl)
+        # even: 00 or 11 -> 1+1+1; odd: 01 or 10 -> same here.
+        assert m.cc0[y] == 3
+        assert m.cc1[y] == 3
+
+    def test_deep_chain_costs_grow(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        b = nl.add_pi("b")
+        c = nl.add_pi("c")
+        t = nl.add_gate(GateType.AND, (a, b))
+        y = nl.add_gate(GateType.AND, (t, c))
+        nl.add_po(y, "y")
+        m = scoap_measures(nl)
+        assert m.cc1[y] == m.cc1[t] + 1 + 1
+        assert m.cc1[y] > m.cc1[t]
+
+    def test_constants(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        y = nl.add_gate(GateType.AND, (a, CONST1))
+        nl.add_po(y, "y")
+        m = scoap_measures(nl)
+        assert m.cc0[CONST0] == 0
+        assert m.cc1[CONST1] == 0
+        assert m.cc1[y] == 2  # a=1 (1) + const1 (0) + 1
+
+
+class TestObservability:
+    def test_po_observability_zero(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        nl.add_po(a, "y")
+        m = scoap_measures(nl)
+        assert m.co[a] == 0
+
+    def test_and_side_input_cost(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        b = nl.add_pi("b")
+        y = nl.add_gate(GateType.AND, (a, b))
+        nl.add_po(y, "y")
+        m = scoap_measures(nl)
+        # To observe a: y observable (0) + set b=1 (1) + 1.
+        assert m.co[a] == 2
+        assert m.co[b] == 2
+
+    def test_unobservable_net_has_huge_cost(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        dangling = nl.add_gate(GateType.NOT, (a,))
+        y = nl.add_gate(GateType.BUF, (a,))
+        nl.add_po(y, "y")
+        m = scoap_measures(nl)
+        assert m.co.get(dangling, 10 ** 9) >= 10 ** 9
+
+    def test_deeper_nets_harder_to_observe(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        b = nl.add_pi("b")
+        c = nl.add_pi("c")
+        t = nl.add_gate(GateType.AND, (a, b))
+        y = nl.add_gate(GateType.AND, (t, c))
+        nl.add_po(y, "y")
+        m = scoap_measures(nl)
+        assert m.co[a] > m.co[t] >= m.co[y]
+
+
+class TestSequentialIteration:
+    def test_counter_measures_finite(self):
+        nl = synthesize(Design(parse_source(counter_source())))
+        m = scoap_measures(nl)
+        for dff in nl.dffs():
+            assert m.cc0[dff.output] < 10 ** 9
+            assert m.cc1[dff.output] < 10 ** 9
+
+    def test_hard_lists(self):
+        nl = synthesize(Design(parse_source(counter_source())))
+        m = scoap_measures(nl)
+        hardest_c = m.hardest_to_control(nl, count=5)
+        hardest_o = m.hardest_to_observe(nl, count=5)
+        assert len(hardest_c) == 5
+        assert len(hardest_o) == 5
+        # Results sorted by decreasing cost.
+        costs_c = [c for _, c in hardest_c]
+        assert costs_c == sorted(costs_c, reverse=True)

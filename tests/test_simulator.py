@@ -1,0 +1,142 @@
+"""Tests for the bit-parallel three-valued logic simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg.simulator import LogicSimulator, eval_gate
+from repro.designs import counter_source, fsm_source
+from repro.hierarchy import Design
+from repro.synth import synthesize
+from repro.synth.netlist import GateType
+from repro.verilog.parser import parse_source
+
+
+def netlist_of(src, top=None):
+    return synthesize(Design(parse_source(src), top=top))
+
+
+# Three-valued scalar encodings for single-lane tests.
+ONE, ZERO, X = (1, 0), (0, 1), (0, 0)
+
+
+class TestEvalGate:
+    def test_and_x_semantics(self):
+        # 0 AND X = 0 (controlling value wins); 1 AND X = X.
+        assert eval_gate(GateType.AND, [ZERO, X], 1) == ZERO
+        assert eval_gate(GateType.AND, [ONE, X], 1) == X
+        assert eval_gate(GateType.AND, [ONE, ONE], 1) == ONE
+
+    def test_or_x_semantics(self):
+        assert eval_gate(GateType.OR, [ONE, X], 1) == ONE
+        assert eval_gate(GateType.OR, [ZERO, X], 1) == X
+
+    def test_xor_x_semantics(self):
+        assert eval_gate(GateType.XOR, [ONE, X], 1) == X
+        assert eval_gate(GateType.XOR, [ONE, ZERO], 1) == ONE
+        assert eval_gate(GateType.XNOR, [ONE, ONE], 1) == ONE
+
+    def test_not(self):
+        assert eval_gate(GateType.NOT, [ONE], 1) == ZERO
+        assert eval_gate(GateType.NOT, [X], 1) == X
+
+    def test_inverting_forms(self):
+        assert eval_gate(GateType.NAND, [ONE, ONE], 1) == ZERO
+        assert eval_gate(GateType.NOR, [ZERO, ZERO], 1) == ONE
+
+    def test_bit_parallel_lanes(self):
+        # lane 0: 1&1=1; lane 1: 1&0=0; lane 2: X&1=X
+        a = (0b011, 0b100)
+        b = (0b101, 0b010)
+        ones, zeros = eval_gate(GateType.AND, [a, b], 0b111)
+        assert ones == 0b001
+        assert zeros == 0b110
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 1), st.integers(0, 1))
+    def test_binary_lanes_match_python(self, a, b):
+        enc = lambda v: (1, 0) if v else (0, 1)
+        assert eval_gate(GateType.AND, [enc(a), enc(b)], 1) == enc(a & b)
+        assert eval_gate(GateType.OR, [enc(a), enc(b)], 1) == enc(a | b)
+        assert eval_gate(GateType.XOR, [enc(a), enc(b)], 1) == enc(a ^ b)
+
+
+class TestSequentialSimulation:
+    def test_state_starts_x(self):
+        nl = netlist_of(counter_source())
+        sim = LogicSimulator(nl)
+        out = sim.step_scalar({"clk": 0, "rst": 0, "en": 1})
+        assert all(v is None for k, v in out.items() if k.startswith("q"))
+
+    def test_reset_initialises(self):
+        nl = netlist_of(counter_source())
+        sim = LogicSimulator(nl)
+        sim.step_scalar({"clk": 0, "rst": 1, "en": 0})
+        out = sim.step_scalar({"clk": 0, "rst": 0, "en": 0})
+        q = sum(out[f"q[{i}]"] << i for i in range(4))
+        assert q == 0
+
+    def test_counter_counts(self):
+        nl = netlist_of(counter_source())
+        sim = LogicSimulator(nl)
+        sim.step_scalar({"clk": 0, "rst": 1, "en": 0})
+        values = []
+        for _ in range(5):
+            out = sim.step_scalar({"clk": 0, "rst": 0, "en": 1})
+            values.append(sum(out[f"q[{i}]"] << i for i in range(4)))
+        assert values == [0, 1, 2, 3, 4]
+
+    def test_enable_gates_counting(self):
+        nl = netlist_of(counter_source())
+        sim = LogicSimulator(nl)
+        sim.step_scalar({"clk": 0, "rst": 1, "en": 0})
+        sim.step_scalar({"clk": 0, "rst": 0, "en": 1})
+        out = sim.step_scalar({"clk": 0, "rst": 0, "en": 0})
+        out2 = sim.step_scalar({"clk": 0, "rst": 0, "en": 0})
+        q = sum(out[f"q[{i}]"] << i for i in range(4))
+        q2 = sum(out2[f"q[{i}]"] << i for i in range(4))
+        assert q == q2 == 1
+
+    def test_fsm_walks_states(self):
+        nl = netlist_of(fsm_source())
+        sim = LogicSimulator(nl)
+        sim.step_scalar({"clk": 0, "rst": 1, "go": 0})
+        seen = []
+        for cycle in range(5):
+            out = sim.step_scalar({"clk": 0, "rst": 0, "go": 1})
+            state = out["state_out[1]"] * 2 + out["state_out[0]"]
+            seen.append((state, out["done"]))
+        assert seen == [(0, 0), (1, 0), (2, 0), (3, 1), (0, 0)]
+
+    def test_reset_state_method(self):
+        nl = netlist_of(counter_source())
+        sim = LogicSimulator(nl)
+        sim.step_scalar({"clk": 0, "rst": 1, "en": 0})
+        sim.step_scalar({"clk": 0, "rst": 0, "en": 1})
+        sim.reset_state()
+        out = sim.step_scalar({"clk": 0, "rst": 0, "en": 0})
+        assert out["q[0]"] is None
+
+    def test_load_state(self):
+        nl = netlist_of(counter_source())
+        sim = LogicSimulator(nl)
+        state = {dff.output: (1, 0) for dff in nl.dffs()}  # all ones
+        sim.load_state(state)
+        out = sim.step_scalar({"clk": 0, "rst": 0, "en": 0})
+        q = sum(out[f"q[{i}]"] << i for i in range(4))
+        assert q == 15
+        assert out["wrap"] == 1
+
+    def test_run_returns_po_maps(self):
+        nl = netlist_of(counter_source())
+        sim = LogicSimulator(nl)
+        rst_vec = {pi: ((1, 0) if nl.net_name(pi) == "rst" else (0, 1))
+                   for pi in nl.pis}
+        outs = sim.run([rst_vec, {}])
+        assert len(outs) == 2
+        assert set(outs[0]) == set(nl.pos)
+
+    def test_unknown_pi_name_rejected(self):
+        nl = netlist_of(counter_source())
+        sim = LogicSimulator(nl)
+        with pytest.raises(KeyError):
+            sim.step_scalar({"nope": 1})

@@ -1,0 +1,98 @@
+"""Netlist statistics tests (logic levels, sequential depth, fault counts)."""
+
+import pytest
+
+from repro.designs import adder_source, arm2_design, counter_source
+from repro.hierarchy import Design
+from repro.synth import netlist_stats, sequential_depth, synthesize
+from repro.synth.netlist import GateType, Netlist
+from repro.synth.stats import logic_levels
+from repro.verilog.parser import parse_source
+
+
+def netlist_of(src, top=None):
+    return synthesize(Design(parse_source(src), top=top))
+
+
+class TestLogicLevels:
+    def test_single_gate(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        y = nl.add_gate(GateType.NOT, (a,))
+        nl.add_po(y, "y")
+        assert logic_levels(nl) == 1
+
+    def test_chain(self):
+        nl = Netlist()
+        net = nl.add_pi("a")
+        for _ in range(5):
+            net = nl.add_gate(GateType.NOT, (net,))
+        nl.add_po(net, "y")
+        assert logic_levels(nl) == 5
+
+    def test_adder_depth_ripple(self):
+        nl = netlist_of(adder_source(width=8))
+        # A ripple-carry adder's depth grows with width.
+        narrow = netlist_of(adder_source(width=2))
+        assert logic_levels(nl) > logic_levels(narrow)
+
+
+class TestSequentialDepth:
+    def test_combinational_is_zero(self):
+        nl = netlist_of(adder_source())
+        assert sequential_depth(nl) == 0
+
+    def test_single_register_stage(self):
+        src = """
+        module m(input clk, input d, output q);
+          reg r;
+          always @(posedge clk) r <= d;
+          assign q = r;
+        endmodule
+        """
+        assert sequential_depth(netlist_of(src)) == 1
+
+    def test_pipeline_depth(self):
+        src = """
+        module m(input clk, input d, output q);
+          reg r1;
+          reg r2;
+          reg r3;
+          always @(posedge clk) begin
+            r1 <= d;
+            r2 <= r1;
+            r3 <= r2;
+          end
+          assign q = r3;
+        endmodule
+        """
+        assert sequential_depth(netlist_of(src)) == 3
+
+    def test_feedback_counter_bounded(self):
+        nl = netlist_of(counter_source())
+        depth = sequential_depth(nl)
+        assert 1 <= depth <= len(nl.dffs())
+
+    def test_arm2_is_deeply_sequential(self):
+        nl = synthesize(arm2_design())
+        assert sequential_depth(nl) >= 3
+
+
+class TestNetlistStats:
+    def test_fields(self):
+        nl = netlist_of(counter_source())
+        stats = netlist_stats(nl)
+        assert stats.num_pis == len(nl.pis)
+        assert stats.num_pos == len(nl.pos)
+        assert stats.num_gates == nl.gate_count()
+        assert stats.num_dffs == len(nl.dffs())
+        assert stats.num_faults > 0
+        row = stats.as_row()
+        assert row["gates"] == stats.num_gates
+
+    def test_fault_region_restriction(self):
+        design = arm2_design()
+        nl = synthesize(design)
+        full = netlist_stats(nl)
+        alu_only = netlist_stats(nl, fault_region="u_core.u_dp.u_alu.")
+        assert 0 < alu_only.num_faults < full.num_faults

@@ -1,0 +1,228 @@
+"""Testability analysis tests (paper Section 4.2)."""
+
+import pytest
+
+from repro.core.composer import ConstraintComposer
+from repro.core.extractor import ExtractionMode, MutSpec
+from repro.core.testability import analyze_testability
+from repro.designs import arm2_source
+from repro.hierarchy import Design
+from repro.verilog.parser import parse_source
+
+
+def report_for(src, module, path, top=None):
+    design = Design(parse_source(src), top=top)
+    composer = ConstraintComposer(design, ExtractionMode.COMPOSE)
+    extraction = composer.extract(MutSpec(module=module, path=path))
+    return analyze_testability(design, extraction)
+
+
+class TestHardCodedDetection:
+    DECODE_STYLE = """
+    module mut(input [1:0] ctl, input [3:0] data, output [3:0] o);
+      assign o = ctl[0] ? data : (ctl[1] ? ~data : 4'd0);
+    endmodule
+    module top(input [1:0] sel, input [3:0] data, output [3:0] y);
+      reg [1:0] ctl;
+      always @(*)
+        case (sel)
+          2'd0: ctl = 2'b01;
+          2'd1: ctl = 2'b10;
+          default: ctl = 2'b00;
+        endcase
+      mut u_mut(.ctl(ctl), .data(data), .o(y));
+    endmodule
+    """
+
+    def test_hard_coded_port_flagged(self):
+        report = report_for(self.DECODE_STYLE, "mut", "u_mut.")
+        ports = {h.port for h in report.hard_coded_ports}
+        assert "ctl" in ports
+        assert "data" not in ports
+        assert report.num_hard_coded == 1
+        assert report.total_input_ports == 2
+
+    def test_selector_identified(self):
+        report = report_for(self.DECODE_STYLE, "mut", "u_mut.")
+        hc = report.hard_coded_ports[0]
+        assert "sel" in hc.selectors
+
+    def test_constant_sites_traced(self):
+        report = report_for(self.DECODE_STYLE, "mut", "u_mut.")
+        hc = report.hard_coded_ports[0]
+        assert len(hc.constant_sites) == 3  # the three case arms
+
+    def test_warning_emitted(self):
+        report = report_for(self.DECODE_STYLE, "mut", "u_mut.")
+        kinds = {w.kind for w in report.warnings}
+        assert "hard_coded" in kinds
+
+    def test_summary_mentions_counts(self):
+        report = report_for(self.DECODE_STYLE, "mut", "u_mut.")
+        text = report.summary()
+        assert "1 of 2" in text
+
+
+class TestNotHardCoded:
+    def test_data_driven_port_not_flagged(self):
+        src = """
+        module mut(input [3:0] d, output [3:0] o);
+          assign o = ~d;
+        endmodule
+        module top(input [3:0] a, output [3:0] y);
+          mut u_mut(.d(a), .o(y));
+        endmodule
+        """
+        report = report_for(src, "mut", "u_mut.")
+        assert report.num_hard_coded == 0
+
+    def test_mixed_cone_not_flagged(self):
+        # One path constant, one path from a pin: NOT hard-coded.
+        src = """
+        module mut(input c, output o);
+          assign o = ~c;
+        endmodule
+        module top(input sel, input pin, output y);
+          reg c;
+          always @(*)
+            if (sel) c = 1'b1;
+            else c = pin;
+          mut u_mut(.c(c), .o(y));
+        endmodule
+        """
+        report = report_for(src, "mut", "u_mut.")
+        assert report.num_hard_coded == 0
+
+    def test_routing_through_part_select_still_traced(self):
+        src = """
+        module mut(input [1:0] ctl, output o);
+          assign o = ^ctl;
+        endmodule
+        module top(input s, output y);
+          reg [3:0] table_word;
+          wire [1:0] slice;
+          always @(*)
+            if (s) table_word = 4'hA;
+            else table_word = 4'h5;
+          assign slice = table_word[2:1];
+          mut u_mut(.ctl(slice), .o(y));
+        endmodule
+        """
+        report = report_for(src, "mut", "u_mut.")
+        assert {h.port for h in report.hard_coded_ports} == {"ctl"}
+
+
+class TestEmptyChainWarnings:
+    def test_no_driver_warning(self):
+        src = """
+        module mut(input i, output o);
+          assign o = ~i;
+        endmodule
+        module top(input a, output y);
+          wire floating;
+          mut u_mut(.i(floating), .o(y));
+        endmodule
+        """
+        report = report_for(src, "mut", "u_mut.")
+        warns = [w for w in report.warnings if w.kind == "no_driver"]
+        assert any(w.signal == "floating" for w in warns)
+
+    def test_no_propagation_warning(self):
+        src = """
+        module mut(input i, output o);
+          assign o = ~i;
+        endmodule
+        module top(input a, output y);
+          wire dead;
+          mut u_mut(.i(a), .o(dead));
+          assign y = a;
+        endmodule
+        """
+        report = report_for(src, "mut", "u_mut.")
+        warns = [w for w in report.warnings if w.kind == "no_propagation"]
+        assert any(w.signal == "dead" for w in warns)
+
+
+class TestArm2AluStory:
+    """The paper's Section 4.2 example: most of the ALU's control inputs are
+    driven from the decode table's hard-coded values."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return report_for(arm2_source(), "arm_alu", "u_core.u_dp.u_alu.",
+                          top="arm")
+
+    def test_control_inputs_hard_coded(self, report):
+        ports = {h.port for h in report.hard_coded_ports}
+        # All 13 single-bit control inputs come from the decode table.
+        expected = {
+            "op_add", "op_sub", "op_and", "op_or", "op_xor", "op_shl",
+            "op_shr", "op_pass_b", "inv_a", "inv_b", "cin", "flag_en",
+            "cmp_mode",
+        }
+        assert expected <= ports
+
+    def test_data_inputs_not_hard_coded(self, report):
+        ports = {h.port for h in report.hard_coded_ports}
+        assert "a" not in ports
+        assert "b" not in ports
+
+    def test_opcode_is_the_selector(self, report):
+        selectors = set()
+        for hc in report.hard_coded_ports:
+            selectors |= set(hc.selectors)
+        assert "opcode" in selectors or "inst" in selectors
+
+
+class TestAbortedPathTrace:
+    SRC = """
+    module mut(input i, output o);
+      assign o = ~i;
+    endmodule
+    module glue(input g_in, output g_out);
+      assign g_out = g_in;
+    endmodule
+    module top(input a, output y);
+      wire floating;
+      wire routed;
+      glue u_g(.g_in(floating), .g_out(routed));
+      mut u_mut(.i(routed), .o(y));
+    endmodule
+    """
+
+    def test_trace_reaches_mut(self):
+        from repro.core.extractor import MutSpec
+        from repro.core.testability import trace_aborted_path
+        from repro.hierarchy import Design
+        from repro.verilog.parser import parse_source
+
+        design = Design(parse_source(self.SRC))
+        hops = trace_aborted_path(design, "top", "floating",
+                                  MutSpec(module="mut", path="u_mut."))
+        assert hops[0].module == "top"
+        assert hops[0].signal == "floating"
+        assert hops[-1].module == "mut"
+        # The path crosses the glue module.
+        assert any(h.module == "glue" for h in hops)
+
+    def test_trace_of_unconnected_signal_stays_short(self):
+        from repro.core.extractor import MutSpec
+        from repro.core.testability import trace_aborted_path
+        from repro.hierarchy import Design
+        from repro.verilog.parser import parse_source
+
+        src = """
+        module mut(input i, output o);
+          assign o = ~i;
+        endmodule
+        module top(input a, output y, output z);
+          wire isolated;
+          assign z = isolated;
+          mut u_mut(.i(a), .o(y));
+        endmodule
+        """
+        design = Design(parse_source(src))
+        hops = trace_aborted_path(design, "top", "isolated",
+                                  MutSpec(module="mut", path="u_mut."))
+        # The isolated signal never reaches the MUT: best-effort trace only.
+        assert hops[-1].module != "mut"

@@ -1,0 +1,138 @@
+"""Transition-fault model tests."""
+
+import pytest
+
+from repro.atpg.transition import (
+    TransitionFault,
+    TransitionFaultSimulator,
+    build_transition_fault_list,
+    transition_coverage,
+)
+from repro.designs import counter_source
+from repro.hierarchy import Design
+from repro.synth import synthesize
+from repro.synth.netlist import GateType, Netlist
+from repro.verilog.parser import parse_source
+
+
+def buffer_netlist():
+    nl = Netlist("buf")
+    a = nl.add_pi("a")
+    y = nl.add_gate(GateType.BUF, (a,))
+    nl.add_po(y, "y")
+    return nl, a, y
+
+
+class TestModel:
+    def test_fault_list_two_per_site(self):
+        nl, a, y = buffer_netlist()
+        faults = build_transition_fault_list(nl)
+        assert len(faults) == 4  # (a, y) x (rise, fall)
+
+    def test_describe(self):
+        nl, a, y = buffer_netlist()
+        assert TransitionFault(a, True).describe(nl) == "a slow-to-rise"
+        assert TransitionFault(a, False).describe(nl) == "a slow-to-fall"
+
+    def test_region_filter(self):
+        src = """
+        module leaf(input i, output o);
+          assign o = ~i;
+        endmodule
+        module top(input a, output y);
+          wire t;
+          leaf u1(.i(a), .o(t));
+          assign y = t;
+        endmodule
+        """
+        nl = synthesize(Design(parse_source(src)), do_optimize=False)
+        region = build_transition_fault_list(nl, region="u1.")
+        assert region
+        assert len(region) < len(build_transition_fault_list(nl))
+
+
+class TestDetection:
+    def test_rising_transition_needs_launch_pair(self):
+        nl, a, y = buffer_netlist()
+        sim = TransitionFaultSimulator(nl, lanes=4)
+        str_fault = TransitionFault(y, True)
+
+        # A single vector cannot detect a transition fault.
+        assert sim.detected_faults([{a: 1}], [str_fault]) == set()
+        # 0 then 1: the slow rise holds y at 0 while the good machine
+        # shows 1 -> detected on the second vector.
+        assert sim.detected_faults([{a: 0}, {a: 1}], [str_fault]) == {
+            str_fault
+        }
+        # 1 then 0: wrong direction for slow-to-rise.
+        assert sim.detected_faults([{a: 1}, {a: 0}], [str_fault]) == set()
+
+    def test_falling_transition(self):
+        nl, a, y = buffer_netlist()
+        sim = TransitionFaultSimulator(nl, lanes=4)
+        stf = TransitionFault(y, False)
+        assert sim.detected_faults([{a: 1}, {a: 0}], [stf]) == {stf}
+        assert sim.detected_faults([{a: 0}, {a: 1}], [stf]) == set()
+
+    def test_gross_delay_sticks_until_driven_back(self):
+        # After a missed rising edge the faulty net keeps its old value;
+        # a later cycle that drives it low realigns both machines.
+        nl, a, y = buffer_netlist()
+        sim = TransitionFaultSimulator(nl, lanes=4)
+        str_fault = TransitionFault(y, True)
+        vectors = [{a: 0}, {a: 0}, {a: 1}]  # rise launched on last cycle
+        assert sim.detected_faults(vectors, [str_fault]) == {str_fault}
+
+    def test_x_initial_value_cannot_launch(self):
+        # With no established previous value the first vector cannot launch
+        # a transition even if it sets the on-value.
+        nl, a, y = buffer_netlist()
+        sim = TransitionFaultSimulator(nl, lanes=4)
+        str_fault = TransitionFault(y, True)
+        assert sim.detected_faults([{a: 1}, {a: 1}], [str_fault]) == set()
+
+    def test_through_logic(self):
+        nl = Netlist()
+        a = nl.add_pi("a")
+        b = nl.add_pi("b")
+        g = nl.add_gate(GateType.AND, (a, b))
+        nl.add_po(g, "y")
+        sim = TransitionFaultSimulator(nl, lanes=4)
+        fault = TransitionFault(g, True)
+        # Launch 0->1 on the AND output with b enabling propagation.
+        vectors = [{a: 0, b: 1}, {a: 1, b: 1}]
+        assert sim.detected_faults(vectors, [fault]) == {fault}
+
+
+class TestCoverage:
+    def test_counter_transition_coverage(self):
+        nl = synthesize(Design(parse_source(counter_source())))
+        # A long count sequence launches transitions on every counter bit.
+        vectors = [{pi: 0 for pi in nl.pis} for _ in range(20)]
+        for pi in nl.pis:
+            name = nl.net_name(pi)
+            if name == "rst":
+                vectors[0][pi] = 1
+            if name == "en":
+                for vec in vectors[1:]:
+                    vec[pi] = 1
+        cov, undetected = transition_coverage(nl, [vectors])
+        assert cov > 40.0
+        assert all(isinstance(f, TransitionFault) for f in undetected)
+
+    def test_transition_coverage_below_stuck_at(self):
+        from repro.atpg.engine import AtpgEngine, AtpgOptions
+        from repro.atpg.vectors import TestSet
+
+        nl = synthesize(Design(parse_source(counter_source())))
+        engine = AtpgEngine(nl, AtpgOptions(max_frames=6))
+        report = engine.run()
+        ts = TestSet.from_engine(engine, nl)
+        pi_by_name = {nl.net_name(pi): pi for pi in nl.pis}
+        sequences = [
+            [{pi_by_name[n]: b for n, b in vec.items()} for vec in t.vectors]
+            for t in ts.tests
+        ]
+        cov, _ = transition_coverage(nl, sequences)
+        # Transition faults need launch pairs on top of stuck-at conditions.
+        assert 0.0 < cov <= report.coverage_percent + 1e-9

@@ -1,0 +1,145 @@
+"""Property tests for the five-valued D-algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.atpg import values as V
+
+
+five = st.sampled_from(V.ALL_VALUES)
+
+
+def components(value):
+    return V.good_bit(value), V.faulty_bit(value)
+
+
+def and3(a, b):
+    if a == 0 or b == 0:
+        return 0
+    if a is None or b is None:
+        return None
+    return 1
+
+
+def or3(a, b):
+    if a == 1 or b == 1:
+        return 1
+    if a is None or b is None:
+        return None
+    return 0
+
+
+def xor3(a, b):
+    if a is None or b is None:
+        return None
+    return a ^ b
+
+
+class TestEncoding:
+    def test_component_values(self):
+        assert components(V.V0) == (0, 0)
+        assert components(V.V1) == (1, 1)
+        assert components(V.VD) == (1, 0)
+        assert components(V.VDBAR) == (0, 1)
+        assert components(V.VX) == (None, None)
+
+    def test_from_components_roundtrip(self):
+        for value in (V.V0, V.V1, V.VD, V.VDBAR):
+            assert V.from_components(*components(value)) == value
+
+    def test_partial_unknown_collapses_to_x(self):
+        assert V.from_components(None, 0) == V.VX
+        assert V.from_components(1, None) == V.VX
+
+    def test_names(self):
+        assert V.value_name(V.VD) == "D"
+        assert V.value_name(V.VDBAR) == "D'"
+
+
+class TestOperationConsistency:
+    """Each 5-valued op must act component-wise like the 3-valued op."""
+
+    @given(five, five)
+    def test_and(self, a, b):
+        ag, af = components(a)
+        bg, bf = components(b)
+        expected = V.from_components(and3(ag, bg), and3(af, bf))
+        assert V.v_and(a, b) == expected
+
+    @given(five, five)
+    def test_or(self, a, b):
+        ag, af = components(a)
+        bg, bf = components(b)
+        expected = V.from_components(or3(ag, bg), or3(af, bf))
+        assert V.v_or(a, b) == expected
+
+    @given(five, five)
+    def test_xor(self, a, b):
+        ag, af = components(a)
+        bg, bf = components(b)
+        expected = V.from_components(xor3(ag, bg), xor3(af, bf))
+        assert V.v_xor(a, b) == expected
+
+    @given(five)
+    def test_not_involution(self, a):
+        assert V.v_not(V.v_not(a)) == a
+
+    @given(five, five)
+    def test_commutativity(self, a, b):
+        assert V.v_and(a, b) == V.v_and(b, a)
+        assert V.v_or(a, b) == V.v_or(b, a)
+        assert V.v_xor(a, b) == V.v_xor(b, a)
+
+    @given(five, five, five)
+    def test_associativity_up_to_x_collapse(self, a, b, c):
+        """The algebra is conservative, not associative: regrouping may only
+        lose information (collapse to X), never produce a conflicting
+        definite value — e.g. (D & D') & X = 0 but D & (D' & X) = X."""
+
+        def compatible(x, y):
+            return x == y or x == V.VX or y == V.VX
+
+        assert compatible(V.v_and(V.v_and(a, b), c), V.v_and(a, V.v_and(b, c)))
+        assert compatible(V.v_or(V.v_or(a, b), c), V.v_or(a, V.v_or(b, c)))
+        assert compatible(V.v_xor(V.v_xor(a, b), c), V.v_xor(a, V.v_xor(b, c)))
+
+    @given(five)
+    def test_identities(self, a):
+        assert V.v_and(a, V.V1) == a
+        assert V.v_or(a, V.V0) == a
+        assert V.v_xor(a, V.V0) == a
+        assert V.v_and(a, V.V0) == V.V0
+        assert V.v_or(a, V.V1) == V.V1
+
+    @given(five)
+    def test_demorgan(self, a):
+        for b in V.ALL_VALUES:
+            assert V.v_not(V.v_and(a, b)) == V.v_or(V.v_not(a), V.v_not(b))
+
+
+class TestDValues:
+    def test_d_detection(self):
+        assert V.is_d_value(V.VD)
+        assert V.is_d_value(V.VDBAR)
+        assert not V.is_d_value(V.V0)
+        assert not V.is_d_value(V.V1)
+        assert not V.is_d_value(V.VX)
+
+    def test_d_and_dbar_cancel(self):
+        # D & D' = (1&0, 0&1) = (0, 0) = 0.
+        assert V.v_and(V.VD, V.VDBAR) == V.V0
+        # D | D' = 1.
+        assert V.v_or(V.VD, V.VDBAR) == V.V1
+        # D ^ D' = (1^0, 0^1) = (1, 1) = 1.
+        assert V.v_xor(V.VD, V.VDBAR) == V.V1
+        # D ^ D = 0.
+        assert V.v_xor(V.VD, V.VD) == V.V0
+
+    def test_d_propagation_through_and(self):
+        assert V.v_and(V.VD, V.V1) == V.VD
+        assert V.v_and(V.VD, V.V0) == V.V0
+        assert V.v_and(V.VD, V.VX) == V.VX
+
+    def test_not_inverts_d(self):
+        assert V.v_not(V.VD) == V.VDBAR
+        assert V.v_not(V.VDBAR) == V.VD
