@@ -1,11 +1,13 @@
 """Shared fixtures for the table-reproduction benchmarks."""
 
+import json
 import os
 
 import pytest
 
 from repro.bench import get_experiments
 from repro.core.report import format_table
+from repro.obs import RunRecord
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -17,7 +19,13 @@ def experiments():
 
 @pytest.fixture
 def emit_table():
-    """Print a table and persist it under benchmarks/results/."""
+    """Print a table and persist it (text + machine-readable JSON) under
+    benchmarks/results/.
+
+    Alongside the table text, ``<name>.json`` records the rows plus a
+    :class:`RunRecord` metrics snapshot so result trajectories can be
+    diffed across PRs.
+    """
 
     def _emit(filename, title, rows, columns=()):
         text = format_table(title, rows, columns)
@@ -26,6 +34,19 @@ def emit_table():
         with open(os.path.join(RESULTS_DIR, filename), "w",
                   encoding="utf-8") as handle:
             handle.write(text)
+        record = RunRecord.capture(label=title)
+        payload = {
+            "title": title,
+            "columns": list(columns) if columns
+            else (list(rows[0].keys()) if rows else []),
+            "rows": list(rows),
+            "record": record.as_dict(),
+        }
+        json_name = os.path.splitext(filename)[0] + ".json"
+        with open(os.path.join(RESULTS_DIR, json_name), "w",
+                  encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+            handle.write("\n")
         return text
 
     return _emit

@@ -8,10 +8,11 @@ test generation CPU time and total CPU time.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import CpuTimer, Deadline, counter, gauge, histogram, span
+from repro.obs.record import RunRecord
 from repro.synth.netlist import Netlist
 from repro.atpg.faults import Fault, build_fault_list
 from repro.atpg.fault_sim import FaultSimulator
@@ -69,6 +70,8 @@ class AtpgReport:
     total_seconds: float
     num_tests: int
     num_vectors: int
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
+    record: Optional[RunRecord] = field(default=None, repr=False)
 
     def as_row(self) -> Dict[str, object]:
         return {
@@ -115,6 +118,7 @@ class SequentialAtpg:
                 result.cpu_seconds += last.cpu_seconds
                 result.backtracks += last.backtracks
                 result.decisions += last.decisions
+                result.implications += last.implications
             if result.detected:
                 return result
             if result.status == "aborted":
@@ -137,9 +141,27 @@ class AtpgEngine:
         self.tests: List[Tuple[List[Dict[int, int]], Dict[int, int]]] = []
 
     def run(self) -> AtpgReport:
+        with span("atpg", netlist=self.netlist.name) as sp:
+            report = self._run(sp)
+            # Every reported time derives from one CPU clock: the span for
+            # the total, CpuTimer accumulation for the phases inside it.
+            report.total_seconds = sp.cpu_seconds
+            sp.set("faults", report.total_faults)
+            sp.set("detected", report.detected)
+            sp.set("coverage_percent", round(report.coverage_percent, 2))
+        report.record = RunRecord.capture(
+            f"atpg:{self.netlist.name}", spans=[sp]
+        )
+        if report.total_seconds > 0:
+            gauge("atpg.faults_per_second").set(
+                round(report.total_faults / report.total_seconds, 2)
+            )
+        return report
+
+    def _run(self, sp) -> AtpgReport:
         opts = self.options
         rng = random.Random(opts.seed)
-        start_total = time.process_time()
+        budget = Deadline(opts.total_time_limit)
 
         faults = build_fault_list(self.netlist, region=opts.fault_region)
         if opts.fault_sample is not None and len(faults) > opts.fault_sample:
@@ -149,9 +171,10 @@ class AtpgEngine:
         detected: Set[Fault] = set()
         untestable: Set[Fault] = set()
         aborted: Set[Fault] = set()
+        abort_reasons: Dict[str, int] = {}
 
         fsim = FaultSimulator(self.netlist, lanes=opts.fault_sim_lanes)
-        fault_sim_seconds = 0.0
+        fault_sim_timer = CpuTimer()
         observe = sorted(
             dff.inputs[0]
             for dff in self.netlist.dffs()
@@ -159,61 +182,76 @@ class AtpgEngine:
         ) if opts.pier_qs else None
 
         # -- phase 1: random vectors -------------------------------------
-        for _ in range(opts.random_sequences):
-            if not remaining:
-                break
-            vectors = [
-                {pi: rng.randint(0, 1) for pi in self.netlist.pis}
-                for _ in range(opts.random_sequence_length)
-            ]
-            t0 = time.process_time()
-            found = fsim.detected_faults(vectors, sorted(remaining))
-            fault_sim_seconds += time.process_time() - t0
-            if found:
-                self.tests.append((vectors, {}))
-            detected |= found
-            remaining -= found
-        random_detected = len(detected)
+        with span("atpg.random") as sp_random:
+            for _ in range(opts.random_sequences):
+                if not remaining:
+                    break
+                vectors = [
+                    {pi: rng.randint(0, 1) for pi in self.netlist.pis}
+                    for _ in range(opts.random_sequence_length)
+                ]
+                with fault_sim_timer:
+                    found = fsim.detected_faults(vectors, sorted(remaining))
+                if found:
+                    self.tests.append((vectors, {}))
+                detected |= found
+                remaining -= found
+            random_detected = len(detected)
+            sp_random.set("detected", random_detected)
 
         # -- phase 2: deterministic PODEM ---------------------------------
         seq = SequentialAtpg(self.netlist, opts)
         test_gen_seconds = 0.0
         unattempted = 0
-        for fault in sorted(faults):
-            if fault not in remaining:
-                continue
-            if opts.total_time_limit is not None:
-                elapsed = time.process_time() - start_total
-                if elapsed > opts.total_time_limit:
+        total_backtracks = 0
+        with span("atpg.podem") as sp_podem:
+            for fault in sorted(faults):
+                if fault not in remaining:
+                    continue
+                if budget.expired():
                     unattempted += 1
                     remaining.discard(fault)
                     aborted.add(fault)
-                    continue
-            result = seq.generate(fault)
-            test_gen_seconds += result.cpu_seconds
-            if result.detected:
-                detected.add(fault)
-                remaining.discard(fault)
-                self.tests.append((result.vectors, result.initial_state))
-                if remaining:
-                    t0 = time.process_time()
-                    extra = fsim.detected_faults(
-                        result.vectors,
-                        sorted(remaining),
-                        initial_state=result.initial_state or None,
-                        extra_observables=observe,
+                    abort_reasons["total_time_limit"] = (
+                        abort_reasons.get("total_time_limit", 0) + 1
                     )
-                    fault_sim_seconds += time.process_time() - t0
-                    detected |= extra
-                    remaining -= extra
-            elif result.status == "untestable":
-                untestable.add(fault)
-                remaining.discard(fault)
-            else:
-                aborted.add(fault)
-                remaining.discard(fault)
+                    continue
+                result = seq.generate(fault)
+                test_gen_seconds += result.cpu_seconds
+                total_backtracks += result.backtracks
+                counter("atpg.backtracks").inc(result.backtracks)
+                counter("atpg.decisions").inc(result.decisions)
+                counter("atpg.implications").inc(result.implications)
+                histogram("atpg.fault_seconds").observe(result.cpu_seconds)
+                if result.detected:
+                    detected.add(fault)
+                    remaining.discard(fault)
+                    self.tests.append((result.vectors, result.initial_state))
+                    if remaining:
+                        with fault_sim_timer:
+                            extra = fsim.detected_faults(
+                                result.vectors,
+                                sorted(remaining),
+                                initial_state=result.initial_state or None,
+                                extra_observables=observe,
+                            )
+                        detected |= extra
+                        remaining -= extra
+                elif result.status == "untestable":
+                    untestable.add(fault)
+                    remaining.discard(fault)
+                else:
+                    aborted.add(fault)
+                    remaining.discard(fault)
+                    reason = result.abort_reason or "unknown"
+                    abort_reasons[reason] = abort_reasons.get(reason, 0) + 1
+            sp_podem.set("backtracks", total_backtracks)
+            sp_podem.set("test_gen_seconds", round(test_gen_seconds, 6))
 
-        total_seconds = time.process_time() - start_total
+        for reason, count in abort_reasons.items():
+            counter(f"atpg.aborts.{reason}").inc(count)
+        sp.set("fault_sim_seconds", round(fault_sim_timer.elapsed, 6))
+
         coverage = 100.0 * len(detected) / total if total else 100.0
         efficiency = (
             100.0 * (len(detected) + len(untestable)) / total
@@ -230,8 +268,9 @@ class AtpgEngine:
             coverage_percent=coverage,
             efficiency_percent=efficiency,
             test_gen_seconds=test_gen_seconds,
-            fault_sim_seconds=fault_sim_seconds,
-            total_seconds=total_seconds,
+            fault_sim_seconds=fault_sim_timer.elapsed,
+            total_seconds=0.0,  # patched from the "atpg" span by run()
             num_tests=len(self.tests),
             num_vectors=sum(len(v) for v, _ in self.tests),
+            abort_reasons=abort_reasons,
         )

@@ -48,12 +48,21 @@ class FaultSimulator:
         adds nets compared against the good machine every cycle (the PIER
         store-instruction model: those registers can be read out).
         """
+        from repro.obs import counter
+
         detected: Set[Fault] = set()
         block_size = self.lanes - 1
+        blocks = 0
         for start in range(0, len(faults), block_size):
             block = faults[start : start + block_size]
+            blocks += 1
             detected |= self._simulate_block(vectors, block, initial_state,
                                              extra_observables)
+        counter("fault_sim.calls").inc()
+        counter("fault_sim.blocks").inc(blocks)
+        counter("fault_sim.vectors").inc(len(vectors) * blocks)
+        counter("fault_sim.faults_simulated").inc(len(faults))
+        counter("fault_sim.faults_detected").inc(len(detected))
         return detected
 
     # -- internals -------------------------------------------------------------

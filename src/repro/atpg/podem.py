@@ -11,11 +11,11 @@ Implements the classic objective / backtrace / imply loop with:
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import CpuTimer, Deadline
 from repro.synth.netlist import CONST0, CONST1, Gate, GateType
 from repro.atpg.faults import Fault
 from repro.atpg.sequential import Key, UnrolledModel
@@ -82,7 +82,9 @@ class PodemResult:
     initial_state: Dict[int, int] = field(default_factory=dict)
     backtracks: int = 0
     decisions: int = 0
+    implications: int = 0
     cpu_seconds: float = 0.0
+    abort_reason: Optional[str] = None  # "time_limit" | "backtrack_limit"
 
     @property
     def detected(self) -> bool:
@@ -105,22 +107,24 @@ class Podem:
         self._frontier: Set[Key] = set()     # gate-output keys on D-frontier
         self.backtracks = 0
         self.decisions = 0
+        self.implications = 0
 
     # -- public ------------------------------------------------------------
 
     def run(self) -> PodemResult:
-        start = time.process_time()
+        timer = CpuTimer().start()
+        deadline = Deadline(self.time_limit)
         model = self.model
         self._init_values()
 
         stack: List[List] = []  # [key, value, tried_other, undo_log]
         status = "untestable"
+        abort_reason: Optional[str] = None
 
         while True:
-            if self.time_limit is not None and (
-                time.process_time() - start > self.time_limit
-            ):
+            if deadline.expired():
                 status = "aborted"
+                abort_reason = "time_limit"
                 break
             if self._detected():
                 status = "detected"
@@ -143,6 +147,7 @@ class Podem:
                 self.backtracks += 1
                 if self.backtracks > self.backtrack_limit:
                     status = "aborted"
+                    abort_reason = "backtrack_limit"
                     break
                 if not tried:
                     undo2 = self._assign(key, 1 - value)
@@ -154,14 +159,15 @@ class Podem:
                 # backtrack limit fired (aborted).
                 break
 
-        elapsed = time.process_time() - start
         result = PodemResult(
             status=status,
             fault=self.fault,
             frames=model.frames,
             backtracks=self.backtracks,
             decisions=self.decisions,
-            cpu_seconds=elapsed,
+            implications=self.implications,
+            cpu_seconds=timer.stop(),
+            abort_reason=abort_reason if status == "aborted" else None,
         )
         if status == "detected":
             vectors, init_state = self._extract_vectors()
@@ -208,6 +214,7 @@ class Podem:
             if new_val == old_val:
                 continue
             undo.append((current, old_val))
+            self.implications += 1
             self.val[current] = new_val
             for nxt in self.model.fanout_keys(current):
                 if nxt not in seen_in_queue:
@@ -282,6 +289,7 @@ class Podem:
             if new_val == old_val:
                 continue
             undo.append((current, old_val))
+            self.implications += 1
             self.val[current] = new_val
             for nxt in self.model.fanout_keys(current):
                 if nxt not in seen_in_queue:

@@ -15,7 +15,6 @@ Environment knobs:
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 

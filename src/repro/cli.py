@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
         --path u_core.u_dp.u_alu. --out constraints/
     python -m repro testability DESIGN.v --top arm --mut arm_alu
     python -m repro atpg DESIGN.v --top arm --mut arm_alu --frames 4
+    python -m repro profile DESIGN.v --top arm --mut arm_alu
     python -m repro stats DESIGN.v --top arm
     python -m repro piers DESIGN.v --top arm
 
@@ -15,22 +16,43 @@ Subcommands:
                    write the constraint netlists out as Verilog,
 - ``testability``  Section 4.2 report: hard-coded inputs, empty chains,
 - ``atpg``         generate tests for the MUT inside the transformed module,
+- ``profile``      full pipeline run with a per-phase time/metric breakdown,
 - ``stats``        netlist statistics for the whole design (or one module),
 - ``piers``        list PI/PO-accessible registers.
+
+Every subcommand also takes the observability flags ``--log-level``,
+``--trace-out FILE`` (span tree as JSON; ``.jsonl`` / ``.chrome.json``
+variants by extension) and ``--metrics-out FILE`` (metrics registry
+snapshot as JSON).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro import __version__
 from repro.atpg.engine import AtpgOptions
 from repro.core.extractor import ExtractionMode
 from repro.core.factor import Factor
 from repro.core.report import format_table
+from repro.obs import (
+    Span,
+    configure_logging,
+    get_logger,
+    get_registry,
+    get_tracer,
+)
 from repro.synth import synthesize
 from repro.synth.stats import netlist_stats
+
+_log = get_logger("cli")
+
+# Pipeline phases reported by ``repro profile``, in execution order.
+_PROFILE_PHASES = ["parse", "extract", "compose", "synth",
+                   "testability", "piers", "atpg"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -39,6 +61,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description="FACTOR: functional constraint extraction for "
                     "hierarchical test generation (DATE 2002 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p, needs_mut=True):
@@ -50,6 +74,14 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--include", "-I", action="append", default=[],
                        metavar="DIR", help="`include search directory "
                                            "(repeatable)")
+        p.add_argument("--log-level", default="warning",
+                       choices=["debug", "info", "warning", "error"],
+                       help="structured log verbosity (default: warning)")
+        p.add_argument("--trace-out", metavar="FILE",
+                       help="write the span trace as JSON (.jsonl and "
+                            ".chrome.json select other formats)")
+        p.add_argument("--metrics-out", metavar="FILE",
+                       help="write the metrics registry snapshot as JSON")
         if needs_mut:
             p.add_argument("--mut", required=True,
                            help="module under test (module name)")
@@ -62,6 +94,14 @@ def _build_parser() -> argparse.ArgumentParser:
                 help="extraction mode (default: compose)",
             )
 
+    def add_atpg_options(p):
+        p.add_argument("--frames", type=int, default=4,
+                       help="maximum time frames (default 4)")
+        p.add_argument("--backtrack-limit", type=int, default=300)
+        p.add_argument("--no-piers", action="store_true",
+                       help="disable PIER pseudo PI/PO")
+        p.add_argument("--seed", type=int, default=2002)
+
     p_analyze = sub.add_parser("analyze", help="extract constraints and "
                                                "build the transformed module")
     add_common(p_analyze)
@@ -73,12 +113,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_atpg = sub.add_parser("atpg", help="generate tests for the MUT")
     add_common(p_atpg)
-    p_atpg.add_argument("--frames", type=int, default=4,
-                        help="maximum time frames (default 4)")
-    p_atpg.add_argument("--backtrack-limit", type=int, default=300)
-    p_atpg.add_argument("--no-piers", action="store_true",
-                        help="disable PIER pseudo PI/PO")
-    p_atpg.add_argument("--seed", type=int, default=2002)
+    add_atpg_options(p_atpg)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run the full pipeline and print a per-phase "
+             "time/metric breakdown",
+    )
+    add_common(p_profile)
+    add_atpg_options(p_profile)
 
     p_stats = sub.add_parser("stats", help="netlist statistics")
     add_common(p_stats, needs_mut=False)
@@ -101,6 +144,14 @@ def _factor_for(args) -> Factor:
     return Factor.from_files(args.files, top=args.top, mode=mode,
                              defines=defines or None,
                              include_dirs=getattr(args, "include", []))
+
+
+def _atpg_options(args) -> AtpgOptions:
+    return AtpgOptions(
+        max_frames=args.frames,
+        backtrack_limit=args.backtrack_limit,
+        seed=args.seed,
+    )
 
 
 def _cmd_analyze(args) -> int:
@@ -133,18 +184,117 @@ def _cmd_atpg(args) -> int:
     factor = _factor_for(args)
     result = factor.analyze(args.mut, path=args.path,
                             use_piers=not args.no_piers)
-    options = AtpgOptions(
-        max_frames=args.frames,
-        backtrack_limit=args.backtrack_limit,
-        seed=args.seed,
-    )
-    report = factor.generate_tests(result, options)
+    report = factor.generate_tests(result, _atpg_options(args))
     print(format_table(
         f"ATPG report for {args.mut}",
         [report.as_row()],
     ))
     print(f"detected {report.detected}, untestable {report.untestable}, "
           f"aborted {report.aborted} of {report.total_faults} faults")
+    return 0
+
+
+def _phase_of(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def _aggregate_phases(root: Span) -> Dict[str, Dict[str, float]]:
+    """Per-phase wall/CPU totals over the outermost span of each phase.
+
+    A span counts toward its phase only when its parent belongs to a
+    different phase, so nested same-phase spans (``atpg.podem`` under
+    ``atpg``) are not double counted.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+
+    def visit(node: Span, parent_phase: Optional[str]) -> None:
+        phase = _phase_of(node.name)
+        if phase in _PROFILE_PHASES and phase != parent_phase:
+            bucket = totals.setdefault(phase, {"wall_s": 0.0, "cpu_s": 0.0})
+            bucket["wall_s"] += node.wall_seconds
+            bucket["cpu_s"] += node.cpu_seconds
+        for child in node.children:
+            visit(child, phase)
+
+    for child in root.children:
+        visit(child, None)
+    return totals
+
+
+def _profile_rows(root: Span) -> List[Dict[str, object]]:
+    totals = _aggregate_phases(root)
+    total_wall = root.wall_seconds
+    total_cpu = root.cpu_seconds
+    rows: List[Dict[str, object]] = []
+    covered_wall = 0.0
+    covered_cpu = 0.0
+    for phase in _PROFILE_PHASES:
+        bucket = totals.get(phase, {"wall_s": 0.0, "cpu_s": 0.0})
+        covered_wall += bucket["wall_s"]
+        covered_cpu += bucket["cpu_s"]
+        share = 100.0 * bucket["wall_s"] / total_wall if total_wall else 0.0
+        rows.append({
+            "phase": phase,
+            "wall_s": f"{bucket['wall_s']:.4f}",
+            "cpu_s": f"{bucket['cpu_s']:.4f}",
+            "wall_%": round(share, 1),
+        })
+    other_wall = max(0.0, total_wall - covered_wall)
+    rows.append({
+        "phase": "(other)",
+        "wall_s": f"{other_wall:.4f}",
+        "cpu_s": f"{max(0.0, total_cpu - covered_cpu):.4f}",
+        "wall_%": round(
+            100.0 * other_wall / total_wall if total_wall else 0.0, 1),
+    })
+    rows.append({
+        "phase": "total",
+        "wall_s": f"{total_wall:.4f}",
+        "cpu_s": f"{total_cpu:.4f}",
+        "wall_%": 100.0,
+    })
+    return rows
+
+
+_PROFILE_METRIC_PREFIXES = (
+    "verilog.", "extract.", "compose.", "synth.", "atpg.", "fault_sim.",
+)
+
+
+def _profile_metric_rows() -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for name, snap in get_registry().snapshot().items():
+        if not name.startswith(_PROFILE_METRIC_PREFIXES):
+            continue
+        if snap["type"] == "histogram":
+            value = (f"n={snap['count']} mean={snap['mean']:.4g} "
+                     f"max={snap['max']:.4g}")
+        else:
+            value = snap["value"]
+        rows.append({"metric": name, "type": snap["type"], "value": value})
+    return rows
+
+
+def _cmd_profile(args) -> int:
+    with get_tracer().span("profile", mut=args.mut) as root:
+        factor = _factor_for(args)
+        result = factor.analyze(args.mut, path=args.path,
+                                use_piers=not args.no_piers)
+        report = factor.generate_tests(result, _atpg_options(args))
+
+    print(format_table(
+        f"Per-phase profile: MUT {args.mut} at {result.mut.path}",
+        _profile_rows(root),
+        columns=["phase", "wall_s", "cpu_s", "wall_%"],
+    ))
+    metric_rows = _profile_metric_rows()
+    if metric_rows:
+        print(format_table("Pipeline metrics", metric_rows,
+                           columns=["metric", "type", "value"]))
+    print(f"coverage {report.coverage_percent:.2f} %, "
+          f"efficiency {report.efficiency_percent:.2f} %, "
+          f"{report.num_vectors} vectors "
+          f"({report.detected}/{report.total_faults} faults detected)")
     return 0
 
 
@@ -176,18 +326,51 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "testability": _cmd_testability,
     "atpg": _cmd_atpg,
+    "profile": _cmd_profile,
     "stats": _cmd_stats,
     "piers": _cmd_piers,
 }
 
 
+def _write_observability(args) -> None:
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        get_tracer().write_json(trace_out)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(get_registry().snapshot(), handle, indent=2)
+            handle.write("\n")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    configure_logging(getattr(args, "log_level", "warning"))
+    # Fresh per-invocation state so --trace-out / --metrics-out describe
+    # exactly this run even when main() is driven in-process.
+    get_tracer().reset()
+    get_registry().reset()
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        code = 130
     except (OSError, ValueError) as err:
         print(f"error: {err}", file=sys.stderr)
+        code = 1
+    except Exception:
+        _log.exception("unhandled_error", command=args.command)
+        try:
+            _write_observability(args)
+        except OSError:
+            pass
+        raise
+    try:
+        _write_observability(args)
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
         return 1
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,6 +20,7 @@ from repro.core.extractor import (
 )
 from repro.core.transform import TransformedModule, build_transformed_module
 from repro.hierarchy.design import Design
+from repro.obs import counter, gauge
 
 
 @dataclass
@@ -56,6 +57,12 @@ class ConstraintComposer:
             self.stats.tasks_run += result.tasks_run
             self.stats.tasks_reused += result.tasks_reused
             self._extractions[key] = result
+            counter("compose.extractions").inc()
+            gauge("compose.reuse_fraction").set(
+                round(self.stats.reuse_fraction, 4)
+            )
+        else:
+            counter("compose.extraction_cache_hits").inc()
         return self._extractions[key]
 
     def transform(self, mut: MutSpec,

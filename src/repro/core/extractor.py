@@ -33,7 +33,6 @@ Two modes reproduce the paper's comparison:
 from __future__ import annotations
 
 import enum
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -45,6 +44,7 @@ from repro.hierarchy.connectivity import (
     signal_instance_sources,
 )
 from repro.hierarchy.design import Design
+from repro.obs import counter, span
 from repro.verilog import ast
 
 TaskKey = Tuple[str, str, str]  # (kind, module, signal-or-inst)
@@ -158,7 +158,12 @@ class FunctionalConstraintExtractor:
     # -- public ---------------------------------------------------------------
 
     def extract(self, mut: MutSpec) -> ExtractionResult:
-        start = time.process_time()
+        with span("extract", mut=mut.path, mode=self.mode.value) as sp:
+            result = self._extract(mut, sp)
+            result.extraction_seconds = sp.cpu_seconds
+        return result
+
+    def _extract(self, mut: MutSpec, sp) -> ExtractionResult:
         if self.mode is ExtractionMode.CONVENTIONAL:
             # Conventional extraction shares nothing between MUT runs.
             self._task_entries = {}
@@ -195,7 +200,13 @@ class FunctionalConstraintExtractor:
             entries.extend(self._task_entries.get(key, ()))
 
         result = self._build_result(mut, entries, tasks_run, tasks_reused)
-        result.extraction_seconds = time.process_time() - start
+        sp.set("tasks_run", tasks_run)
+        sp.set("tasks_reused", tasks_reused)
+        sp.set("statements_kept", result.total_statements())
+        counter("extract.runs").inc()
+        counter("extract.tasks_run").inc(tasks_run)
+        counter("extract.tasks_reused").inc(tasks_reused)
+        counter("extract.statements_kept").inc(result.total_statements())
         return result
 
     # -- seeding -----------------------------------------------------------------

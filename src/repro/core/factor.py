@@ -25,8 +25,11 @@ from repro.core.piers import PierInfo, find_piers, pier_q_nets
 from repro.core.testability import TestabilityReport, analyze_testability
 from repro.core.transform import TransformedModule
 from repro.hierarchy.design import Design
+from repro.obs import RunRecord, get_logger, span
 from repro.verilog.parser import parse_source
 from repro.verilog.writer import write_module
+
+_log = get_logger("factor")
 
 
 @dataclass
@@ -39,6 +42,7 @@ class FactorResult:
     testability: TestabilityReport
     piers: List[PierInfo] = field(default_factory=list)
     pier_nets: Set[int] = field(default_factory=set)
+    record: Optional[RunRecord] = field(default=None, repr=False)
 
     def write_constraints(self, directory: str) -> List[str]:
         """Write the pruned constraint netlists, one file per module.
@@ -109,14 +113,21 @@ class Factor:
         """Extract constraints, build the transformed module, analyze
         testability and identify PIERs for one MUT."""
         mut = self.mut_spec(module, path)
-        extraction = self.composer.extract(mut)
-        transformed = self.composer.transform(mut)
-        testability = analyze_testability(self.design, extraction)
-        piers = self.piers() if use_piers else []
-        pier_nets = (
-            pier_q_nets(transformed.netlist, self.design, piers)
-            if use_piers else set()
-        )
+        with span("analyze", mut=mut.path, module=module) as sp:
+            extraction = self.composer.extract(mut)
+            transformed = self.composer.transform(mut)
+            with span("testability"):
+                testability = analyze_testability(self.design, extraction)
+            with span("piers"):
+                piers = self.piers() if use_piers else []
+                pier_nets = (
+                    pier_q_nets(transformed.netlist, self.design, piers)
+                    if use_piers else set()
+                )
+        _log.info("analyze_done", mut=mut.path,
+                  tasks_run=extraction.tasks_run,
+                  tasks_reused=extraction.tasks_reused,
+                  gates=transformed.total_gates)
         return FactorResult(
             mut=mut,
             extraction=extraction,
@@ -124,6 +135,7 @@ class Factor:
             testability=testability,
             piers=piers,
             pier_nets=pier_nets,
+            record=RunRecord.capture(f"analyze:{mut.path}", spans=[sp]),
         )
 
     # -- test generation --------------------------------------------------------

@@ -11,7 +11,6 @@ the MUT's faults can be targeted by hierarchical region.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -20,8 +19,10 @@ from repro.core.extractor import (
     FunctionalConstraintExtractor,
     ModuleMarks,
     MutSpec,
+    _proc_assign_order,
 )
 from repro.hierarchy.design import Design
+from repro.obs import counter, span
 from repro.synth.elaborate import Elaborator
 from repro.synth.netlist import Netlist
 from repro.synth.opt import optimize
@@ -58,17 +59,32 @@ def build_transformed_module(
     do_optimize: bool = True,
 ) -> TransformedModule:
     """Assemble, emit and synthesize the transformed module."""
-    pruned = prune_design(design, extraction, extractor)
-    verilog = write_source(pruned)
+    with span("compose", mut=extraction.mut.path) as sp:
+        pruned = prune_design(design, extraction, extractor)
+        verilog = write_source(pruned)
+        kept = extraction.total_statements()
+        total_stmts = sum(
+            len(design.module(name).assigns)
+            + len(design.module(name).gates)
+            + len(design.module(name).instances)
+            + sum(len(_proc_assign_order(blk))
+                  for blk in design.module(name).always_blocks)
+            for name in design.module_names()
+        )
+        sp.set("modules_kept", len(pruned.modules))
+        sp.set("statements_kept", kept)
+        sp.set("statements_pruned", max(0, total_stmts - kept))
+        counter("compose.statements_pruned").inc(max(0, total_stmts - kept))
 
-    start = time.process_time()
-    pruned_design = Design(pruned, top=design.top)
-    netlist = Elaborator(pruned_design).synthesize(
-        design.top, name=f"{extraction.mut.module}_transformed"
-    )
-    if do_optimize:
-        netlist = optimize(netlist)
-    synthesis_seconds = time.process_time() - start
+    with span("synth", mut=extraction.mut.path) as sp:
+        pruned_design = Design(pruned, top=design.top)
+        netlist = Elaborator(pruned_design).synthesize(
+            design.top, name=f"{extraction.mut.module}_transformed"
+        )
+        if do_optimize:
+            netlist = optimize(netlist)
+        sp.set("gates", netlist.gate_count())
+        synthesis_seconds = sp.cpu_seconds
 
     region = extraction.mut.path
     regions = getattr(netlist, "regions", {})

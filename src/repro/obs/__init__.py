@@ -1,0 +1,58 @@
+"""Observability substrate: structured logging, span tracing, metrics.
+
+Every timing number the reproduction reports (extraction, synthesis, ATPG
+CPU time) is derived from this package so the whole pipeline shares one
+clock source and one run record format:
+
+- :mod:`repro.obs.log`     — structured ``event key=value`` logging,
+- :mod:`repro.obs.trace`   — hierarchical spans (wall + CPU time), timers
+  and deadlines; exportable as a span tree, JSON lines or Chrome trace,
+- :mod:`repro.obs.metrics` — process-wide counters, gauges and histograms,
+- :mod:`repro.obs.record`  — ``RunRecord``: spans + metrics snapshot
+  attached to analysis/ATPG results.
+"""
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+)
+from repro.obs.record import RunRecord
+from repro.obs.trace import (
+    CpuTimer,
+    Deadline,
+    Span,
+    Tracer,
+    cpu_clock,
+    get_tracer,
+    span,
+    wall_clock,
+)
+
+__all__ = [
+    "configure_logging",
+    "get_logger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "RunRecord",
+    "CpuTimer",
+    "Deadline",
+    "Span",
+    "Tracer",
+    "cpu_clock",
+    "get_tracer",
+    "span",
+    "wall_clock",
+]

@@ -1,0 +1,105 @@
+"""Structured logging for the FACTOR pipeline.
+
+A thin layer over :mod:`logging` that renders records as
+``event key=value ...`` lines, so pipeline events stay grep-able and
+machine-parseable.  All loggers live under the ``repro`` root; nothing is
+emitted until :func:`configure_logging` installs a handler (library-style
+default), which the CLI does from ``--log-level``.
+
+Usage::
+
+    from repro.obs import get_logger
+
+    log = get_logger("atpg")
+    log.info("fault_aborted", fault=str(fault), reason="backtrack_limit")
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+_ROOT = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, str):
+        if value and all(not ch.isspace() and ch != '"' for ch in value):
+            return value
+        return repr(value)
+    return str(value)
+
+
+class StructuredLogger:
+    """Named logger emitting ``event key=value`` structured lines."""
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def _log(self, level: int, event: str, fields: dict,
+             exc_info: bool = False) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        parts = [event]
+        parts.extend(f"{key}={_format_value(value)}"
+                     for key, value in fields.items())
+        self._logger.log(level, " ".join(parts), exc_info=exc_info)
+
+    def debug(self, event: str, **fields) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._log(logging.ERROR, event, fields)
+
+    def exception(self, event: str, **fields) -> None:
+        """Error-level record with the active exception's traceback."""
+        self._log(logging.ERROR, event, fields, exc_info=True)
+
+
+def get_logger(name: str = "") -> StructuredLogger:
+    """Structured logger under the ``repro`` namespace."""
+    full = f"{_ROOT}.{name}" if name else _ROOT
+    return StructuredLogger(logging.getLogger(full))
+
+
+def configure_logging(level: str = "warning",
+                      stream: Optional[IO[str]] = None) -> None:
+    """Install (or retune) the single handler on the ``repro`` root logger.
+
+    Idempotent: calling again replaces the previous configuration instead of
+    stacking handlers.
+    """
+    if level not in _LEVELS:
+        raise ValueError(f"unknown log level {level!r}; "
+                         f"expected one of {sorted(_LEVELS)}")
+    root = logging.getLogger(_ROOT)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(logging.Formatter(
+        "%(levelname)s %(name)s: %(message)s"
+    ))
+    root.addHandler(handler)
+    root.setLevel(_LEVELS[level])
+    root.propagate = False

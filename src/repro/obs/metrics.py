@@ -1,0 +1,191 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The pipeline increments named metrics as it works (tokens lexed, tasks run
+vs. reused, gates before/after optimization, PODEM backtracks, ...); a
+:meth:`MetricsRegistry.snapshot` is a plain JSON-able dict, which is what
+``--metrics-out``, ``repro profile`` and :class:`repro.obs.record.RunRecord`
+serialize.
+
+Metrics are get-or-create by name::
+
+    from repro.obs import counter, histogram
+
+    counter("atpg.backtracks").inc(result.backtracks)
+    histogram("atpg.fault_seconds").observe(result.cpu_seconds)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary: count/sum/min/max/mean.
+
+    Keeps power-of-two magnitude buckets for positive observations so a
+    snapshot still shows the shape of the distribution without retaining
+    every sample.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "description", "count", "total", "min", "max",
+                 "_buckets")
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value > 0:
+            exp = 0
+            bound = 1.0
+            while value > bound and exp < 64:
+                bound *= 2.0
+                exp += 1
+            while value <= bound / 2.0 and exp > -64:
+                bound /= 2.0
+                exp -= 1
+            self._buckets[exp] = self._buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {f"le_2^{exp}": n
+                        for exp, n in sorted(self._buckets.items())},
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create, with a JSON-able snapshot."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, description: str) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, description)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}, not {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get(Gauge, name, description)
+
+    def histogram(self, name: str, description: str = "") -> Histogram:
+        return self._get(Histogram, name, description)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Dict[str, object]]:
+        """Current values of every metric (optionally name-filtered)."""
+        with self._lock:
+            return {
+                name: metric.snapshot()
+                for name, metric in sorted(self._metrics.items())
+                if name.startswith(prefix)
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics = {}
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _REGISTRY
+
+
+def counter(name: str, description: str = "") -> Counter:
+    return _REGISTRY.counter(name, description)
+
+
+def gauge(name: str, description: str = "") -> Gauge:
+    return _REGISTRY.gauge(name, description)
+
+
+def histogram(name: str, description: str = "") -> Histogram:
+    return _REGISTRY.histogram(name, description)

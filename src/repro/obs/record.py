@@ -1,0 +1,58 @@
+"""RunRecord: the machine-readable record of one pipeline run.
+
+A ``RunRecord`` pairs the span tree of a run with a snapshot of the metrics
+registry at capture time.  ``Factor.analyze`` and ``Factor.generate_tests``
+attach one to their results; the benchmark harness serializes them next to
+the human-readable tables so result trajectories can be diffed across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import Span
+
+
+@dataclass
+class RunRecord:
+    """Spans + metrics snapshot for one run."""
+
+    label: str
+    spans: List[Span] = field(default_factory=list)
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, label: str,
+                spans: Sequence[Span] = (),
+                metrics_prefix: str = "") -> "RunRecord":
+        """Snapshot the process-wide registry alongside the given spans."""
+        return cls(
+            label=label,
+            spans=list(spans),
+            metrics=get_registry().snapshot(prefix=metrics_prefix),
+        )
+
+    def span(self, name: str) -> Optional[Span]:
+        """First span with the given name, searching the whole forest."""
+        for root in self.spans:
+            for node in root.walk():
+                if node.name == name:
+                    return node
+        return None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "spans": [root.to_dict() for root in self.spans],
+            "metrics": dict(self.metrics),
+        }
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        text = json.dumps(self.as_dict(), indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text

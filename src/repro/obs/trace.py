@@ -1,0 +1,297 @@
+"""Hierarchical span tracing: the pipeline's single clock source.
+
+Every phase of the pipeline runs inside a :class:`Span` (a context manager
+recording wall time via ``perf_counter`` and CPU time via ``process_time``).
+Spans nest; finished roots accumulate on the process-wide :class:`Tracer`
+and can be exported three ways:
+
+- a nested **span tree** (``Tracer.to_dict`` → ``json.dump``-able),
+- **JSON lines** (one flattened span per line, ``to_jsonl``),
+- **Chrome trace** format (``to_chrome_trace`` → load in
+  ``chrome://tracing`` / Perfetto).
+
+:class:`CpuTimer` and :class:`Deadline` are the accumulating-stopwatch and
+budget-check forms of the same CPU clock — ATPG per-fault budgets and the
+report's accumulated fault-simulation time both go through them, so every
+reported number shares one clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds (``time.perf_counter``)."""
+    return time.perf_counter()
+
+
+def cpu_clock() -> float:
+    """Process CPU seconds (``time.process_time``)."""
+    return time.process_time()
+
+
+class CpuTimer:
+    """Accumulating CPU-seconds stopwatch.
+
+    Use as a context manager around each slice of work whose time should be
+    pooled (e.g. every fault-simulation call of an ATPG run)::
+
+        timer = CpuTimer()
+        with timer:
+            simulate(...)
+        report.fault_sim_seconds = timer.elapsed
+    """
+
+    __slots__ = ("elapsed", "_started")
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: Optional[float] = None
+
+    def start(self) -> "CpuTimer":
+        self._started = cpu_clock()
+        return self
+
+    def stop(self) -> float:
+        if self._started is not None:
+            self.elapsed += cpu_clock() - self._started
+            self._started = None
+        return self.elapsed
+
+    def __enter__(self) -> "CpuTimer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class Deadline:
+    """CPU-seconds budget check started at construction time.
+
+    A ``None`` limit never expires, which lets call sites drop the
+    ``if limit is not None`` dance.
+    """
+
+    __slots__ = ("limit", "_start")
+
+    def __init__(self, limit: Optional[float]):
+        self.limit = limit
+        self._start = cpu_clock()
+
+    @property
+    def elapsed(self) -> float:
+        return cpu_clock() - self._start
+
+    def expired(self) -> bool:
+        return self.limit is not None and self.elapsed > self.limit
+
+
+_span_ids = itertools.count(1)
+
+
+class Span:
+    """One timed phase: name, attributes, children, wall + CPU durations."""
+
+    __slots__ = ("span_id", "name", "attrs", "children",
+                 "start_wall", "end_wall", "start_cpu", "end_cpu")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.span_id = next(_span_ids)
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.children: List[Span] = []
+        self.start_wall = wall_clock()
+        self.start_cpu = cpu_clock()
+        self.end_wall: Optional[float] = None
+        self.end_cpu: Optional[float] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def finish(self) -> "Span":
+        if self.end_wall is None:
+            self.end_wall = wall_clock()
+            self.end_cpu = cpu_clock()
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.end_wall is not None
+
+    @property
+    def wall_seconds(self) -> float:
+        end = self.end_wall if self.end_wall is not None else wall_clock()
+        return end - self.start_wall
+
+    @property
+    def cpu_seconds(self) -> float:
+        end = self.end_cpu if self.end_cpu is not None else cpu_clock()
+        return end - self.start_cpu
+
+    # -- attributes --------------------------------------------------------
+
+    def set(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def add(self, key: str, amount: float = 1) -> None:
+        self.attrs[key] = self.attrs.get(key, 0) + amount
+
+    # -- traversal / export ------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and all descendants, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "id": self.span_id,
+            "wall_s": round(self.wall_seconds, 6),
+            "cpu_s": round(self.cpu_seconds, 6),
+            "start_wall": self.start_wall,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "" if self.finished else " (open)"
+        return (f"Span({self.name!r}, wall={self.wall_seconds:.4f}s,"
+                f" children={len(self.children)}{state})")
+
+
+class Tracer:
+    """Owns the active span stack (per thread) and the finished roots."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.roots: List[Span] = []
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a child of the current span (or a new root)."""
+        node = Span(name, attrs)
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        stack.append(node)
+        try:
+            yield node
+        finally:
+            node.finish()
+            stack.pop()
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                with self._lock:
+                    self.roots.append(node)
+
+    def reset(self) -> None:
+        """Drop finished roots (the active stack is left alone)."""
+        with self._lock:
+            self.roots = []
+
+    # -- queries -----------------------------------------------------------
+
+    def all_spans(self) -> List[Span]:
+        out: List[Span] = []
+        for root in list(self.roots):
+            out.extend(root.walk())
+        return out
+
+    def find(self, name: str) -> List[Span]:
+        """All finished spans with the given name, anywhere in the forest."""
+        return [s for s in self.all_spans() if s.name == name]
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro-trace",
+            "version": 1,
+            "clock": {"wall": "perf_counter", "cpu": "process_time"},
+            "spans": [root.to_dict() for root in list(self.roots)],
+        }
+
+    def write_json(self, path: str) -> None:
+        """Nested span tree; Chrome-trace / JSONL variants by extension."""
+        if path.endswith(".jsonl"):
+            text = to_jsonl(list(self.roots))
+        elif path.endswith(".chrome.json"):
+            text = json.dumps(to_chrome_trace(list(self.roots)), indent=2)
+        else:
+            text = json.dumps(self.to_dict(), indent=2)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def to_jsonl(roots: List[Span]) -> str:
+    """One flattened span per line, with dotted ancestry paths."""
+    lines: List[str] = []
+
+    def emit(node: Span, path: str, parent_id: Optional[int]) -> None:
+        full = f"{path}/{node.name}" if path else node.name
+        lines.append(json.dumps({
+            "name": node.name,
+            "path": full,
+            "id": node.span_id,
+            "parent": parent_id,
+            "wall_s": round(node.wall_seconds, 6),
+            "cpu_s": round(node.cpu_seconds, 6),
+            "attrs": dict(node.attrs),
+        }))
+        for child in node.children:
+            emit(child, full, node.span_id)
+
+    for root in roots:
+        emit(root, "", None)
+    return "\n".join(lines)
+
+
+def to_chrome_trace(roots: List[Span]) -> Dict[str, Any]:
+    """Chrome trace-event JSON (complete "X" events, microseconds)."""
+    events: List[Dict[str, Any]] = []
+    for root in roots:
+        for node in root.walk():
+            events.append({
+                "name": node.name,
+                "ph": "X",
+                "ts": node.start_wall * 1e6,
+                "dur": node.wall_seconds * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": dict(node.attrs),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+@contextmanager
+def span(name: str, **attrs) -> Iterator[Span]:
+    """Open a span on the process-wide tracer."""
+    with _TRACER.span(name, **attrs) as node:
+        yield node

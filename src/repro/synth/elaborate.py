@@ -70,31 +70,37 @@ class Elaborator:
 
     def synthesize(self, root: Optional[str] = None,
                    name: Optional[str] = None) -> Netlist:
-        root_name = root if root is not None else self._design.top
-        module = self._design.module(root_name)
-        netlist = Netlist(name or root_name)
-        self._netlist = netlist
-        self._not_cache = {}
-        self._current_prefix = ""
-        netlist.regions = {}  # type: ignore[attr-defined]
+        from repro.obs import counter, span
 
-        ctx = self._make_ctx(module, prefix="", overrides={},
-                             parent_ctx=None)
-        # Root ports become PIs/POs.
-        for port in module.ports:
-            width = ctx.widths[port.name]
-            if port.direction == "input":
-                nets = [netlist.add_pi(_bit_name(port.name, i, width))
-                        for i in range(width)]
-                ctx.bits[port.name] = nets
-                for net in nets:
-                    netlist.regions[net] = ""
-        self._elaborate_body(ctx)
-        for port in module.ports:
-            if port.direction == "output":
+        root_name = root if root is not None else self._design.top
+        with span("synth.elaborate", root=root_name) as sp:
+            module = self._design.module(root_name)
+            netlist = Netlist(name or root_name)
+            self._netlist = netlist
+            self._not_cache = {}
+            self._current_prefix = ""
+            netlist.regions = {}  # type: ignore[attr-defined]
+
+            ctx = self._make_ctx(module, prefix="", overrides={},
+                                 parent_ctx=None)
+            # Root ports become PIs/POs.
+            for port in module.ports:
                 width = ctx.widths[port.name]
-                for i, net in enumerate(ctx.bits[port.name]):
-                    netlist.add_po(net, _bit_name(port.name, i, width))
+                if port.direction == "input":
+                    nets = [netlist.add_pi(_bit_name(port.name, i, width))
+                            for i in range(width)]
+                    ctx.bits[port.name] = nets
+                    for net in nets:
+                        netlist.regions[net] = ""
+            self._elaborate_body(ctx)
+            for port in module.ports:
+                if port.direction == "output":
+                    width = ctx.widths[port.name]
+                    for i, net in enumerate(ctx.bits[port.name]):
+                        netlist.add_po(net, _bit_name(port.name, i, width))
+            sp.set("gates", len(netlist.gates))
+        counter("synth.elaborations").inc()
+        counter("synth.gates_elaborated").inc(len(netlist.gates))
         return netlist
 
     # -- context construction ------------------------------------------------

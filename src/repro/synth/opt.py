@@ -201,14 +201,25 @@ def remove_dead(netlist: Netlist) -> Netlist:
 
 def optimize(netlist: Netlist, max_rounds: int = 8) -> Netlist:
     """Run constant propagation, hashing and DCE to a fixpoint."""
-    current = netlist
-    previous_size = None
-    for _ in range(max_rounds):
-        current = constant_propagate(current)
-        current = strash(current)
-        current = remove_dead(current)
-        size = (len(current.gates), current.num_nets)
-        if size == previous_size:
-            break
-        previous_size = size
+    from repro.obs import histogram, span
+
+    gates_before = len(netlist.gates)
+    with span("synth.opt", gates_before=gates_before) as sp:
+        current = netlist
+        previous_size = None
+        rounds = 0
+        for _ in range(max_rounds):
+            rounds += 1
+            current = constant_propagate(current)
+            current = strash(current)
+            current = remove_dead(current)
+            size = (len(current.gates), current.num_nets)
+            if size == previous_size:
+                break
+            previous_size = size
+        sp.set("gates_after", len(current.gates))
+        sp.set("rounds", rounds)
+    histogram("synth.opt.gates_removed").observe(
+        gates_before - len(current.gates)
+    )
     return current

@@ -126,11 +126,14 @@ class Lexer:
         self._n = len(source)
 
     def tokenize(self) -> List[Token]:
+        from repro.obs import counter
+
         tokens: List[Token] = []
         while True:
             tok = self._next_token()
             tokens.append(tok)
             if tok.kind is TokenKind.EOF:
+                counter("verilog.tokens").inc(len(tokens))
                 return tokens
 
     # -- internals ---------------------------------------------------------

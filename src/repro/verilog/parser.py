@@ -641,7 +641,16 @@ def _wildcard_label(tok: Token, case_kind: str) -> ast.Expr:
 
 def parse_source(text: str) -> ast.Source:
     """Parse Verilog source text into a :class:`~repro.verilog.ast.Source`."""
-    return Parser(text).parse()
+    from repro.obs import counter, span
+
+    with span("parse", chars=len(text)) as sp:
+        parser = Parser(text)
+        source = parser.parse()
+        sp.set("tokens", len(parser._tokens))
+        sp.set("modules", len(source.modules))
+    counter("verilog.parses").inc()
+    counter("verilog.modules_parsed").inc(len(source.modules))
+    return source
 
 
 def parse_file(path: str) -> ast.Source:

@@ -52,8 +52,14 @@ class Preprocessor:
     # -- public -------------------------------------------------------------
 
     def process_text(self, text: str, filename: str = "<text>") -> str:
-        out: List[str] = []
-        self._process_lines(text.splitlines(), filename, out, depth=0)
+        from repro.obs import counter, span
+
+        with span("parse.preprocess", file=filename) as sp:
+            out: List[str] = []
+            self._process_lines(text.splitlines(), filename, out, depth=0)
+            sp.set("lines_in", text.count("\n") + 1)
+            sp.set("lines_out", len(out))
+        counter("verilog.preprocessed_lines").inc(len(out))
         return "\n".join(out) + "\n"
 
     def process_file(self, path: str) -> str:

@@ -1,0 +1,215 @@
+"""CLI observability surface: profile, trace/metrics outputs, exits."""
+
+import json
+
+import pytest
+
+import repro
+import repro.cli as cli
+from repro.cli import main
+
+SMALL_CHIP = """
+module leaf(
+  input [3:0] a,
+  input [1:0] sel,
+  output reg [3:0] y
+);
+  always @(*)
+    case (sel)
+      2'b00: y = a;
+      2'b01: y = a >> 1;
+      default: y = 4'd0;
+    endcase
+endmodule
+
+module chip(
+  input clk,
+  input [3:0] data,
+  input [1:0] ctl,
+  output [3:0] out
+);
+  reg [1:0] ctl_q;
+  always @(posedge clk)
+    ctl_q <= (ctl == 2'b11) ? 2'b00 : ctl;
+  leaf u_leaf(.a(data), .sel(ctl_q), .y(out));
+endmodule
+"""
+
+
+@pytest.fixture(scope="module")
+def design_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli_obs") / "chip.v"
+    path.write_text(SMALL_CHIP)
+    return str(path)
+
+
+def _profile(design_file, tmp_path, *extra):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    rc = main(["profile", design_file, "--top", "chip", "--mut", "leaf",
+               "--frames", "2",
+               "--trace-out", str(trace), "--metrics-out", str(metrics),
+               *extra])
+    return rc, trace, metrics
+
+
+class TestProfileCommand:
+    def test_prints_all_phases(self, design_file, tmp_path, capsys):
+        rc, _, _ = _profile(design_file, tmp_path)
+        assert rc == 0
+        out = capsys.readouterr().out
+        for phase in ("parse", "extract", "compose", "synth", "atpg",
+                      "total"):
+            assert phase in out
+        assert "Pipeline metrics" in out
+
+    def test_phase_times_sum_close_to_total(self, design_file, tmp_path,
+                                            capsys):
+        rc, _, _ = _profile(design_file, tmp_path)
+        assert rc == 0
+        lines = capsys.readouterr().out.splitlines()
+        wall = {}
+        for line in lines:
+            parts = line.split()
+            if len(parts) == 4 and parts[0] in (
+                "parse", "extract", "compose", "synth", "testability",
+                "piers", "atpg", "(other)", "total",
+            ):
+                wall[parts[0]] = float(parts[1])
+        total = wall.pop("total")
+        other = wall.pop("(other)")
+        assert total > 0
+        # The instrumented phases must cover the run end to end.
+        assert abs(sum(wall.values()) + other - total) <= 0.05 * total
+        assert sum(wall.values()) >= 0.95 * (total - other)
+
+    def test_trace_out_nested_spans(self, design_file, tmp_path, capsys):
+        rc, trace, _ = _profile(design_file, tmp_path)
+        assert rc == 0
+        with open(trace) as handle:
+            data = json.load(handle)
+        names = set()
+
+        def collect(node):
+            names.add(node["name"])
+            for child in node["children"]:
+                collect(child)
+
+        for root in data["spans"]:
+            collect(root)
+        assert {"profile", "parse", "extract", "compose", "synth",
+                "atpg"} <= names
+        (root,) = data["spans"]
+        assert root["name"] == "profile"
+        assert root["children"]  # the phases nest under the root
+
+    def test_metrics_out_valid_json(self, design_file, tmp_path, capsys):
+        rc, _, metrics = _profile(design_file, tmp_path)
+        assert rc == 0
+        with open(metrics) as handle:
+            snap = json.load(handle)
+        assert snap["verilog.tokens"]["type"] == "counter"
+        assert snap["verilog.tokens"]["value"] > 0
+        assert snap["extract.tasks_run"]["value"] > 0
+        assert any(name.startswith("atpg.") for name in snap)
+
+    def test_trace_out_on_other_commands(self, design_file, tmp_path,
+                                         capsys):
+        trace = tmp_path / "stats-trace.json"
+        rc = main(["stats", design_file, "--top", "chip",
+                   "--trace-out", str(trace)])
+        assert rc == 0
+        data = json.load(open(trace))
+        assert any(r["name"].startswith("synth") or r["name"] == "parse"
+                   for r in data["spans"])
+
+
+class TestExitPaths:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+    def test_keyboard_interrupt_exits_130(self, design_file, monkeypatch,
+                                          capsys):
+        def boom(args):
+            raise KeyboardInterrupt
+        monkeypatch.setitem(cli._COMMANDS, "stats", boom)
+        rc = main(["stats", design_file, "--top", "chip"])
+        assert rc == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_unexpected_error_logged_and_reraised(self, design_file,
+                                                  monkeypatch, capsys):
+        def boom(args):
+            raise RuntimeError("exploded")
+        monkeypatch.setitem(cli._COMMANDS, "stats", boom)
+        with pytest.raises(RuntimeError):
+            main(["stats", design_file, "--top", "chip"])
+        assert "unhandled_error" in capsys.readouterr().err
+
+    def test_os_error_still_exits_1(self, capsys):
+        rc = main(["analyze", "/nonexistent.v", "--mut", "x"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRunRecords:
+    """Regression: report/result timing fields still populate, now
+    span-derived, and results carry a RunRecord."""
+
+    def _factor(self):
+        return repro.Factor.from_verilog(SMALL_CHIP, top="chip")
+
+    def test_analyze_attaches_record(self):
+        factor = self._factor()
+        result = factor.analyze("leaf")
+        assert result.record is not None
+        analyze = result.record.span("analyze")
+        assert analyze is not None
+        child_names = {c.name for c in analyze.children}
+        assert {"extract", "compose", "synth"} <= child_names
+        assert result.record.metrics  # snapshot captured
+        json.dumps(result.record.as_dict())  # serializable
+
+    def test_timing_fields_populate(self):
+        factor = self._factor()
+        result = factor.analyze("leaf")
+        tr = result.transformed
+        assert tr.extraction_seconds >= 0.0
+        assert tr.synthesis_seconds >= 0.0
+        assert result.extraction.extraction_seconds == tr.extraction_seconds
+
+    def test_atpg_report_timings_from_one_clock(self):
+        from repro.atpg.engine import AtpgOptions
+
+        factor = self._factor()
+        result = factor.analyze("leaf")
+        report = factor.generate_tests(
+            result, AtpgOptions(max_frames=2, random_sequences=2,
+                                random_sequence_length=8),
+        )
+        assert report.total_seconds > 0.0
+        assert report.test_gen_seconds >= 0.0
+        assert report.fault_sim_seconds >= 0.0
+        # Phases are CPU-time subsets of the span-derived total.
+        assert (report.test_gen_seconds + report.fault_sim_seconds
+                <= report.total_seconds + 0.05)
+        assert report.record is not None
+        atpg_span = report.record.span("atpg")
+        assert atpg_span is not None
+        assert {c.name for c in atpg_span.children} == {
+            "atpg.random", "atpg.podem"
+        }
+
+    def test_abort_reasons_accounted(self):
+        from repro.atpg.engine import AtpgOptions
+
+        factor = self._factor()
+        result = factor.analyze("leaf")
+        report = factor.generate_tests(
+            result, AtpgOptions(max_frames=2, backtrack_limit=0,
+                                random_sequences=0),
+        )
+        assert sum(report.abort_reasons.values()) == report.aborted

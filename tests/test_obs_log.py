@@ -1,0 +1,68 @@
+"""Structured logging: event formatting, levels, configuration."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.log import configure_logging, get_logger
+
+
+@pytest.fixture
+def stream():
+    buffer = io.StringIO()
+    configure_logging("debug", stream=buffer)
+    yield buffer
+    configure_logging("warning")  # restore the library default
+
+
+class TestFormatting:
+    def test_event_and_fields(self, stream):
+        get_logger("unit").info("thing_done", count=3, rate=0.51239,
+                                name="alu")
+        line = stream.getvalue().strip()
+        assert line == "INFO repro.unit: thing_done count=3 rate=0.51239 name=alu"
+
+    def test_strings_with_spaces_are_quoted(self, stream):
+        get_logger("unit").warning("odd", text="two words")
+        assert "text='two words'" in stream.getvalue()
+
+    def test_exception_includes_traceback(self, stream):
+        log = get_logger("unit")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            log.exception("failed", stage="test")
+        out = stream.getvalue()
+        assert "failed stage=test" in out
+        assert "ValueError: boom" in out
+
+
+class TestLevels:
+    def test_level_filtering(self):
+        buffer = io.StringIO()
+        configure_logging("error", stream=buffer)
+        try:
+            log = get_logger("unit")
+            log.info("hidden")
+            log.error("shown")
+            assert "hidden" not in buffer.getvalue()
+            assert "shown" in buffer.getvalue()
+        finally:
+            configure_logging("warning")
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        configure_logging("warning")
+        configure_logging("warning")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+
+
+class TestNamespace:
+    def test_loggers_live_under_repro(self):
+        assert get_logger("atpg").name == "repro.atpg"
+        assert get_logger().name == "repro"

@@ -1,0 +1,118 @@
+"""Metrics registry: counter/gauge/histogram semantics and snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("c")
+        c.inc(2)
+        assert c.snapshot() == {"type": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+        assert g.snapshot() == {"type": "gauge", "value": 7}
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.mean == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None
+
+    def test_buckets_power_of_two(self):
+        h = Histogram("h")
+        h.observe(0.75)   # le_2^0
+        h.observe(3.0)    # le_2^2
+        h.observe(3.5)    # le_2^2
+        buckets = h.snapshot()["buckets"]
+        assert buckets["le_2^0"] == 1
+        assert buckets["le_2^2"] == 2
+
+    def test_nonpositive_values_counted_but_unbucketed(self):
+        h = Histogram("h")
+        h.observe(0.0)
+        h.observe(-2.0)
+        snap = h.snapshot()
+        assert snap["count"] == 2
+        assert snap["buckets"] == {}
+        assert snap["min"] == -2.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_is_json_able_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc(1)
+        reg.gauge("a.level").set(2.5)
+        reg.histogram("c.dist").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.level", "b.count", "c.dist"]
+        json.dumps(snap)  # must not raise
+
+    def test_snapshot_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("atpg.backtracks").inc()
+        reg.counter("parse.tokens").inc()
+        assert list(reg.snapshot(prefix="atpg.")) == ["atpg.backtracks"]
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+        assert reg.counter("x").value == 0
+
+    def test_module_level_helpers_share_global_registry(self):
+        name = "test_obs_metrics.helper"
+        counter(name).inc(3)
+        assert get_registry().snapshot()[name]["value"] >= 3

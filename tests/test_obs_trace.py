@@ -1,0 +1,215 @@
+"""Span tracing: nesting, timing monotonicity, exports, timers."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    CpuTimer,
+    Deadline,
+    Span,
+    Tracer,
+    cpu_clock,
+    to_chrome_trace,
+    to_jsonl,
+    wall_clock,
+)
+
+
+def _burn(n=20000):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+class TestSpanNesting:
+    def test_child_attaches_to_parent_not_roots(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.children == []
+
+    def test_siblings_in_order(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["a", "b"]
+
+    def test_deep_nesting_walk_preorder(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        (root,) = tracer.roots
+        assert [s.name for s in root.walk()] == ["a", "b", "c", "d"]
+
+    def test_current_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("x") as x:
+            assert tracer.current() is x
+            with tracer.span("y") as y:
+                assert tracer.current() is y
+            assert tracer.current() is x
+        assert tracer.current() is None
+
+    def test_span_survives_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("broken"):
+                raise RuntimeError("boom")
+        (root,) = tracer.roots
+        assert root.finished
+
+    def test_reset_drops_roots(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+
+class TestSpanTiming:
+    def test_timing_monotonic(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                _burn()
+        (outer,) = tracer.roots
+        (inner,) = outer.children
+        assert outer.wall_seconds >= inner.wall_seconds >= 0.0
+        assert outer.cpu_seconds >= inner.cpu_seconds >= 0.0
+        assert outer.end_wall >= outer.start_wall
+        assert outer.end_cpu >= outer.start_cpu
+
+    def test_children_sum_bounded_by_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            for _ in range(3):
+                with tracer.span("child"):
+                    _burn(5000)
+        (outer,) = tracer.roots
+        child_sum = sum(c.wall_seconds for c in outer.children)
+        assert child_sum <= outer.wall_seconds + 1e-6
+
+    def test_open_span_reports_live_duration(self):
+        span = Span("live")
+        first = span.wall_seconds
+        _burn(2000)
+        assert span.wall_seconds >= first
+        span.finish()
+        frozen = span.wall_seconds
+        _burn(2000)
+        assert span.wall_seconds == frozen
+
+    def test_finish_idempotent(self):
+        span = Span("x").finish()
+        end = span.end_wall
+        span.finish()
+        assert span.end_wall == end
+
+
+class TestSpanAttrs:
+    def test_set_and_add(self):
+        span = Span("x", {"a": 1})
+        span.set("b", "two")
+        span.add("count")
+        span.add("count", 4)
+        assert span.attrs == {"a": 1, "b": "two", "count": 5}
+
+
+class TestExports:
+    def _forest(self):
+        tracer = Tracer()
+        with tracer.span("root", kind="test"):
+            with tracer.span("leaf", n=3):
+                pass
+        return tracer
+
+    def test_to_dict_round_trips_json(self):
+        tracer = self._forest()
+        text = json.dumps(tracer.to_dict())
+        data = json.loads(text)
+        assert data["version"] == 1
+        (root,) = data["spans"]
+        assert root["name"] == "root"
+        assert root["attrs"] == {"kind": "test"}
+        (leaf,) = root["children"]
+        assert leaf["name"] == "leaf"
+        assert leaf["wall_s"] >= 0
+
+    def test_jsonl_one_line_per_span_with_paths(self):
+        tracer = self._forest()
+        lines = to_jsonl(list(tracer.roots)).splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert [r["path"] for r in rows] == ["root", "root/leaf"]
+        assert rows[1]["parent"] == rows[0]["id"]
+
+    def test_chrome_trace_shape(self):
+        tracer = self._forest()
+        data = to_chrome_trace(list(tracer.roots))
+        events = data["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+            assert set(event) >= {"name", "ts", "pid", "tid", "args"}
+
+    def test_write_json_variants(self, tmp_path):
+        tracer = self._forest()
+        nested = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.chrome.json"
+        for path in (nested, jsonl, chrome):
+            tracer.write_json(str(path))
+        assert json.load(open(nested))["spans"][0]["name"] == "root"
+        assert len(jsonl.read_text().strip().splitlines()) == 2
+        assert "traceEvents" in json.load(open(chrome))
+
+    def test_find_by_name(self):
+        tracer = self._forest()
+        assert [s.name for s in tracer.find("leaf")] == ["leaf"]
+        assert tracer.find("missing") == []
+
+
+class TestTimers:
+    def test_cpu_timer_accumulates(self):
+        timer = CpuTimer()
+        with timer:
+            _burn()
+        first = timer.elapsed
+        assert first >= 0.0
+        with timer:
+            _burn()
+        assert timer.elapsed >= first
+
+    def test_cpu_timer_stop_without_start(self):
+        timer = CpuTimer()
+        assert timer.stop() == 0.0
+
+    def test_deadline_none_never_expires(self):
+        deadline = Deadline(None)
+        assert not deadline.expired()
+
+    def test_deadline_zero_expires(self):
+        deadline = Deadline(0.0)
+        _burn()
+        assert deadline.expired()
+        assert deadline.elapsed > 0.0
+
+    def test_clocks_advance(self):
+        w0, c0 = wall_clock(), cpu_clock()
+        _burn()
+        assert wall_clock() > w0
+        assert cpu_clock() >= c0
