@@ -1,0 +1,94 @@
+// Deliberately buggy design exercising the repro.lint rule set.
+//
+// Run it through all three output formats:
+//
+//   python -m repro lint examples/lint_demo.v --top lint_demo
+//   python -m repro lint examples/lint_demo.v --top lint_demo --format json
+//   python -m repro lint examples/lint_demo.v --top lint_demo --format sarif
+//
+// Every finding below is intentional; the comments name the rule each
+// construct is meant to trigger.
+
+module lint_demo(
+  input clk,
+  input rst_n,
+  input [3:0] a,
+  input [3:0] b,
+  input spare_in,            // W102: input port never used
+  output [3:0] y,
+  output [3:0] z,
+  output dangling_out        // W101: output port never driven
+);
+  wire [3:0] ghost;          // W003: declared but never referenced
+  wire [3:0] knot;
+  wire looped;
+  reg  [3:0] mixed;
+
+  // W002: phantom is used but never driven anywhere.
+  wire [3:0] phantom;
+  assign y = a & phantom;
+
+  // W007: 4-bit lhs assigned an 8-bit concatenation (truncates).
+  assign z = {a, b};
+
+  // W009: constant condition makes one branch dead.
+  assign looped_en = 1'b0 ? a[0] : b[0];
+  wire looped_en;
+
+  // W201: combinational loop through the gate network.
+  and g_loop (looped, looped, looped_en);
+
+  // W202: second input of this gate is a floating net.
+  and g_float (open_drain, a[1], never_driven);
+  wire open_drain;
+  wire never_driven;
+
+  // W006: blocking and non-blocking assignments mixed in one block.
+  always @(posedge clk) begin
+    mixed = a;
+    mixed <= b;
+  end
+
+  // W103: knot's whole source cone is constant, so the child's tied
+  // input can never be toggled from the chip interface.
+  assign knot = 4'b0101;
+
+  // W008: 4-bit port fed with an 8-bit concatenation.
+  lint_child u_child (
+    .narrow({a, b}),
+    .tied(knot),
+    .out()
+  );
+endmodule
+
+module lint_child(
+  input [3:0] narrow,
+  input [3:0] tied,
+  output [3:0] out
+);
+  assign out = narrow ^ tied;
+endmodule
+
+// Never instantiated: holds constructs the synthesizer front-end rejects
+// outright (multiple drivers, inferred latches) so that lint_demo above
+// still elaborates and the netlist-level rules can run on it.
+module lint_orphan(
+  input [3:0] p,
+  input [3:0] q,
+  output [3:0] tangle
+);
+  reg [3:0] latchy;
+
+  // W001: tangle has two full continuous drivers.
+  assign tangle = p;
+  assign tangle = q;
+
+  // W004 + W005: incomplete case in a combinational block, no default,
+  // and latchy is only assigned on some paths (latch inference).
+  always @(*) begin
+    case (p[1:0])
+      2'b00: latchy = 4'd1;
+      2'b01: latchy = 4'd2;
+    endcase
+  end
+endmodule

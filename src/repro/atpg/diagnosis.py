@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.atpg.fault_sim import FaultSimulator
 from repro.atpg.faults import Fault, build_fault_list
-from repro.atpg.vectors import Test, TestSet
+from repro.atpg.vectors import TestSet
 from repro.synth.netlist import Netlist
 
 

@@ -12,7 +12,7 @@ simulator enforces.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
 from repro.atpg.faults import Fault

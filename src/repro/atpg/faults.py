@@ -14,9 +14,9 @@ the classical structural equivalences along fanout-free connections:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
-from repro.synth.netlist import CONST1, Gate, GateType, Netlist
+from repro.synth.netlist import CONST1, GateType, Netlist
 
 
 @dataclass(frozen=True, order=True)

@@ -16,14 +16,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.obs import CpuTimer, Deadline
-from repro.synth.netlist import CONST0, CONST1, Gate, GateType
+from repro.synth.netlist import GateType
 from repro.atpg.faults import Fault
 from repro.atpg.sequential import Key, UnrolledModel
 from repro.atpg.values import (
     V0,
     V1,
-    VD,
-    VDBAR,
     VX,
     from_components,
     good_bit,

@@ -10,7 +10,7 @@ approximation for a quick pre-ATPG screen.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.synth.netlist import CONST0, CONST1, Gate, GateType, Netlist
 

@@ -12,8 +12,7 @@ Keys are ``(frame, net)`` pairs over the base netlist's net ids.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.synth.netlist import CONST0, CONST1, Gate, GateType, Netlist
 
@@ -162,8 +161,7 @@ class UnrolledModel:
         instead of re-evaluating every gate in every frame.
         """
         if getattr(self, "_base_values", None) is None:
-            from repro.atpg.values import V0, V1, VX, v_and, v_not, v_or, \
-                v_xor
+            from repro.atpg.values import V0, V1, VX
             from repro.atpg.podem import eval_gate_values
 
             val: Dict[Key, int] = {}

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.synth.netlist import CONST0, CONST1, Gate, GateType, Netlist
+from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
 
 Mask = Tuple[int, int]  # (ones, zeros)
 

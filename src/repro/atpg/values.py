@@ -15,7 +15,7 @@ evaluating the three-valued operation on each machine component.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 V0 = 0
 V1 = 1

@@ -15,7 +15,6 @@ Environment knobs:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.atpg.engine import AtpgEngine, AtpgOptions, AtpgReport
@@ -27,7 +26,7 @@ from repro.core.transform import TransformedModule
 from repro.designs.arm2 import ARM2_MUTS, MutInfo, arm2_design
 from repro.hierarchy.design import Design
 from repro.synth import synthesize
-from repro.synth.stats import netlist_stats, sequential_depth
+from repro.synth.stats import netlist_stats
 
 
 def bench_scale() -> str:

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
         --path u_core.u_dp.u_alu. --out constraints/
     python -m repro testability DESIGN.v --top arm --mut arm_alu
     python -m repro atpg DESIGN.v --top arm --mut arm_alu --frames 4
+    python -m repro lint DESIGN.v --top arm --format sarif --out lint.sarif
     python -m repro profile DESIGN.v --top arm --mut arm_alu
     python -m repro stats DESIGN.v --top arm
     python -m repro piers DESIGN.v --top arm
@@ -16,9 +17,14 @@ Subcommands:
                    write the constraint netlists out as Verilog,
 - ``testability``  Section 4.2 report: hard-coded inputs, empty chains,
 - ``atpg``         generate tests for the MUT inside the transformed module,
+- ``lint``         rule-based static analysis (text/JSON/SARIF output);
+                   exit 0 clean, 1 warnings with ``--strict``, 2 errors,
 - ``profile``      full pipeline run with a per-phase time/metric breakdown,
 - ``stats``        netlist statistics for the whole design (or one module),
 - ``piers``        list PI/PO-accessible registers.
+
+``analyze`` and ``atpg`` accept ``--lint`` to run the linter as a
+pre-flight gate: error-severity findings abort before extraction starts.
 
 Every subcommand also takes the observability flags ``--log-level``,
 ``--trace-out FILE`` (span tree as JSON; ``.jsonl`` / ``.chrome.json``
@@ -65,8 +71,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p, needs_mut=True):
-        p.add_argument("files", nargs="+", help="Verilog source files")
+    def add_common(p, needs_mut=True, files_nargs="+"):
+        p.add_argument("files", nargs=files_nargs,
+                       help="Verilog source files")
         p.add_argument("--top", help="top module (inferred when unique)")
         p.add_argument("--define", "-D", action="append", default=[],
                        metavar="NAME[=VALUE]",
@@ -102,9 +109,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable PIER pseudo PI/PO")
         p.add_argument("--seed", type=int, default=2002)
 
+    def add_lint_gate(p):
+        p.add_argument("--lint", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="run the linter first; error findings abort "
+                            "before extraction (default: --no-lint)")
+
     p_analyze = sub.add_parser("analyze", help="extract constraints and "
                                                "build the transformed module")
     add_common(p_analyze)
+    add_lint_gate(p_analyze)
     p_analyze.add_argument("--out", help="directory for constraint netlists")
 
     p_test = sub.add_parser("testability", help="Section 4.2 testability "
@@ -113,7 +127,35 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_atpg = sub.add_parser("atpg", help="generate tests for the MUT")
     add_common(p_atpg)
+    add_lint_gate(p_atpg)
     add_atpg_options(p_atpg)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="rule-based static analysis (AST, du/ud chains, netlist)",
+    )
+    add_common(p_lint, needs_mut=False, files_nargs="*")
+    p_lint.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text", help="output format (default: text)")
+    p_lint.add_argument("--out", dest="lint_out", metavar="FILE",
+                        help="write the report to FILE instead of stdout")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit 1 when there are warnings (errors always "
+                             "exit 2)")
+    p_lint.add_argument("--disable", action="append", default=[],
+                        metavar="RULE", help="disable a rule id (repeatable)")
+    p_lint.add_argument("--enable", action="append", default=[],
+                        metavar="RULE",
+                        help="run only these rule ids (repeatable)")
+    p_lint.add_argument("--severity", action="append", default=[],
+                        metavar="RULE=LEVEL",
+                        help="override a rule's severity, e.g. W003=error "
+                             "(repeatable)")
+    p_lint.add_argument("--waive", action="append", default=[],
+                        metavar="RULE[:MODULE[:SIGNAL]]",
+                        help="waive matching findings (repeatable)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
 
     p_profile = sub.add_parser(
         "profile",
@@ -154,8 +196,120 @@ def _atpg_options(args) -> AtpgOptions:
     )
 
 
+def _lint_config_from_args(args) -> "LintConfig":
+    from repro.lint import LintConfig, Waiver
+
+    overrides = {}
+    for item in getattr(args, "severity", []):
+        rule_id, sep, level = item.partition("=")
+        if not sep:
+            raise ValueError(
+                f"bad --severity {item!r}; expected RULE=LEVEL")
+        overrides[rule_id] = level
+    waivers = []
+    for item in getattr(args, "waive", []):
+        parts = item.split(":")
+        waivers.append(Waiver(
+            rule_id=parts[0],
+            module=parts[1] if len(parts) > 1 and parts[1] else None,
+            signal=parts[2] if len(parts) > 2 and parts[2] else None,
+            reason="--waive",
+        ))
+    return LintConfig(
+        disabled=set(getattr(args, "disable", [])),
+        enabled=set(getattr(args, "enable", [])),
+        severity_overrides=overrides,
+        waivers=waivers,
+    )
+
+
+def _load_lint_design(args):
+    """Parse each file separately so diagnostics carry real file paths."""
+    from repro.hierarchy.design import Design
+    from repro.lint import LintError
+    from repro.verilog import ast as vast
+    from repro.verilog.lexer import LexError
+    from repro.verilog.parser import ParseError, parse_source
+    from repro.verilog.preprocess import Preprocessor, PreprocessError
+
+    defines = {}
+    for item in getattr(args, "define", []):
+        name, _, value = item.partition("=")
+        defines[name] = value
+    pp = Preprocessor(defines=defines or None,
+                      include_dirs=getattr(args, "include", []))
+    source = vast.Source()
+    files: Dict[str, str] = {}
+    for path in args.files:
+        try:
+            chunk = pp.process_file(path)
+            sub = parse_source(chunk)
+        except (PreprocessError, ParseError, LexError, OSError) as exc:
+            raise LintError(f"{path}: {exc}") from exc
+        for mod in sub.modules:
+            files[mod.name] = path
+        source.extend(sub)
+    return Design(source, top=args.top), files
+
+
+def _lint_exit_code(result, strict: bool) -> int:
+    if result.errors:
+        return 2
+    if strict and result.warnings:
+        return 1
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint import default_registry, render_json, render_sarif, \
+        render_text, run_lint
+
+    if args.list_rules:
+        for rule_ in default_registry().rules():
+            print(f"{rule_.rule_id}  {rule_.severity:<7}  "
+                  f"{rule_.category:<12}  {rule_.title}")
+        return 0
+    if not args.files:
+        print("error: no Verilog source files given", file=sys.stderr)
+        return 1
+    design, files = _load_lint_design(args)
+    result = run_lint(design, _lint_config_from_args(args), files=files)
+    renderer = {"text": render_text, "json": render_json,
+                "sarif": render_sarif}[args.format]
+    rendered = renderer(result)
+    if args.lint_out:
+        with open(args.lint_out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+            if not rendered.endswith("\n"):
+                handle.write("\n")
+        print(f"wrote {args.format} report to {args.lint_out} "
+              f"({result.summary()})")
+    else:
+        print(rendered)
+    return _lint_exit_code(result, args.strict)
+
+
+def _lint_gate(args, factor: Factor) -> int:
+    """Opt-in pre-flight lint for analyze/atpg: errors abort (exit 2)."""
+    from repro.lint import run_lint
+
+    result = run_lint(factor.design)
+    if not result.errors:
+        _log.info("lint_gate_clean", findings=len(result.diagnostics))
+        return 0
+    print(f"lint gate failed: {len(result.errors)} error(s)",
+          file=sys.stderr)
+    for diag in result.errors:
+        print("  " + diag.render(), file=sys.stderr)
+    return 2
+
+
 def _cmd_analyze(args) -> int:
     factor = _factor_for(args)
+    if getattr(args, "lint", False):
+        code = _lint_gate(args, factor)
+        if code:
+            return code
     result = factor.analyze(args.mut, path=args.path)
     tr = result.transformed
     print(f"MUT {args.mut} at {tr.mut_region}")
@@ -182,6 +336,10 @@ def _cmd_testability(args) -> int:
 
 def _cmd_atpg(args) -> int:
     factor = _factor_for(args)
+    if getattr(args, "lint", False):
+        code = _lint_gate(args, factor)
+        if code:
+            return code
     result = factor.analyze(args.mut, path=args.path,
                             use_piers=not args.no_piers)
     report = factor.generate_tests(result, _atpg_options(args))
@@ -326,6 +484,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "testability": _cmd_testability,
     "atpg": _cmd_atpg,
+    "lint": _cmd_lint,
     "profile": _cmd_profile,
     "stats": _cmd_stats,
     "piers": _cmd_piers,

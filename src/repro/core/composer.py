@@ -10,7 +10,7 @@ lower extraction times of Table 3 relative to Table 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.core.extractor import (
     ExtractionMode,

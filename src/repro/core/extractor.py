@@ -35,7 +35,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.hierarchy.chains import ChainDB, Site
 from repro.hierarchy.connectivity import (

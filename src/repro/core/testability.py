@@ -11,25 +11,31 @@ build and analyze the state machine for the design":
   can only ever take the values in the decode table (the ``arm_alu``
   situation: most of its control inputs are hard-coded functions of the
   opcode field).
+
+The traversals behind both flags live in :mod:`repro.lint` (the constant
+cone walker in :mod:`repro.lint.cone`, the empty-chain vocabulary in
+:mod:`repro.lint.rules_chain`): one analysis core produces the generic lint
+report and this MUT-scoped testability report.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.core.extractor import (
     EmptyChainTrace,
     ExtractionResult,
     MutSpec,
 )
-from repro.hierarchy.chains import ChainDB, Site
+from repro.hierarchy.chains import ChainDB
 from repro.hierarchy.connectivity import (
     instance_port_map,
     signal_instance_sinks,
-    signal_instance_sources,
 )
 from repro.hierarchy.design import Design
+from repro.lint.cone import ConstantConeAnalyzer, hard_coded_inputs
+from repro.lint.rules_chain import empty_chain_diagnostic
 from repro.verilog import ast
 
 
@@ -95,6 +101,19 @@ class TestabilityReport:
         return "\n".join(lines)
 
 
+def _empty_chain_warning(trace: EmptyChainTrace) -> Warning_:
+    """Map an extraction empty-chain trace through the shared lint core."""
+    diag = empty_chain_diagnostic(trace.kind, trace.module, trace.signal,
+                                  trail=trace.trail)
+    return Warning_(
+        kind=trace.kind,
+        module=diag.module,
+        signal=diag.signal,
+        message=diag.message,
+        trail=trace.trail,
+    )
+
+
 def analyze_testability(design: Design, extraction: ExtractionResult
                         ) -> TestabilityReport:
     """Build the Section-4.2 report for one extraction."""
@@ -104,202 +123,43 @@ def analyze_testability(design: Design, extraction: ExtractionResult
     warnings: List[Warning_] = []
 
     for trace in extraction.empty_chains:
-        message = (
-            "no definition found — there is no path from the chip interface "
-            "to this signal" if trace.kind == "no_driver"
-            else "no use found — the signal cannot propagate to the chip "
-                 "interface"
-        )
-        warnings.append(Warning_(
-            kind=trace.kind,
-            module=trace.module,
-            signal=trace.signal,
-            message=message,
-            trail=trace.trail,
-        ))
+        warnings.append(_empty_chain_warning(trace))
 
-    # Hard-coded analysis on the MUT's input connections.
+    # Hard-coded analysis on the MUT's input connections, via the shared
+    # constant-cone core (lint rule W103 runs the same traversal).
     parent_module_name = design.top
     for inst_name in mut.inst_chain[:-1]:
         inst = design.instance_in(parent_module_name, inst_name)
         parent_module_name = inst.module_name
     mut_inst = design.instance_in(parent_module_name, mut.inst_name)
     mut_mod = modules[mut.module]
-    parent_mod = modules[parent_module_name]
-    pmap = instance_port_map(mut_mod, mut_inst)
 
-    analyzer = _ConstantConeAnalyzer(design, chaindb, modules)
+    analyzer = ConstantConeAnalyzer(design, chaindb, modules)
     hard_coded: List[HardCodedPort] = []
-    total_inputs = 0
-    for port in mut_mod.inputs():
-        total_inputs += 1
-        expr = pmap.get(port.name)
-        if expr is None:
-            continue
-        signals = sorted(expr.signals())
-        if not signals:
-            continue  # tied to a literal constant: trivially hard-coded
-        verdicts = [
-            analyzer.analyze(parent_module_name, sig) for sig in signals
-        ]
-        if all(v.all_constant for v in verdicts):
-            selectors: Set[str] = set()
-            sites: List[Tuple[str, str, int]] = []
-            for verdict in verdicts:
-                selectors |= verdict.selectors
-                sites.extend(verdict.constant_sites)
-            hard_coded.append(HardCodedPort(
-                port=port.name,
-                selectors=tuple(sorted(selectors)),
-                constant_sites=tuple(sites),
-            ))
-            warnings.append(Warning_(
-                kind="hard_coded",
-                module=mut.module,
-                signal=port.name,
-                message=(
-                    f"input {port.name!r} of {mut.module} is driven only "
-                    "from hard-coded values"
-                ),
-                selectors=tuple(sorted(selectors)),
-            ))
+    for hc in hard_coded_inputs(analyzer, parent_module_name, mut_mod,
+                                mut_inst):
+        hard_coded.append(HardCodedPort(
+            port=hc.port,
+            selectors=hc.selectors,
+            constant_sites=hc.constant_sites,
+        ))
+        warnings.append(Warning_(
+            kind="hard_coded",
+            module=mut.module,
+            signal=hc.port,
+            message=(
+                f"input {hc.port!r} of {mut.module} is driven only "
+                "from hard-coded values"
+            ),
+            selectors=hc.selectors,
+        ))
 
     return TestabilityReport(
         mut=mut,
         warnings=warnings,
         hard_coded_ports=hard_coded,
-        total_input_ports=total_inputs,
+        total_input_ports=len(mut_mod.inputs()),
     )
-
-
-@dataclass
-class _ConeVerdict:
-    all_constant: bool
-    selectors: Set[str] = field(default_factory=set)
-    constant_sites: List[Tuple[str, str, int]] = field(default_factory=list)
-
-
-class _ConstantConeAnalyzer:
-    """Does every justification path of a signal end in a constant?"""
-
-    def __init__(self, design: Design, chaindb: ChainDB,
-                 modules: Dict[str, ast.Module], max_depth: int = 16):
-        self.design = design
-        self.chaindb = chaindb
-        self.modules = modules
-        self.max_depth = max_depth
-        self._cache: Dict[Tuple[str, str], _ConeVerdict] = {}
-
-    def analyze(self, module_name: str, signal: str,
-                depth: Optional[int] = None,
-                visiting: Optional[Set[Tuple[str, str]]] = None
-                ) -> _ConeVerdict:
-        key = (module_name, signal)
-        if key in self._cache:
-            return self._cache[key]
-        depth = self.max_depth if depth is None else depth
-        visiting = set() if visiting is None else visiting
-        if depth <= 0 or key in visiting:
-            return _ConeVerdict(all_constant=False)
-        visiting.add(key)
-        verdict = self._analyze_inner(module_name, signal, depth, visiting)
-        visiting.discard(key)
-        self._cache[key] = verdict
-        return verdict
-
-    def _analyze_inner(self, module_name: str, signal: str, depth: int,
-                       visiting: Set[Tuple[str, str]]) -> _ConeVerdict:
-        module = self.modules[module_name]
-        if signal in {p.name for p in module.params}:
-            return _ConeVerdict(all_constant=True)
-        chains = self.chaindb.chains(module_name)
-        defs = chains.ud_chain(signal)
-        if not defs:
-            return _ConeVerdict(all_constant=False)
-        out = _ConeVerdict(all_constant=True)
-        for site in defs:
-            sub = self._site_verdict(site, module, module_name, signal,
-                                     depth, visiting)
-            out.selectors |= sub.selectors
-            out.constant_sites.extend(sub.constant_sites)
-            if not sub.all_constant:
-                out.all_constant = False
-        return out
-
-    def _site_verdict(self, site: Site, module: ast.Module,
-                      module_name: str, signal: str, depth: int,
-                      visiting: Set[Tuple[str, str]]) -> _ConeVerdict:
-        if site.kind == "input_port":
-            if module_name == self.design.top:
-                return _ConeVerdict(all_constant=False)
-            out = _ConeVerdict(all_constant=True)
-            for parent_name, inst_name in self.design.parents(module_name):
-                inst = self.design.instance_in(parent_name, inst_name)
-                expr = instance_port_map(module, inst).get(signal)
-                if expr is None:
-                    continue
-                if isinstance(expr, ast.Number):
-                    out.constant_sites.append(
-                        (parent_name, signal, expr.line)
-                    )
-                    continue
-                for sig in sorted(expr.signals()):
-                    sub = self.analyze(parent_name, sig, depth - 1, visiting)
-                    out.selectors |= sub.selectors
-                    out.constant_sites.extend(sub.constant_sites)
-                    if not sub.all_constant:
-                        out.all_constant = False
-                if not expr.signals() and not isinstance(expr, ast.Number):
-                    out.all_constant = False
-            return out
-        if site.kind == "instance":
-            out = _ConeVerdict(all_constant=True)
-            for src_inst, port in signal_instance_sources(
-                module, signal, self.modules
-            ):
-                sub = self.analyze(src_inst.module_name, port, depth - 1,
-                                   visiting)
-                out.selectors |= sub.selectors
-                out.constant_sites.extend(sub.constant_sites)
-                if not sub.all_constant:
-                    out.all_constant = False
-            return out
-        if site.kind in ("cont_assign", "proc_assign"):
-            node = site.node
-            rhs = node.rhs if isinstance(
-                node, (ast.ContAssign, ast.AssignStmt)) else None
-            if rhs is not None and isinstance(rhs, ast.Number):
-                out = _ConeVerdict(all_constant=True)
-                out.constant_sites.append((module_name, signal, site.line))
-                for enc in site.enclosures:
-                    if isinstance(enc, ast.Case):
-                        out.selectors |= enc.selector.signals()
-                    elif isinstance(enc, ast.If):
-                        out.selectors |= enc.cond.signals()
-                return out
-            if rhs is not None and _is_selection_of_constants(rhs):
-                out = _ConeVerdict(all_constant=True)
-                out.constant_sites.append((module_name, signal, site.line))
-                out.selectors |= rhs.signals() - _constant_leaf_signals(rhs)
-                return out
-            # A part-select copy (e.g. ctrl vector slicing) keeps the cone
-            # going; anything else is treated as a real data source.
-            if rhs is not None:
-                sigs = sorted(rhs.signals())
-                if sigs and _is_pure_routing(rhs):
-                    out = _ConeVerdict(all_constant=True)
-                    for sig in sigs:
-                        sub = self.analyze(module_name, sig, depth - 1,
-                                           visiting)
-                        out.selectors |= sub.selectors
-                        out.constant_sites.extend(sub.constant_sites)
-                        if not sub.all_constant:
-                            out.all_constant = False
-                    return out
-            return _ConeVerdict(all_constant=False)
-        if site.kind == "gate":
-            return _ConeVerdict(all_constant=False)
-        return _ConeVerdict(all_constant=False)
 
 
 def trace_aborted_path(design: Design, module_name: str, signal: str,
@@ -373,27 +233,3 @@ def trace_aborted_path(design: Design, module_name: str, signal: str,
         if len(path) > len(best):
             best = list(path)
     return best
-
-
-def _is_pure_routing(expr: ast.Expr) -> bool:
-    """Bit/part selects, concats and identifiers only — no computation."""
-    if isinstance(expr, (ast.Ident, ast.BitSelect, ast.PartSelect)):
-        return True
-    if isinstance(expr, ast.Concat):
-        return all(_is_pure_routing(p) for p in expr.parts)
-    return False
-
-
-def _is_selection_of_constants(expr: ast.Expr) -> bool:
-    """Ternary trees whose leaves are all numeric literals."""
-    if isinstance(expr, ast.Number):
-        return True
-    if isinstance(expr, ast.Ternary):
-        return (_is_selection_of_constants(expr.if_true)
-                and _is_selection_of_constants(expr.if_false))
-    return False
-
-
-def _constant_leaf_signals(expr: ast.Expr) -> Set[str]:
-    """Signals appearing in constant leaves (none, by construction)."""
-    return set()

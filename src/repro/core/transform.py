@@ -11,8 +11,8 @@ the MUT's faults can be targeted by hierarchical region.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 from repro.core.extractor import (
     ExtractionResult,

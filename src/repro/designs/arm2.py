@@ -41,7 +41,7 @@ the mechanism behind the paper's surrounding-gate reductions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.hierarchy.design import Design
 from repro.verilog.parser import parse_source
@@ -650,7 +650,6 @@ module core(
   output [15:0] mon_count,
   output mon_ovf
 );
-  wire [3:0] opcode;
   wire [2:0] rd;
   wire [2:0] ra;
   wire [2:0] rb;
@@ -663,7 +662,6 @@ module core(
   wire mem_we_w;
   wire use_imm8;
   wire use_imm6;
-  wire is_branch;
   wire is_swi;
   wire is_rfe;
   wire is_undef;
@@ -676,7 +674,7 @@ module core(
   decode u_dec(
     .inst(inst),
     .flag_z(flag_z),
-    .opcode(opcode),
+    .opcode(),
     .rd(rd),
     .ra(ra),
     .rb(rb),
@@ -689,7 +687,7 @@ module core(
     .mem_we(mem_we_w),
     .use_imm8(use_imm8),
     .use_imm6(use_imm6),
-    .is_branch(is_branch),
+    .is_branch(),
     .is_swi(is_swi),
     .is_rfe(is_rfe),
     .is_undef(is_undef),

@@ -11,7 +11,7 @@ must recurse into the signals controlling those constructs (Fig. 3, steps
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.verilog import ast
 
@@ -243,6 +243,11 @@ def _collect_proc_sites(
             _collect_proc_sites(module_name, always, item.stmt, inner, chains)
     elif isinstance(stmt, ast.For):
         inner = enclosures + (stmt,)
+        # The loop header's init/step assignments define the loop variable;
+        # without them a loop counter shows an empty ud chain.
+        _collect_proc_sites(module_name, always, stmt.init, enclosures,
+                            chains)
+        _collect_proc_sites(module_name, always, stmt.step, inner, chains)
         _collect_proc_sites(module_name, always, stmt.body, inner, chains)
     else:  # pragma: no cover - defensive
         raise TypeError(f"unknown statement {stmt!r}")

@@ -1,0 +1,72 @@
+"""Rule-based RTL static analysis over the AST/connectivity/netlist layers.
+
+FACTOR's testability analysis (paper Section 4.2) is static analysis at
+heart: empty du/ud chains and hard-coded constant cones are detected from
+the RTL before any ATPG runs.  This package generalizes that into an
+extensible lint engine:
+
+- :mod:`repro.lint.core`    — ``Diagnostic``, the rule registry and the
+  ``run_lint`` engine,
+- :mod:`repro.lint.width`   — best-effort bit-width inference for
+  expressions (parameter-aware),
+- :mod:`repro.lint.cone`    — the constant-justification-cone analyzer
+  shared with :mod:`repro.core.testability`,
+- :mod:`repro.lint.rules_ast` / ``rules_chain`` / ``rules_netlist`` — the
+  shipped rules (AST shape, du/ud chains, elaborated netlist),
+- :mod:`repro.lint.formats` — text, JSON and SARIF 2.1.0 emitters.
+
+Typical use::
+
+    from repro.lint import LintConfig, run_lint
+    from repro.hierarchy.design import Design
+
+    result = run_lint(design, LintConfig(disabled={"W003"}))
+    for diag in result.diagnostics:
+        print(diag.render())
+"""
+
+from repro.lint.core import (
+    Diagnostic,
+    LintConfig,
+    LintContext,
+    LintError,
+    LintResult,
+    Rule,
+    RuleRegistry,
+    Severity,
+    TraceStep,
+    Waiver,
+    default_registry,
+    rule,
+    run_lint,
+)
+from repro.lint.cone import ConeVerdict, ConstantConeAnalyzer, hard_coded_inputs
+from repro.lint.formats import render_json, render_sarif, render_text
+
+# Importing the rule modules registers every shipped rule with the default
+# registry (decorator side effect).
+from repro.lint import rules_ast as _rules_ast  # noqa: F401
+from repro.lint import rules_chain as _rules_chain  # noqa: F401
+from repro.lint import rules_netlist as _rules_netlist  # noqa: F401
+
+__all__ = [
+    "Diagnostic",
+    "LintConfig",
+    "LintContext",
+    "LintError",
+    "LintResult",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "TraceStep",
+    "Waiver",
+    "default_registry",
+    "rule",
+    "run_lint",
+    "ConeVerdict",
+    "ConstantConeAnalyzer",
+    "hard_coded_inputs",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]

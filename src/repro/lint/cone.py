@@ -1,0 +1,221 @@
+"""Constant-justification-cone analysis (paper Section 4.2).
+
+A MUT input whose entire justification cone terminates in constant
+assignments selected by decode logic can only ever take the values in the
+decode table — the paper's "hard-coded constraint" flag.  This module is
+the single implementation shared by :func:`repro.core.testability.
+analyze_testability` and the ``W103`` lint rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.hierarchy.chains import ChainDB, Site
+from repro.hierarchy.connectivity import (
+    instance_port_map,
+    signal_instance_sources,
+)
+from repro.hierarchy.design import Design
+from repro.verilog import ast
+
+
+@dataclass
+class ConeVerdict:
+    """Outcome of analyzing one signal's justification cone."""
+
+    all_constant: bool
+    selectors: Set[str] = field(default_factory=set)
+    constant_sites: List[Tuple[str, str, int]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class HardCodedInput:
+    """An instance input port whose value cone ends only in constants."""
+
+    port: str
+    selectors: Tuple[str, ...]
+    constant_sites: Tuple[Tuple[str, str, int], ...]  # (module, signal, line)
+    line: int = 0
+
+
+class ConstantConeAnalyzer:
+    """Does every justification path of a signal end in a constant?"""
+
+    def __init__(self, design: Design, chaindb: ChainDB,
+                 modules: Dict[str, ast.Module], max_depth: int = 16):
+        self.design = design
+        self.chaindb = chaindb
+        self.modules = modules
+        self.max_depth = max_depth
+        self._cache: Dict[Tuple[str, str], ConeVerdict] = {}
+
+    def analyze(self, module_name: str, signal: str,
+                depth: Optional[int] = None,
+                visiting: Optional[Set[Tuple[str, str]]] = None
+                ) -> ConeVerdict:
+        key = (module_name, signal)
+        if key in self._cache:
+            return self._cache[key]
+        depth = self.max_depth if depth is None else depth
+        visiting = set() if visiting is None else visiting
+        if depth <= 0 or key in visiting:
+            return ConeVerdict(all_constant=False)
+        visiting.add(key)
+        verdict = self._analyze_inner(module_name, signal, depth, visiting)
+        visiting.discard(key)
+        self._cache[key] = verdict
+        return verdict
+
+    def _analyze_inner(self, module_name: str, signal: str, depth: int,
+                       visiting: Set[Tuple[str, str]]) -> ConeVerdict:
+        module = self.modules[module_name]
+        if signal in {p.name for p in module.params}:
+            return ConeVerdict(all_constant=True)
+        chains = self.chaindb.chains(module_name)
+        defs = chains.ud_chain(signal)
+        if not defs:
+            return ConeVerdict(all_constant=False)
+        out = ConeVerdict(all_constant=True)
+        for site in defs:
+            sub = self._site_verdict(site, module, module_name, signal,
+                                     depth, visiting)
+            out.selectors |= sub.selectors
+            out.constant_sites.extend(sub.constant_sites)
+            if not sub.all_constant:
+                out.all_constant = False
+        return out
+
+    def _site_verdict(self, site: Site, module: ast.Module,
+                      module_name: str, signal: str, depth: int,
+                      visiting: Set[Tuple[str, str]]) -> ConeVerdict:
+        if site.kind == "input_port":
+            if module_name == self.design.top:
+                return ConeVerdict(all_constant=False)
+            out = ConeVerdict(all_constant=True)
+            for parent_name, inst_name in self.design.parents(module_name):
+                inst = self.design.instance_in(parent_name, inst_name)
+                expr = instance_port_map(module, inst).get(signal)
+                if expr is None:
+                    continue
+                if isinstance(expr, ast.Number):
+                    out.constant_sites.append(
+                        (parent_name, signal, expr.line)
+                    )
+                    continue
+                for sig in sorted(expr.signals()):
+                    sub = self.analyze(parent_name, sig, depth - 1, visiting)
+                    out.selectors |= sub.selectors
+                    out.constant_sites.extend(sub.constant_sites)
+                    if not sub.all_constant:
+                        out.all_constant = False
+                if not expr.signals() and not isinstance(expr, ast.Number):
+                    out.all_constant = False
+            return out
+        if site.kind == "instance":
+            out = ConeVerdict(all_constant=True)
+            for src_inst, port in signal_instance_sources(
+                module, signal, self.modules
+            ):
+                sub = self.analyze(src_inst.module_name, port, depth - 1,
+                                   visiting)
+                out.selectors |= sub.selectors
+                out.constant_sites.extend(sub.constant_sites)
+                if not sub.all_constant:
+                    out.all_constant = False
+            return out
+        if site.kind in ("cont_assign", "proc_assign"):
+            node = site.node
+            rhs = node.rhs if isinstance(
+                node, (ast.ContAssign, ast.AssignStmt)) else None
+            if rhs is not None and isinstance(rhs, ast.Number):
+                out = ConeVerdict(all_constant=True)
+                out.constant_sites.append((module_name, signal, site.line))
+                for enc in site.enclosures:
+                    if isinstance(enc, ast.Case):
+                        out.selectors |= enc.selector.signals()
+                    elif isinstance(enc, ast.If):
+                        out.selectors |= enc.cond.signals()
+                return out
+            if rhs is not None and _is_selection_of_constants(rhs):
+                out = ConeVerdict(all_constant=True)
+                out.constant_sites.append((module_name, signal, site.line))
+                out.selectors |= rhs.signals()
+                return out
+            # A part-select copy (e.g. ctrl vector slicing) keeps the cone
+            # going; anything else is treated as a real data source.
+            if rhs is not None:
+                sigs = sorted(rhs.signals())
+                if sigs and _is_pure_routing(rhs):
+                    out = ConeVerdict(all_constant=True)
+                    for sig in sigs:
+                        sub = self.analyze(module_name, sig, depth - 1,
+                                           visiting)
+                        out.selectors |= sub.selectors
+                        out.constant_sites.extend(sub.constant_sites)
+                        if not sub.all_constant:
+                            out.all_constant = False
+                    return out
+            return ConeVerdict(all_constant=False)
+        return ConeVerdict(all_constant=False)
+
+
+def hard_coded_inputs(
+    analyzer: ConstantConeAnalyzer,
+    parent_module_name: str,
+    child_module: ast.Module,
+    inst: ast.Instance,
+) -> List[HardCodedInput]:
+    """Input ports of ``inst`` whose justification cone is all-constant.
+
+    This is the traversal behind both the testability report's
+    "hard-coded" warnings and lint rule ``W103``: for each input port the
+    parent expression's signals are cone-analyzed; the port is flagged when
+    every source terminates in constants.  Ports tied directly to literals
+    are trivially hard-coded and skipped (they carry no decode table).
+    """
+    pmap = instance_port_map(child_module, inst)
+    out: List[HardCodedInput] = []
+    for port in child_module.inputs():
+        expr = pmap.get(port.name)
+        if expr is None:
+            continue
+        signals = sorted(expr.signals())
+        if not signals:
+            continue  # tied to a literal constant: trivially hard-coded
+        verdicts = [
+            analyzer.analyze(parent_module_name, sig) for sig in signals
+        ]
+        if all(v.all_constant for v in verdicts):
+            selectors: Set[str] = set()
+            sites: List[Tuple[str, str, int]] = []
+            for verdict in verdicts:
+                selectors |= verdict.selectors
+                sites.extend(verdict.constant_sites)
+            out.append(HardCodedInput(
+                port=port.name,
+                selectors=tuple(sorted(selectors)),
+                constant_sites=tuple(sites),
+                line=inst.line,
+            ))
+    return out
+
+
+def _is_pure_routing(expr: ast.Expr) -> bool:
+    """Bit/part selects, concats and identifiers only — no computation."""
+    if isinstance(expr, (ast.Ident, ast.BitSelect, ast.PartSelect)):
+        return True
+    if isinstance(expr, ast.Concat):
+        return all(_is_pure_routing(p) for p in expr.parts)
+    return False
+
+
+def _is_selection_of_constants(expr: ast.Expr) -> bool:
+    """Ternary trees whose leaves are all numeric literals."""
+    if isinstance(expr, ast.Number):
+        return True
+    if isinstance(expr, ast.Ternary):
+        return (_is_selection_of_constants(expr.if_true)
+                and _is_selection_of_constants(expr.if_false))
+    return False

@@ -1,0 +1,147 @@
+"""Lint output formats: text, JSON and SARIF 2.1.0.
+
+The SARIF emitter produces the subset of SARIF 2.1.0 that GitHub code
+scanning ingests: one run, one tool driver with per-rule metadata, and one
+result per diagnostic with a physical location (file + line) and a logical
+location (``module.signal``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.lint.core import Diagnostic, LintResult, RuleRegistry, default_registry
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "repro-lint"
+
+# SARIF has no "warning"/"info"/"error" enum of its own beyond `level`.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Classic compiler-style one-line-per-finding listing."""
+    lines = [diag.render() for diag in result.diagnostics]
+    if verbose:
+        for diag, waiver in result.waived:
+            reason = f" ({waiver.reason})" if waiver.reason else ""
+            lines.append(f"{diag.render()} [waived{reason}]")
+    lines.append(result.summary())
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable JSON: findings plus counts, stable key order."""
+    payload: Dict[str, object] = {
+        "tool": TOOL_NAME,
+        "findings": [diag.as_dict() for diag in result.diagnostics],
+        "waived": [
+            {"finding": diag.as_dict(), "reason": waiver.reason}
+            for diag, waiver in result.waived
+        ],
+        "counts": result.counts(),
+        "by_rule": result.by_rule(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_rule(rule) -> Dict[str, object]:
+    return {
+        "id": rule.rule_id,
+        "name": rule.title.title().replace(" ", "").replace("-", ""),
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.description or rule.title},
+        "defaultConfiguration": {
+            "level": _SARIF_LEVELS.get(rule.severity, "warning"),
+        },
+        "properties": {"category": rule.category},
+    }
+
+
+def _sarif_result(diag: Diagnostic) -> Dict[str, object]:
+    physical: Dict[str, object] = {
+        "artifactLocation": {
+            "uri": diag.file or f"{diag.module or 'design'}.v",
+        },
+    }
+    if diag.line > 0:
+        physical["region"] = {"startLine": diag.line}
+    location: Dict[str, object] = {"physicalLocation": physical}
+    logical_name = diag.module
+    if diag.signal:
+        logical_name = f"{diag.module}.{diag.signal}" if diag.module \
+            else diag.signal
+    if logical_name:
+        location["logicalLocations"] = [
+            {"name": logical_name, "kind": "member"},
+        ]
+    result: Dict[str, object] = {
+        "ruleId": diag.rule_id,
+        "level": _SARIF_LEVELS.get(diag.severity, "warning"),
+        "message": {"text": diag.message},
+        "locations": [location],
+    }
+    if diag.trace:
+        result["relatedLocations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diag.file or f"{step.module or 'design'}.v",
+                    },
+                    **({"region": {"startLine": step.line}}
+                       if step.line > 0 else {}),
+                },
+                "message": {
+                    "text": step.note or f"{step.module}.{step.signal}",
+                },
+            }
+            for step in diag.trace
+        ]
+    return result
+
+
+def sarif_dict(result: LintResult,
+               registry: Optional[RuleRegistry] = None,
+               tool_version: Optional[str] = None) -> Dict[str, object]:
+    """The SARIF log as a plain dict (for tests and embedding)."""
+    from repro import __version__
+
+    reg = registry if registry is not None else default_registry()
+    rules: List[Dict[str, object]] = [
+        _sarif_rule(rule) for rule in reg.rules()
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": tool_version or __version__,
+                        "informationUri":
+                            "https://github.com/repro/factor",
+                        "rules": rules,
+                    },
+                },
+                "results": [
+                    _sarif_result(diag) for diag in result.diagnostics
+                ],
+            },
+        ],
+    }
+
+
+def render_sarif(result: LintResult,
+                 registry: Optional[RuleRegistry] = None) -> str:
+    return json.dumps(sarif_dict(result, registry), indent=2) + "\n"
+
+
+FORMATS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

@@ -1,0 +1,511 @@
+"""AST-level lint rules: structural problems visible in one module's source.
+
+Every rule walks the parsed :class:`repro.verilog.ast.Module` directly — no
+chain database or elaboration needed — so these run even on designs that do
+not synthesize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.core import Diagnostic, LintContext, TraceStep, rule
+from repro.lint.width import const_eval, declared_widths, expr_width
+from repro.verilog import ast
+
+
+def _iter_modules(ctx: LintContext) -> Iterator[ast.Module]:
+    for name in sorted(ctx.modules):
+        yield ctx.modules[name]
+
+
+# ---------------------------------------------------------------------------
+# W001 — multiple drivers
+# ---------------------------------------------------------------------------
+
+
+class _Driver:
+    """One driving construct for a signal: full (whole vector) or partial."""
+
+    __slots__ = ("full", "line", "what")
+
+    def __init__(self, full: bool, line: int, what: str):
+        self.full = full
+        self.line = line
+        self.what = what
+
+
+def _lhs_drivers(target: ast.Expr, line: int, what: str
+                 ) -> Iterator[Tuple[str, _Driver]]:
+    if isinstance(target, ast.Ident):
+        yield target.name, _Driver(True, line, what)
+    elif isinstance(target, (ast.BitSelect, ast.PartSelect)):
+        yield target.name, _Driver(False, line, what)
+    elif isinstance(target, ast.Concat):
+        for part in target.parts:
+            yield from _lhs_drivers(part, line, what)
+
+
+@rule("W001", severity="error", category="connectivity",
+      title="net has multiple drivers")
+def check_multi_driven(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A net driven by more than one construct (continuous assigns, gate or
+    instance outputs, always blocks) has contention: simulation x-es out and
+    synthesis rejects it.  Partial (bit-/part-select) drivers from distinct
+    constructs only count when one of them writes the whole vector, so
+    per-bit continuous assigns stay legal."""
+    for module in _iter_modules(ctx):
+        drivers: Dict[str, List[_Driver]] = {}
+
+        def add(target: ast.Expr, line: int, what: str) -> None:
+            for name, drv in _lhs_drivers(target, line, what):
+                drivers.setdefault(name, []).append(drv)
+
+        for port in module.ports:
+            if port.direction == "input":
+                drivers.setdefault(port.name, []).append(
+                    _Driver(True, port.line, "input port"))
+        for assign in module.assigns:
+            add(assign.target, assign.line, "continuous assign")
+        for gate in module.gates:
+            add(gate.terminals[0], gate.line,
+                f"{gate.gate_type} gate output")
+        for inst in module.instances:
+            child = ctx.modules.get(inst.module_name)
+            if child is None:
+                continue
+            dirs = {p.name: p.direction for p in child.ports}
+            port_names = list(child.port_order)
+            for idx, conn in enumerate(inst.connections):
+                pname = conn.name if conn.name is not None else (
+                    port_names[idx] if idx < len(port_names) else None)
+                if pname is None or conn.expr is None:
+                    continue
+                if dirs.get(pname) == "output":
+                    add(conn.expr, conn.line,
+                        f"output {pname!r} of instance {inst.inst_name!r}")
+        for always in module.always_blocks:
+            # One always block is a single driver regardless of how many
+            # assignments it contains (procedural last-write-wins).
+            names: Dict[str, bool] = {}
+            for stmt in ast.walk_stmts(always.body):
+                if isinstance(stmt, ast.AssignStmt):
+                    for name, drv in _lhs_drivers(stmt.target, stmt.line,
+                                                  "always block"):
+                        names[name] = names.get(name, False) or drv.full
+            for name, full in names.items():
+                drivers.setdefault(name, []).append(
+                    _Driver(full, always.line, "always block"))
+
+        for name in sorted(drivers):
+            sites = drivers[name]
+            if len(sites) < 2 or not any(d.full for d in sites):
+                continue
+            first = min(sites, key=lambda d: d.line)
+            whats = ", ".join(
+                f"{d.what} (line {d.line})" for d in sites
+            )
+            yield Diagnostic(
+                rule_id="W001", severity="error", category="connectivity",
+                module=module.name, signal=name, line=first.line,
+                message=f"driven by {len(sites)} constructs: {whats}",
+                trace=tuple(TraceStep(module=module.name, signal=name,
+                                      line=d.line, note=d.what)
+                            for d in sites),
+            )
+
+
+# ---------------------------------------------------------------------------
+# W002 / W003 — undriven and unused nets
+# ---------------------------------------------------------------------------
+
+
+@rule("W002", severity="warning", category="connectivity",
+      title="net is used but never driven")
+def check_undriven_nets(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A net read somewhere in the module but with an empty use-def chain
+    floats: downstream logic sees an undefined value.  Ports are excluded —
+    an undriven output port is rule W101's job."""
+    for module in _iter_modules(ctx):
+        chains = ctx.chaindb.chains(module.name)
+        ports = {p.name for p in module.ports}
+        lines = {net.name: net.line for net in module.nets}
+        for name in chains.undriven_signals():
+            if name in ports:
+                continue
+            uses = chains.du_chain(name)
+            yield Diagnostic(
+                rule_id="W002", severity="warning", category="connectivity",
+                module=module.name, signal=name,
+                line=lines.get(name, uses[0].line if uses else 0),
+                message="used but never driven (empty ud chain)",
+                trace=tuple(TraceStep(module=module.name, signal=name,
+                                      line=site.line, note=f"use:{site.kind}")
+                            for site in uses[:8]),
+            )
+
+
+@rule("W003", severity="warning", category="dead-code",
+      title="net is never used")
+def check_unused_nets(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A net that is driven (or merely declared) but never read is dead
+    logic; the paper's empty du-chain flag means any value it carries cannot
+    propagate anywhere.  Ports are excluded — see W102 for input ports."""
+    for module in _iter_modules(ctx):
+        chains = ctx.chaindb.chains(module.name)
+        ports = {p.name for p in module.ports}
+        lines = {net.name: net.line for net in module.nets}
+        declared = [net.name for net in module.nets]
+        seen: Set[str] = set()
+        for name in chains.unused_signals():
+            if name in ports:
+                continue
+            seen.add(name)
+            defs = chains.ud_chain(name)
+            yield Diagnostic(
+                rule_id="W003", severity="warning", category="dead-code",
+                module=module.name, signal=name,
+                line=lines.get(name, defs[0].line if defs else 0),
+                message="driven but never used (empty du chain)",
+                trace=tuple(TraceStep(module=module.name, signal=name,
+                                      line=site.line, note=f"def:{site.kind}")
+                            for site in defs[:8]),
+            )
+        for name in declared:
+            if name in seen or name in ports:
+                continue
+            if not chains.ud_chain(name) and not chains.du_chain(name):
+                yield Diagnostic(
+                    rule_id="W003", severity="warning", category="dead-code",
+                    module=module.name, signal=name,
+                    line=lines.get(name, 0),
+                    message="declared but never referenced",
+                )
+
+
+# ---------------------------------------------------------------------------
+# W004 / W005 — latch inference
+# ---------------------------------------------------------------------------
+
+
+def _case_fully_covered(case: ast.Case, module: ast.Module,
+                        ctx: LintContext) -> Optional[bool]:
+    """True/False when coverage is provable, None when unknown."""
+    if any(item.is_default for item in case.items):
+        return True
+    env = ctx.const_env(module)
+    widths = declared_widths(module, env)
+    sel_width = expr_width(case.selector, widths, env)
+    if sel_width is None or sel_width > 12:
+        return None
+    covered: Set[int] = set()
+    for item in case.items:
+        for label in item.labels:
+            if isinstance(label, ast.CaseLabelWild):
+                free = [i for i, bit in enumerate(label.bits) if bit == "?"]
+                base = int(label.bits.replace("?", "0"), 2)
+                for mask in range(1 << len(free)):
+                    value = base
+                    for j, pos in enumerate(free):
+                        if (mask >> j) & 1:
+                            value |= 1 << (label.width - 1 - pos)
+                    covered.add(value)
+                continue
+            value = const_eval(label, env)
+            if value is None:
+                return None
+            covered.add(value & ((1 << sel_width) - 1))
+    return len(covered) >= (1 << sel_width)
+
+
+@rule("W004", severity="warning", category="latch",
+      title="case statement does not cover all selector values")
+def check_incomplete_case(ctx: LintContext) -> Iterator[Diagnostic]:
+    """In a combinational always block, a ``case`` without a ``default``
+    whose labels do not cover every selector value leaves the assigned
+    signals holding state — a latch is inferred.  Coverage is proved by
+    enumerating label values (wildcard labels included) against the
+    selector width."""
+    for module in _iter_modules(ctx):
+        for always in module.always_blocks:
+            if always.is_sequential:
+                continue
+            for stmt in ast.walk_stmts(always.body):
+                if not isinstance(stmt, ast.Case):
+                    continue
+                if _case_fully_covered(stmt, module, ctx) is False:
+                    sels = ", ".join(sorted(stmt.selector.signals()))
+                    yield Diagnostic(
+                        rule_id="W004", severity="warning", category="latch",
+                        module=module.name, signal=sels, line=stmt.line,
+                        message=(f"{stmt.kind} on [{sels}] has no default "
+                                 "and does not cover all selector values"),
+                    )
+
+
+def _definitely_assigned(stmt: ast.Stmt, module: ast.Module,
+                         ctx: LintContext) -> Set[str]:
+    """Signals assigned on *every* execution path through ``stmt``."""
+    if isinstance(stmt, ast.AssignStmt):
+        return stmt.defined()
+    if isinstance(stmt, ast.Block):
+        out: Set[str] = set()
+        for inner in stmt.stmts:
+            out |= _definitely_assigned(inner, module, ctx)
+        return out
+    if isinstance(stmt, ast.If):
+        if stmt.else_stmt is None:
+            return set()
+        return (_definitely_assigned(stmt.then_stmt, module, ctx)
+                & _definitely_assigned(stmt.else_stmt, module, ctx))
+    if isinstance(stmt, ast.Case):
+        if _case_fully_covered(stmt, module, ctx) is not True:
+            return set()
+        sets = [_definitely_assigned(item.stmt, module, ctx)
+                for item in stmt.items]
+        if not sets:
+            return set()
+        out = sets[0]
+        for other in sets[1:]:
+            out &= other
+        return out
+    if isinstance(stmt, ast.For):
+        # Synthesizable for-loops have constant bounds and run >= once in
+        # the designs this subset targets; treat the body as executed.  The
+        # init assignment (the loop variable) always runs.
+        return (stmt.init.defined()
+                | _definitely_assigned(stmt.body, module, ctx))
+    return set()
+
+
+@rule("W005", severity="warning", category="latch",
+      title="signal not assigned on all paths (latch inferred)")
+def check_latch_inference(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A combinational always block must assign each of its targets on every
+    path; a signal assigned only under some conditions keeps its previous
+    value, which infers a level-sensitive latch the synthesis substrate
+    rejects."""
+    for module in _iter_modules(ctx):
+        for always in module.always_blocks:
+            if always.is_sequential:
+                continue
+            assigned_anywhere = always.defined()
+            assigned_always = _definitely_assigned(always.body, module, ctx)
+            for name in sorted(assigned_anywhere - assigned_always):
+                yield Diagnostic(
+                    rule_id="W005", severity="warning", category="latch",
+                    module=module.name, signal=name, line=always.line,
+                    message=("assigned on some but not all paths of a "
+                             "combinational always block (latch inferred)"),
+                )
+
+
+# ---------------------------------------------------------------------------
+# W006 — blocking / non-blocking mixing
+# ---------------------------------------------------------------------------
+
+
+@rule("W006", severity="warning", category="style",
+      title="always block mixes blocking and non-blocking assignments")
+def check_blocking_mix(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Mixing ``=`` and ``<=`` in one always block makes evaluation order
+    subtle and is a classic source of simulation/synthesis mismatch;
+    sequential blocks should use ``<=``, combinational blocks ``=``."""
+    for module in _iter_modules(ctx):
+        for always in module.always_blocks:
+            blocking_lines: List[int] = []
+            nonblocking_lines: List[int] = []
+            for stmt in ast.walk_stmts(always.body):
+                if isinstance(stmt, ast.AssignStmt):
+                    # For-loop headers are syntactically blocking; only the
+                    # statements walk_stmts reaches (bodies included) count.
+                    (blocking_lines if stmt.blocking
+                     else nonblocking_lines).append(stmt.line)
+            if blocking_lines and nonblocking_lines:
+                yield Diagnostic(
+                    rule_id="W006", severity="warning", category="style",
+                    module=module.name, line=always.line,
+                    message=(
+                        "always block mixes blocking "
+                        f"(line {min(blocking_lines)}) and non-blocking "
+                        f"(line {min(nonblocking_lines)}) assignments"),
+                )
+
+
+# ---------------------------------------------------------------------------
+# W007 / W008 — width mismatches
+# ---------------------------------------------------------------------------
+
+
+def _is_routing_expr(expr: ast.Expr) -> bool:
+    """Wiring-only expressions, where a width difference means lost or
+    invented bits rather than Verilog's usual context widening."""
+    if isinstance(expr, (ast.Ident, ast.BitSelect, ast.PartSelect)):
+        return True
+    if isinstance(expr, ast.Concat):
+        return all(_is_routing_expr(p) for p in expr.parts)
+    if isinstance(expr, ast.Repeat):
+        return _is_routing_expr(expr.value)
+    return False
+
+
+def _width_mismatch(lhs_width: int, rhs_width: int,
+                    rhs: ast.Expr) -> Optional[str]:
+    """Why a width difference is worth flagging, or None.
+
+    Truncation always flags.  Extension (wider target) is idiomatic for
+    arithmetic (``sum = a * b`` context-widens) and literals (``r <= 1'b0``)
+    so it only flags for pure routing expressions, where padding invents
+    bits.
+    """
+    if lhs_width < rhs_width:
+        return f"truncates the {rhs_width}-bit expression"
+    if lhs_width > rhs_width and _is_routing_expr(rhs):
+        return f"zero-pads the {rhs_width}-bit expression"
+    return None
+
+
+@rule("W007", severity="warning", category="width",
+      title="assignment width mismatch")
+def check_assign_widths(ctx: LintContext) -> Iterator[Diagnostic]:
+    """LHS and RHS of an assignment have provably different bit widths;
+    Verilog silently truncates or zero-extends, which is rarely what the
+    mismatch intended.  Unsized literals and unknown widths never flag."""
+    for module in _iter_modules(ctx):
+        env = ctx.const_env(module)
+        widths = declared_widths(module, env)
+
+        def check(target: ast.Expr, rhs: ast.Expr, line: int,
+                  where: str) -> Optional[Diagnostic]:
+            lhs_width = expr_width(target, widths, env)
+            rhs_width = expr_width(rhs, widths, env)
+            if lhs_width is None or rhs_width is None:
+                return None
+            why = _width_mismatch(lhs_width, rhs_width, rhs)
+            if why is None:
+                return None
+            names = ", ".join(sorted(ast.lhs_base_names(target)))
+            return Diagnostic(
+                rule_id="W007", severity="warning", category="width",
+                module=module.name, signal=names, line=line,
+                message=f"{where}: {lhs_width}-bit target {why}",
+            )
+
+        for assign in module.assigns:
+            diag = check(assign.target, assign.rhs, assign.line,
+                         "continuous assign")
+            if diag:
+                yield diag
+        for always in module.always_blocks:
+            for stmt in ast.walk_stmts(always.body):
+                if isinstance(stmt, ast.AssignStmt):
+                    diag = check(stmt.target, stmt.rhs, stmt.line,
+                                 "procedural assign")
+                    if diag:
+                        yield diag
+
+
+@rule("W008", severity="warning", category="width",
+      title="port connection width mismatch")
+def check_port_widths(ctx: LintContext) -> Iterator[Diagnostic]:
+    """An instance port is connected to an expression whose width provably
+    differs from the port declaration: bits are silently dropped or padded
+    at the module boundary."""
+    from repro.hierarchy.connectivity import instance_port_map
+
+    for module in _iter_modules(ctx):
+        env = ctx.const_env(module)
+        widths = declared_widths(module, env)
+        for inst in module.instances:
+            child = ctx.modules.get(inst.module_name)
+            if child is None or inst.param_overrides:
+                continue  # overridden params change child widths; skip
+            child_env = ctx.const_env(child)
+            try:
+                pmap = instance_port_map(child, inst)
+            except ValueError:
+                continue  # malformed connections surface elsewhere
+            for port in child.ports:
+                expr = pmap.get(port.name)
+                if expr is None:
+                    continue
+                from repro.lint.width import range_width
+
+                port_width = range_width(port.range, child_env)
+                conn_width = expr_width(expr, widths, env)
+                if port_width is None or conn_width is None:
+                    continue
+                # At an input port the connection behaves like an
+                # assignment onto the port; at an output port the
+                # connection must be plain wiring, so any difference
+                # loses or invents bits.
+                if port.direction == "input":
+                    if _width_mismatch(port_width, conn_width, expr) is None:
+                        continue
+                elif port_width == conn_width or not _is_routing_expr(expr):
+                    continue
+                yield Diagnostic(
+                    rule_id="W008", severity="warning", category="width",
+                    module=module.name,
+                    signal=f"{inst.inst_name}.{port.name}",
+                    line=inst.line,
+                    message=(
+                        f"port {port.name!r} of {child.name} is "
+                        f"{port_width} bits but is connected to a "
+                        f"{conn_width}-bit expression"),
+                )
+
+
+# ---------------------------------------------------------------------------
+# W009 — dead branches
+# ---------------------------------------------------------------------------
+
+
+@rule("W009", severity="info", category="dead-code",
+      title="branch condition is constant")
+def check_dead_branches(ctx: LintContext) -> Iterator[Diagnostic]:
+    """An ``if`` condition or ``case`` selector that evaluates to a constant
+    (literals and parameters folded) makes one side of the branch
+    unreachable — usually a leftover debug switch or a mis-wired parameter."""
+    for module in _iter_modules(ctx):
+        env = ctx.const_env(module)
+        for always in module.always_blocks:
+            for stmt in ast.walk_stmts(always.body):
+                if isinstance(stmt, ast.If):
+                    value = const_eval(stmt.cond, env)
+                    if value is None:
+                        continue
+                    dead = "then" if value == 0 else "else"
+                    if dead == "else" and stmt.else_stmt is None:
+                        continue
+                    yield Diagnostic(
+                        rule_id="W009", severity="info",
+                        category="dead-code", module=module.name,
+                        line=stmt.line,
+                        message=(f"if condition is constant {value}; the "
+                                 f"{dead} branch is dead"),
+                    )
+                elif isinstance(stmt, ast.Case):
+                    value = const_eval(stmt.selector, env)
+                    if value is not None:
+                        yield Diagnostic(
+                            rule_id="W009", severity="info",
+                            category="dead-code", module=module.name,
+                            line=stmt.line,
+                            message=(f"{stmt.kind} selector is constant "
+                                     f"{value}; all other arms are dead"),
+                        )
+        for assign in module.assigns:
+            for expr in ast.walk_exprs(assign.rhs):
+                if isinstance(expr, ast.Ternary):
+                    value = const_eval(expr.cond, env)
+                    if value is not None:
+                        dead = "false" if value else "true"
+                        yield Diagnostic(
+                            rule_id="W009", severity="info",
+                            category="dead-code", module=module.name,
+                            line=assign.line,
+                            message=(
+                                "ternary condition is constant "
+                                f"{value}; the {dead} arm is dead"),
+                        )

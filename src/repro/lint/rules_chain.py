@@ -1,0 +1,114 @@
+"""Chain-level lint rules: du/ud chain analysis over the whole hierarchy.
+
+These generalize the paper's Section-4.2 flags: an empty chain on a port
+means there is no path between the signal and the chip interface (coverage
+is lost before ATPG even starts), and an input cone terminating only in
+constants means the port can never be justified to arbitrary values.
+
+The message text and classification live here so that
+:func:`repro.core.testability.analyze_testability` and ``repro lint``
+describe the same situation the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.cone import ConstantConeAnalyzer, hard_coded_inputs
+from repro.lint.core import Diagnostic, LintContext, TraceStep, rule
+
+# Shared Section-4.2 empty-chain vocabulary: kind -> (rule id, message).
+EMPTY_CHAIN_KINDS = {
+    "no_driver": (
+        "W101",
+        "no definition found — there is no path from the chip interface "
+        "to this signal",
+    ),
+    "no_propagation": (
+        "W102",
+        "no use found — the signal cannot propagate to the chip interface",
+    ),
+}
+
+
+def empty_chain_diagnostic(
+    kind: str, module: str, signal: str,
+    trail: Tuple[Tuple[str, str], ...] = (),
+    line: int = 0,
+) -> Diagnostic:
+    """The canonical diagnostic for an empty du/ud chain finding."""
+    rule_id, message = EMPTY_CHAIN_KINDS[kind]
+    severity = "error" if kind == "no_driver" else "warning"
+    return Diagnostic(
+        rule_id=rule_id, severity=severity, category="testability",
+        module=module, signal=signal, line=line, message=message,
+        trace=tuple(TraceStep(module=mod, signal=sig)
+                    for mod, sig in trail),
+    )
+
+
+@rule("W101", severity="error", category="testability",
+      title="output port has no driver (empty ud chain)")
+def check_undriven_output_ports(ctx: LintContext) -> Iterator[Diagnostic]:
+    """An output port with an empty use-def chain is never assigned inside
+    its module: parents read a floating value and, in the paper's terms,
+    there is no path from the chip interface to anything behind it."""
+    for name in sorted(ctx.modules):
+        module = ctx.modules[name]
+        chains = ctx.chaindb.chains(name)
+        for port in module.outputs():
+            if not chains.ud_chain(port.name):
+                diag = empty_chain_diagnostic(
+                    "no_driver", name, port.name, line=port.line)
+                yield diag
+
+
+@rule("W102", severity="warning", category="testability",
+      title="input port is never used (empty du chain)")
+def check_unused_input_ports(ctx: LintContext) -> Iterator[Diagnostic]:
+    """An input port with an empty def-use chain is dead at the module
+    boundary: whatever the parent justifies onto it cannot propagate, so
+    faults behind it are untestable through this path."""
+    for name in sorted(ctx.modules):
+        module = ctx.modules[name]
+        chains = ctx.chaindb.chains(name)
+        for port in module.inputs():
+            uses = chains.du_chain(port.name)
+            if not uses:
+                yield empty_chain_diagnostic(
+                    "no_propagation", name, port.name, line=port.line)
+
+
+@rule("W103", severity="info", category="testability",
+      title="instance input is driven only by hard-coded constants")
+def check_constant_cone_inputs(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Every justification path of the expression wired to this instance
+    input terminates in constant assignments (possibly selected by decode
+    logic): the port can only ever take the values in the decode table.
+    This is the paper's hard-coded-constraint flag, run over every instance
+    rather than one MUT."""
+    analyzer: Optional[ConstantConeAnalyzer] = None
+    for name in sorted(ctx.modules):
+        module = ctx.modules[name]
+        for inst in module.instances:
+            child = ctx.modules.get(inst.module_name)
+            if child is None:
+                continue
+            if analyzer is None:
+                analyzer = ConstantConeAnalyzer(
+                    ctx.design, ctx.chaindb, ctx.modules)
+            for hc in hard_coded_inputs(analyzer, name, child, inst):
+                sels = ", ".join(hc.selectors) if hc.selectors else "none"
+                yield Diagnostic(
+                    rule_id="W103", severity="info", category="testability",
+                    module=name,
+                    signal=f"{inst.inst_name}.{hc.port}",
+                    line=hc.line,
+                    message=(
+                        f"input {hc.port!r} of {child.name} is driven only "
+                        f"from hard-coded values (selectors: [{sels}])"),
+                    trace=tuple(
+                        TraceStep(module=mod, signal=sig, line=line,
+                                  note="constant source")
+                        for mod, sig, line in hc.constant_sites[:8]),
+                )

@@ -1,0 +1,120 @@
+"""Netlist-level lint rules: problems visible only after elaboration.
+
+These run on the *unoptimized* flat netlist (see
+:meth:`repro.lint.core.LintContext.netlist`): optimization would hide
+floating nets and refuse to topologically sort the loops W201 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+from repro.lint.core import Diagnostic, LintContext, TraceStep, rule
+from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
+
+
+@rule("W200", severity="error", category="synth",
+      title="design fails to elaborate")
+def check_elaborates(ctx: LintContext) -> Iterator[Diagnostic]:
+    """The design cannot be turned into a gate netlist at all (inferred
+    latches, unsupported constructs, bad widths); every downstream FACTOR
+    phase — synthesis, transformation, ATPG — would fail the same way."""
+    if ctx.netlist() is None and ctx.netlist_error is not None:
+        yield Diagnostic(
+            rule_id="W200", severity="error", category="synth",
+            module=ctx.design.top,
+            message=f"elaboration failed: {ctx.netlist_error}",
+        )
+
+
+def _combinational_cycle(netlist: Netlist) -> List[int]:
+    """One combinational cycle as a list of net ids, or [] if none."""
+    sources: Set[int] = set(netlist.pis) | {CONST0, CONST1}
+    for gate in netlist.gates:
+        if gate.type is GateType.DFF:
+            sources.add(gate.output)
+
+    state: Dict[int, int] = {}  # 0 visiting, 1 done
+
+    def visit(start: int) -> List[int]:
+        # Iterative DFS: unoptimized netlists are deep enough to blow the
+        # interpreter recursion limit.
+        stack: List[List[int]] = [[start, 0]]
+        path: List[int] = []
+        while stack:
+            net, child_idx = stack[-1]
+            gate = netlist.driver(net)
+            if child_idx == 0:
+                if net in sources or state.get(net) == 1 or gate is None:
+                    stack.pop()
+                    continue
+                if state.get(net) == 0:
+                    idx = path.index(net)
+                    return path[idx:] + [net]
+                state[net] = 0
+                path.append(net)
+            if gate is not None and child_idx < len(gate.inputs):
+                stack[-1][1] += 1
+                stack.append([gate.inputs[child_idx], 0])
+            else:
+                state[net] = 1
+                path.pop()
+                stack.pop()
+        return []
+
+    for gate in netlist.gates:
+        if gate.type is not GateType.DFF:
+            cycle = visit(gate.output)
+            if cycle:
+                return cycle
+    return []
+
+
+@rule("W201", severity="error", category="synth",
+      title="combinational loop")
+def check_combinational_loops(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A cycle through combinational gates (no flip-flop on the path)
+    oscillates or deadlocks in real hardware and makes the netlist
+    impossible to topologically sort for simulation and ATPG."""
+    netlist = ctx.netlist()
+    if netlist is None:
+        return
+    cycle = _combinational_cycle(netlist)
+    if not cycle:
+        return
+    names = [netlist.net_name(net) for net in cycle]
+    yield Diagnostic(
+        rule_id="W201", severity="error", category="synth",
+        module=ctx.design.top, signal=names[0],
+        message="combinational loop: " + " -> ".join(names),
+        trace=tuple(TraceStep(module=ctx.design.top,
+                              signal=netlist.net_name(net))
+                    for net in cycle),
+    )
+
+
+@rule("W202", severity="warning", category="synth",
+      title="floating gate input")
+def check_floating_gate_inputs(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A gate reads a net that no gate drives and that is not a primary
+    input or constant: after elaboration the value is undefined, so the
+    cone above it computes garbage."""
+    netlist = ctx.netlist()
+    if netlist is None:
+        return
+    pi_set = set(netlist.pis)
+    seen: Set[int] = set()
+    for gate in netlist.gates:
+        for inp in gate.inputs:
+            if inp in (CONST0, CONST1) or inp in pi_set or inp in seen:
+                continue
+            if netlist.driver(inp) is None:
+                seen.add(inp)
+                yield Diagnostic(
+                    rule_id="W202", severity="warning", category="synth",
+                    module=ctx.design.top,
+                    signal=netlist.net_name(inp),
+                    message=(
+                        f"net {netlist.net_name(inp)!r} is read by a "
+                        f"{gate.type.value} gate but has no driver"),
+                )

@@ -1,0 +1,168 @@
+"""Best-effort bit-width inference for lint.
+
+Verilog width semantics are context-dependent; the width rules only need a
+conservative answer, so everything here returns ``None`` ("unknown — do not
+flag") whenever a width depends on something we cannot evaluate (unsized
+literals, non-constant ranges, unknown identifiers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.verilog import ast
+
+# Operators whose result is a single bit regardless of operand widths.
+_BOOL_BINOPS = {"&&", "||", "==", "!=", "===", "!==", "<", "<=", ">", ">="}
+_REDUCTION_OPS = {"&", "|", "^", "~&", "~|", "~^", "!"}
+_SHIFT_OPS = {"<<", ">>", "<<<", ">>>"}
+
+
+def const_eval(expr: ast.Expr, env: Mapping[str, int]) -> Optional[int]:
+    """Evaluate a constant expression, or None if it is not constant."""
+    if isinstance(expr, ast.Number):
+        return expr.value
+    if isinstance(expr, ast.Ident):
+        return env.get(expr.name)
+    if isinstance(expr, ast.Unary):
+        value = const_eval(expr.operand, env)
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -value
+        if expr.op == "+":
+            return value
+        if expr.op == "!":
+            return int(value == 0)
+        if expr.op == "~":
+            return ~value
+        return None  # reduction ops need a width; stay conservative
+    if isinstance(expr, ast.Binary):
+        left = const_eval(expr.left, env)
+        right = const_eval(expr.right, env)
+        if left is None or right is None:
+            return None
+        try:
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                return left // right if right else None
+            if expr.op == "%":
+                return left % right if right else None
+            if expr.op == "**":
+                return left ** right if right >= 0 else None
+            if expr.op == "<<":
+                return left << right if right >= 0 else None
+            if expr.op == ">>":
+                return left >> right if right >= 0 else None
+            if expr.op == "&":
+                return left & right
+            if expr.op == "|":
+                return left | right
+            if expr.op == "^":
+                return left ^ right
+            if expr.op in _BOOL_BINOPS:
+                return int({
+                    "&&": bool(left) and bool(right),
+                    "||": bool(left) or bool(right),
+                    "==": left == right,
+                    "===": left == right,
+                    "!=": left != right,
+                    "!==": left != right,
+                    "<": left < right,
+                    "<=": left <= right,
+                    ">": left > right,
+                    ">=": left >= right,
+                }[expr.op])
+        except (OverflowError, ValueError):
+            return None
+        return None
+    if isinstance(expr, ast.Ternary):
+        cond = const_eval(expr.cond, env)
+        if cond is None:
+            return None
+        branch = expr.if_true if cond else expr.if_false
+        return const_eval(branch, env)
+    return None
+
+
+def range_width(rng: Optional[ast.Range],
+                env: Mapping[str, int]) -> Optional[int]:
+    """Width of a ``[msb:lsb]`` declaration range (None when unknown)."""
+    if rng is None:
+        return 1
+    msb = const_eval(rng.msb, env)
+    lsb = const_eval(rng.lsb, env)
+    if msb is None or lsb is None:
+        return None
+    return abs(msb - lsb) + 1
+
+
+def declared_widths(module: ast.Module,
+                    env: Mapping[str, int]) -> Dict[str, Optional[int]]:
+    """Declared width of every port and net in ``module``."""
+    widths: Dict[str, Optional[int]] = {}
+    for port in module.ports:
+        widths[port.name] = range_width(port.range, env)
+    for net in module.nets:
+        if net.kind == "integer":
+            widths[net.name] = 32
+        else:
+            widths[net.name] = range_width(net.range, env)
+    for param in module.params:
+        widths[param.name] = None  # parameters are contextually sized
+    return widths
+
+
+def expr_width(expr: ast.Expr, widths: Mapping[str, Optional[int]],
+               env: Mapping[str, int]) -> Optional[int]:
+    """Self-determined width of an expression, or None when unknown."""
+    if isinstance(expr, ast.Number):
+        return expr.width  # None for unsized literals
+    if isinstance(expr, ast.Ident):
+        return widths.get(expr.name)
+    if isinstance(expr, ast.BitSelect):
+        return 1
+    if isinstance(expr, ast.PartSelect):
+        return range_width(ast.Range(msb=expr.msb, lsb=expr.lsb), env)
+    if isinstance(expr, ast.Concat):
+        total = 0
+        for part in expr.parts:
+            width = expr_width(part, widths, env)
+            if width is None:
+                return None
+            total += width
+        return total
+    if isinstance(expr, ast.Repeat):
+        count = const_eval(expr.count, env)
+        width = expr_width(expr.value, widths, env)
+        if count is None or width is None:
+            return None
+        return count * width
+    if isinstance(expr, ast.Unary):
+        if expr.op in _REDUCTION_OPS:
+            return 1
+        return expr_width(expr.operand, widths, env)
+    if isinstance(expr, ast.Binary):
+        if expr.op in _BOOL_BINOPS:
+            return 1
+        if expr.op in _SHIFT_OPS or expr.op == "**":
+            return expr_width(expr.left, widths, env)
+        left = expr_width(expr.left, widths, env)
+        right = expr_width(expr.right, widths, env)
+        if left is None or right is None:
+            return None
+        return max(left, right)
+    if isinstance(expr, ast.Ternary):
+        if_true = expr_width(expr.if_true, widths, env)
+        if_false = expr_width(expr.if_false, widths, env)
+        if if_true is None or if_false is None:
+            return None
+        return max(if_true, if_false)
+    if isinstance(expr, ast.CaseLabelWild):
+        return expr.width
+    return None

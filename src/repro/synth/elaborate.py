@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.verilog import ast
-from repro.synth.netlist import CONST0, CONST1, Gate, GateType, Netlist
+from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
 
 _MAX_LOOP_ITERATIONS = 65536
 _DEFAULT_INT_WIDTH = 32

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.synth.netlist import CONST0, CONST1, Gate, GateType, Netlist
+from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
 
 
 @dataclass

@@ -8,7 +8,7 @@ elimination deletes everything outside the cone of influence of the outputs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.synth.netlist import (
     CONST0,

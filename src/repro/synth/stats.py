@@ -8,9 +8,9 @@ exist to reduce).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
-from repro.synth.netlist import GateType, Netlist
+from repro.synth.netlist import Netlist
 
 
 @dataclass(frozen=True)

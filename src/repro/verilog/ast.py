@@ -13,7 +13,7 @@ material for the def-use / use-def chains built in :mod:`repro.hierarchy`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 
 # ---------------------------------------------------------------------------

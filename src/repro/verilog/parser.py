@@ -146,10 +146,12 @@ class Parser:
         self._expect("(")
         self._expect("parameter")
         while True:
-            name = self._expect_ident().value
+            name_tok = self._expect_ident()
             self._expect("=")
             value = self._parse_expr()
-            module.params.append(ast.ParamDecl(name=name, value=value))
+            module.params.append(ast.ParamDecl(name=name_tok.value,
+                                               value=value,
+                                               line=name_tok.line))
             if not self._accept(","):
                 break
             self._accept("parameter")
@@ -294,10 +296,12 @@ class Parser:
         local = self._advance().value == "localparam"
         self._parse_optional_range()
         while True:
-            name = self._expect_ident().value
+            name_tok = self._expect_ident()
             self._expect("=")
             value = self._parse_expr()
-            module.params.append(ast.ParamDecl(name=name, value=value, local=local))
+            module.params.append(ast.ParamDecl(name=name_tok.value,
+                                               value=value, local=local,
+                                               line=name_tok.line))
             if not self._accept(","):
                 break
         self._expect(";")

@@ -1,9 +1,7 @@
 """Unit tests for def-use / use-def chains and enclosure tracking."""
 
-import pytest
 
 from repro.hierarchy import ChainDB, Design
-from repro.verilog import ast
 from repro.verilog.parser import parse_source
 
 

@@ -83,6 +83,146 @@ class TestStatsAndPiers:
         assert "PIER" in out
 
 
+CLEAN = """
+module clean(input clk, input d, output reg q);
+  always @(posedge clk)
+    q <= d;
+endmodule
+"""
+
+WARN_ONLY = """
+module warny(input clk, input d, output reg q);
+  wire dead;
+  assign dead = d;
+  always @(posedge clk)
+    q <= d;
+endmodule
+"""
+
+ERRORS = """
+module buggy(input a, output y, output z);
+  assign y = a;
+endmodule
+"""
+
+
+@pytest.fixture()
+def lint_file(tmp_path):
+    def write(source, name="design.v"):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+    return write
+
+
+class TestLint:
+    def test_clean_design_exits_zero(self, lint_file, capsys):
+        rc = main(["lint", lint_file(CLEAN)])
+        assert rc == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_warnings_exit_zero_by_default(self, lint_file, capsys):
+        rc = main(["lint", lint_file(WARN_ONLY)])
+        assert rc == 0
+
+    def test_strict_turns_warnings_into_exit_one(self, lint_file, capsys):
+        rc = main(["lint", lint_file(WARN_ONLY), "--strict"])
+        assert rc == 1
+
+    def test_errors_exit_two(self, lint_file, capsys):
+        rc = main(["lint", lint_file(ERRORS)])
+        assert rc == 2
+        assert "W101" in capsys.readouterr().out
+
+    def test_interrupt_exits_130(self, lint_file, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "lint", boom)
+        rc = main(["lint", lint_file(CLEAN)])
+        assert rc == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_no_files_errors(self, capsys):
+        rc = main(["lint"])
+        assert rc == 1
+        assert "no Verilog source" in capsys.readouterr().err
+
+    def test_unknown_rule_errors(self, lint_file, capsys):
+        rc = main(["lint", lint_file(CLEAN), "--disable", "W999"])
+        assert rc == 1
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_parse_error_exits_one(self, lint_file, capsys):
+        rc = main(["lint", lint_file("module broken(input a;")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "W001" in out and "W202" in out
+
+    def test_disable_suppresses_rule(self, lint_file, capsys):
+        rc = main(["lint", lint_file(WARN_ONLY), "--strict",
+                   "--disable", "W003"])
+        assert rc == 0
+
+    def test_severity_override_escalates(self, lint_file, capsys):
+        rc = main(["lint", lint_file(WARN_ONLY),
+                   "--severity", "W003=error"])
+        assert rc == 2
+
+    def test_waive_suppresses_finding(self, lint_file, capsys):
+        rc = main(["lint", lint_file(WARN_ONLY), "--strict",
+                   "--waive", "W003:warny:dead"])
+        assert rc == 0
+        assert "1 waived" in capsys.readouterr().out
+
+    def test_out_writes_sarif_file(self, lint_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "report.sarif"
+        rc = main(["lint", lint_file(ERRORS), "--format", "sarif",
+                   "--out", str(out_path)])
+        assert rc == 2
+        log = json.loads(out_path.read_text())
+        assert log["version"] == "2.1.0"
+        assert "wrote sarif report" in capsys.readouterr().out
+
+
+class TestLintGate:
+    def test_analyze_gate_off_by_default(self, tmp_path, capsys):
+        # An error-level lint finding in an unused module does not stop
+        # analyze unless --lint is given.
+        source = arm2_source() + ERRORS
+        path = tmp_path / "gated.v"
+        path.write_text(source)
+        rc = main(["analyze", str(path), "--top", "arm",
+                   "--mut", "forward"])
+        assert rc == 0
+
+    def test_analyze_gate_aborts_on_errors(self, tmp_path, capsys):
+        source = arm2_source() + ERRORS
+        path = tmp_path / "gated.v"
+        path.write_text(source)
+        rc = main(["analyze", str(path), "--top", "arm",
+                   "--mut", "forward", "--lint"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "lint gate failed" in err
+        assert "W101" in err
+
+    def test_atpg_gate_passes_clean_design(self, design_file, capsys):
+        rc = main(["atpg", design_file, "--top", "arm", "--mut", "forward",
+                   "--frames", "3", "--lint"])
+        assert rc == 0
+        assert "ATPG report" in capsys.readouterr().out
+
+
 class TestPreprocessorFlags:
     def test_define_and_include(self, tmp_path, capsys):
         inc = tmp_path / "inc"

@@ -4,7 +4,7 @@ import pytest
 
 from repro.atpg.compaction import compact
 from repro.atpg.engine import AtpgEngine, AtpgOptions
-from repro.atpg.vectors import Test, TestSet
+from repro.atpg.vectors import TestSet
 from repro.designs import adder_source, counter_source, fsm_source
 from repro.hierarchy import Design
 from repro.synth import synthesize

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro import ExtractionMode, Factor, MutSpec
+from repro import Factor, MutSpec
 from repro.core.composer import ConstraintComposer, ReuseStats
-from repro.core.extractor import ExtractionResult
 from repro.designs import arm2_source, mux_tree_source
 from repro.hierarchy import Design
 from repro.verilog.parser import parse_source

@@ -7,9 +7,7 @@ integer arithmetic, including hypothesis property tests over operand values.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.hierarchy import Design
-from repro.synth import SynthesisError, synthesize
-from repro.verilog.parser import parse_source
+from repro.synth import SynthesisError
 
 from .conftest import CircuitHarness
 

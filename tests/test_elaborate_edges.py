@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.hierarchy import Design
-from repro.synth import SynthesisError, synthesize
-from repro.verilog.parser import parse_source
+from repro.synth import SynthesisError
 
 from .conftest import CircuitHarness
 

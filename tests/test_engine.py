@@ -1,6 +1,5 @@
 """ATPG engine tests: the full random + deterministic flow and reporting."""
 
-import pytest
 
 from repro.atpg.engine import AtpgEngine, AtpgOptions, SequentialAtpg
 from repro.atpg.faults import build_fault_list

@@ -8,7 +8,6 @@ M + S' valid for the chip.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.atpg.simulator import LogicSimulator

@@ -1,6 +1,5 @@
 """Extractor tests on small hand-analyzable hierarchical designs."""
 
-import pytest
 
 from repro.core.extractor import (
     ExtractionMode,

@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro import ExtractionMode, Factor, MutSpec
+from repro import ExtractionMode, Factor
 from repro.atpg.engine import AtpgOptions
 from repro.designs import arm2_source, mux_tree_source
 from repro.verilog.parser import parse_source

@@ -1,13 +1,7 @@
 """Tests for the stuck-at fault model and equivalence collapsing."""
 
-import pytest
 
-from repro.atpg.faults import (
-    Fault,
-    all_fault_sites,
-    build_fault_list,
-    fault_universe_size,
-)
+from repro.atpg.faults import Fault, build_fault_list, fault_universe_size
 from repro.designs import arm2_design
 from repro.hierarchy import Design
 from repro.synth import synthesize

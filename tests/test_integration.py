@@ -86,7 +86,6 @@ class TestFullFlowOnTinyDesign:
 
         # Replay every recorded test through the fault simulator and check
         # the bookkeeping: the union of detections matches the report.
-        engine_tests = []  # re-run to capture tests
         from repro.atpg.engine import AtpgEngine
 
         opts = AtpgOptions(max_frames=6, backtrack_limit=2000,

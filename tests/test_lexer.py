@@ -5,7 +5,6 @@ import pytest
 from repro.verilog.lexer import (
     Lexer,
     LexError,
-    Token,
     TokenKind,
     parse_number_literal,
 )

@@ -1,0 +1,167 @@
+"""Rule-engine tests: registry, config, waivers, severity overrides."""
+
+import pytest
+
+from repro.hierarchy.design import Design
+from repro.lint import (
+    Diagnostic,
+    LintConfig,
+    LintError,
+    Rule,
+    RuleRegistry,
+    Waiver,
+    default_registry,
+    rule,
+    run_lint,
+)
+from repro.obs import get_registry
+from repro.verilog.parser import parse_source
+
+SMALL = """
+module tiny(input a, output y);
+  wire dead;
+  assign y = a;
+endmodule
+"""
+
+
+def tiny_design():
+    return Design(parse_source(SMALL), top="tiny")
+
+
+def make_rule(rule_id="T001", severity="warning", hits=1):
+    def check(ctx):
+        for i in range(hits):
+            yield Diagnostic(rule_id=rule_id, severity=severity,
+                             category="test", message=f"hit {i}",
+                             module="tiny", signal="dead", line=3)
+    return Rule(rule_id=rule_id, severity=severity, category="test",
+                title="test rule", check=check)
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        reg = RuleRegistry()
+        reg.register(make_rule())
+        assert "T001" in reg
+        assert reg.get("T001").title == "test rule"
+        assert reg.ids() == ["T001"]
+
+    def test_duplicate_id_rejected(self):
+        reg = RuleRegistry()
+        reg.register(make_rule())
+        with pytest.raises(LintError, match="duplicate"):
+            reg.register(make_rule())
+
+    def test_bad_severity_rejected(self):
+        reg = RuleRegistry()
+        with pytest.raises(LintError, match="severity"):
+            reg.register(make_rule(severity="fatal"))
+
+    def test_unknown_rule_lookup(self):
+        with pytest.raises(LintError, match="no lint rule"):
+            RuleRegistry().get("W999")
+
+    def test_decorator_registers_and_keeps_docstring(self):
+        reg = RuleRegistry()
+
+        @rule("T010", "info", "test", "decorated", registry=reg)
+        def check(ctx):
+            """Rule description from docstring."""
+            return []
+
+        assert reg.get("T010").description == "Rule description from docstring."
+
+    def test_default_registry_has_all_shipped_rules(self):
+        ids = set(default_registry().ids())
+        expected = {"W001", "W002", "W003", "W004", "W005", "W006", "W007",
+                    "W008", "W009", "W101", "W102", "W103", "W200", "W201",
+                    "W202"}
+        assert expected <= ids
+
+
+class TestConfig:
+    def _registry(self):
+        reg = RuleRegistry()
+        reg.register(make_rule("T001", "warning"))
+        reg.register(make_rule("T002", "error"))
+        return reg
+
+    def test_disable(self):
+        res = run_lint(tiny_design(), LintConfig(disabled={"T001"}),
+                       registry=self._registry())
+        assert res.by_rule() == {"T002": 1}
+        assert res.rules_run == 1
+
+    def test_enable_runs_only_listed(self):
+        res = run_lint(tiny_design(), LintConfig(enabled={"T001"}),
+                       registry=self._registry())
+        assert res.by_rule() == {"T001": 1}
+
+    def test_severity_override(self):
+        res = run_lint(
+            tiny_design(),
+            LintConfig(severity_overrides={"T001": "error"}),
+            registry=self._registry(),
+        )
+        assert {d.rule_id for d in res.errors} == {"T001", "T002"}
+
+    def test_bad_override_level_rejected(self):
+        with pytest.raises(LintError, match="bad severity"):
+            LintConfig(severity_overrides={"T001": "fatal"})
+
+    def test_unknown_rule_in_config_rejected(self):
+        for cfg in (LintConfig(disabled={"W999"}),
+                    LintConfig(enabled={"W999"}),
+                    LintConfig(severity_overrides={"W999": "error"})):
+            with pytest.raises(LintError, match="unknown lint rule"):
+                run_lint(tiny_design(), cfg, registry=self._registry())
+
+    def test_waiver_moves_finding_aside(self):
+        cfg = LintConfig(waivers=[
+            Waiver("T001", module="tiny", signal="dead", reason="known"),
+        ])
+        res = run_lint(tiny_design(), cfg, registry=self._registry())
+        assert res.by_rule() == {"T002": 1}
+        assert len(res.waived) == 1
+        diag, waiver = res.waived[0]
+        assert diag.rule_id == "T001"
+        assert waiver.reason == "known"
+        assert res.counts()["waived"] == 1
+
+    def test_waiver_respects_module_and_signal(self):
+        cfg = LintConfig(waivers=[Waiver("T001", module="other")])
+        res = run_lint(tiny_design(), cfg, registry=self._registry())
+        assert "T001" in res.by_rule()
+
+
+class TestResult:
+    def test_sorting_and_summary(self):
+        reg = RuleRegistry()
+        reg.register(make_rule("T001", "warning", hits=2))
+        res = run_lint(tiny_design(), registry=reg)
+        assert res.summary().startswith("2 findings")
+        lines = [d.line for d in res.diagnostics]
+        assert lines == sorted(lines)
+
+    def test_file_attached_from_mapping(self):
+        reg = RuleRegistry()
+        reg.register(make_rule())
+        res = run_lint(tiny_design(), registry=reg,
+                       files={"tiny": "tiny.v"})
+        assert res.diagnostics[0].file == "tiny.v"
+        assert res.diagnostics[0].render().startswith("tiny.v:tiny:3:")
+
+
+class TestMetrics:
+    def test_counters_recorded(self):
+        metrics = get_registry()
+        metrics.reset()
+        reg = RuleRegistry()
+        reg.register(make_rule("T001", "warning", hits=3))
+        run_lint(tiny_design(), registry=reg)
+        snap = metrics.snapshot()
+        assert snap["lint.runs"]["value"] == 1
+        assert snap["lint.findings"]["value"] == 3
+        assert snap["lint.warnings"]["value"] == 3
+        assert snap["lint.rule.T001"]["value"] == 3

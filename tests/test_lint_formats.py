@@ -1,0 +1,178 @@
+"""Output format tests: text, JSON and SARIF 2.1.0 shape."""
+
+import json
+
+import jsonschema
+
+from repro.hierarchy.design import Design
+from repro.lint import (
+    default_registry,
+    render_json,
+    render_sarif,
+    render_text,
+    run_lint,
+)
+from repro.lint.formats import sarif_dict
+from repro.verilog.parser import parse_source
+
+BUGGY = """
+module m(input a, input spare, output y, output z);
+  wire ghost;
+  assign y = a & ghost;
+endmodule
+"""
+
+# The subset of the SARIF 2.1.0 schema that GitHub code scanning requires;
+# the full schema is not vendored, so the shape contract is pinned here.
+SARIF_SHAPE = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string", "pattern": "sarif-schema-2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": [
+                                                "id", "shortDescription",
+                                                "defaultConfiguration",
+                                            ],
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "level", "message",
+                                         "locations"],
+                            "properties": {
+                                "level": {
+                                    "enum": ["none", "note", "warning",
+                                             "error"],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def result_for(src=BUGGY, **kw):
+    design = Design(parse_source(src))
+    return run_lint(design, files={"m": "m.v"}, **kw)
+
+
+class TestText:
+    def test_one_line_per_finding_plus_summary(self):
+        res = result_for()
+        lines = render_text(res).splitlines()
+        assert len(lines) == len(res.diagnostics) + 1
+        assert lines[-1] == res.summary()
+        assert any(line.startswith("m.v:m:") for line in lines)
+
+
+class TestJson:
+    def test_round_trips_and_counts(self):
+        res = result_for()
+        payload = json.loads(render_json(res))
+        assert payload["tool"] == "repro-lint"
+        assert len(payload["findings"]) == len(res.diagnostics)
+        assert payload["counts"] == res.counts()
+        assert payload["by_rule"] == res.by_rule()
+        first = payload["findings"][0]
+        assert {"rule", "severity", "message", "module", "line",
+                "file"} <= set(first)
+
+
+class TestSarif:
+    def test_shape_against_2_1_0_schema(self):
+        log = sarif_dict(result_for())
+        jsonschema.validate(log, SARIF_SHAPE)
+
+    def test_all_registry_rules_listed(self):
+        log = sarif_dict(result_for())
+        listed = {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert set(default_registry().ids()) <= listed
+
+    def test_results_reference_listed_rules(self):
+        log = sarif_dict(result_for())
+        run = log["runs"][0]
+        listed = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert run["results"]
+        for result in run["results"]:
+            assert result["ruleId"] in listed
+
+    def test_level_mapping_and_locations(self):
+        log = sarif_dict(result_for())
+        by_rule = {r["ruleId"]: r for r in log["runs"][0]["results"]}
+        assert by_rule["W101"]["level"] == "error"
+        assert by_rule["W102"]["level"] == "warning"
+        loc = by_rule["W102"]["locations"][0]
+        physical = loc["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "m.v"
+        assert physical["region"]["startLine"] > 0
+        assert loc["logicalLocations"][0]["name"] == "m.spare"
+
+    def test_info_maps_to_note(self):
+        src = """
+module m(input clk, input d, output reg q);
+  always @(posedge clk) begin
+    if (1'b0)
+      q <= d;
+    else
+      q <= ~d;
+  end
+endmodule
+"""
+        log = sarif_dict(result_for(src))
+        levels = {r["ruleId"]: r["level"]
+                  for r in log["runs"][0]["results"]}
+        assert levels.get("W009") == "note"
+
+    def test_trace_becomes_related_locations(self):
+        log = sarif_dict(result_for())
+        by_rule = {r["ruleId"]: r for r in log["runs"][0]["results"]}
+        related = by_rule["W002"].get("relatedLocations")
+        assert related
+        assert all("physicalLocation" in entry for entry in related)
+
+    def test_render_is_valid_json(self):
+        text = render_sarif(result_for())
+        assert json.loads(text)["version"] == "2.1.0"

@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.synth.netlist import (
-    CONST0,
-    CONST1,
-    Gate,
-    GateType,
-    Netlist,
-    NetlistError,
-)
+from repro.synth.netlist import CONST0, CONST1, GateType, Netlist, NetlistError
 
 
 def build_simple():

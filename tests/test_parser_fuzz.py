@@ -7,7 +7,6 @@ fixpoint, and the synthesized circuits must be behaviourally identical.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hierarchy import Design

@@ -50,15 +50,8 @@ class TestBlockedPaths:
         assert not info.loadable
 
     def test_unstorable_register(self):
-        src = """
-        module top(input clk, input [3:0] din, output y);
-          reg [3:0] shadow;
-          always @(posedge clk) shadow <= din;
-          assign y = 1'b0 & shadow[0];
-        endmodule
-        """
-        # shadow only reaches the PO through a constant-0 AND; still a du
-        # path structurally, so use a truly dead register instead:
+        # A register reaching the PO only through a constant-0 AND would
+        # still have a structural du path, so use a truly dead register:
         src_dead = """
         module top(input clk, input [3:0] din, output y);
           reg [3:0] shadow;

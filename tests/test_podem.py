@@ -6,9 +6,7 @@ when it reports "untestable" after an exhaustive search, no random sequence
 may detect it.
 """
 
-import random
 
-import pytest
 
 from repro.atpg.fault_sim import FaultSimulator
 from repro.atpg.faults import Fault, build_fault_list
@@ -17,7 +15,7 @@ from repro.atpg.sequential import UnrolledModel
 from repro.designs import adder_source, counter_source, fsm_source
 from repro.hierarchy import Design
 from repro.synth import synthesize
-from repro.synth.netlist import CONST0, GateType, Netlist
+from repro.synth.netlist import GateType, Netlist
 from repro.verilog.parser import parse_source
 
 

@@ -1,6 +1,5 @@
 """SCOAP testability measure tests against hand-computed values."""
 
-import pytest
 
 from repro.atpg.scoap import scoap_measures
 from repro.designs import counter_source

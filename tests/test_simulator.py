@@ -54,7 +54,8 @@ class TestEvalGate:
     @settings(max_examples=50, deadline=None)
     @given(st.integers(0, 1), st.integers(0, 1))
     def test_binary_lanes_match_python(self, a, b):
-        enc = lambda v: (1, 0) if v else (0, 1)
+        def enc(v):
+            return (1, 0) if v else (0, 1)
         assert eval_gate(GateType.AND, [enc(a), enc(b)], 1) == enc(a & b)
         assert eval_gate(GateType.OR, [enc(a), enc(b)], 1) == enc(a | b)
         assert eval_gate(GateType.XOR, [enc(a), enc(b)], 1) == enc(a ^ b)

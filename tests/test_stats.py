@@ -1,6 +1,5 @@
 """Netlist statistics tests (logic levels, sequential depth, fault counts)."""
 
-import pytest
 
 from repro.designs import adder_source, arm2_design, counter_source
 from repro.hierarchy import Design

@@ -13,7 +13,6 @@ import pytest
 from repro.atpg.simulator import LogicSimulator
 from repro.core.composer import ConstraintComposer
 from repro.core.extractor import ExtractionMode, MutSpec
-from repro.core.transform import build_transformed_module
 from repro.designs import arm2_source, ARM2_MUTS
 from repro.hierarchy import Design
 from repro.synth import synthesize

@@ -1,6 +1,5 @@
 """Transition-fault model tests."""
 
-import pytest
 
 from repro.atpg.transition import (
     TransitionFault,

@@ -1,6 +1,5 @@
 """Property tests for the five-valued D-algebra."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.atpg import values as V

@@ -125,9 +125,6 @@ class TestWriteExpr:
         assert write_expr(ast.CaseLabelWild(bits="1?0")) == "3'b1?0"
 
     def test_minimal_parens(self):
-        from repro.verilog.parser import Parser
-
-        expr = Parser("a + b * c").parse_source = None  # not used
         mod = parse_source(
             "module m(input a, input b, input c, output y);"
             "assign y = a + b * c; endmodule"
