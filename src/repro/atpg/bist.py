@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.atpg.fault_sim import FaultSimulator
+from repro.atpg.fault_sim import DEFAULT_LANES, FaultSimulator
 from repro.atpg.faults import Fault, build_fault_list
 from repro.atpg.simulator import LogicSimulator
 from repro.synth.netlist import Netlist
@@ -122,11 +122,15 @@ class BistRun:
     """
 
     def __init__(self, netlist: Netlist, seed: int = 0x5EED,
-                 reset_input: Optional[str] = None):
+                 reset_input: Optional[str] = None,
+                 lanes: int = DEFAULT_LANES,
+                 backend: Optional[str] = None):
         self.netlist = netlist
         width = max(2, len(netlist.pis))
         self.lfsr = Lfsr(width, seed=seed)
         self.reset_input = reset_input
+        self.lanes = lanes
+        self.backend = backend
 
     def generate_vectors(self, patterns: int) -> List[Dict[int, int]]:
         vectors: List[Dict[int, int]] = []
@@ -150,7 +154,7 @@ class BistRun:
         vectors = self.generate_vectors(patterns)
 
         # Fault-free signature over all POs.
-        sim = LogicSimulator(self.netlist)
+        sim = LogicSimulator(self.netlist, backend=self.backend)
         misr = Misr(max(2, len(self.netlist.pos)))
         for vec in vectors:
             values = sim.step({
@@ -164,7 +168,8 @@ class BistRun:
             misr.absorb(word)
 
         faults = build_fault_list(self.netlist, region=region)
-        fsim = FaultSimulator(self.netlist)
+        fsim = FaultSimulator(self.netlist, lanes=self.lanes,
+                              backend=self.backend)
         detected = fsim.detected_faults(vectors, faults)
         resistant = sorted(set(faults) - detected)
         coverage = (100.0 * len(detected) / len(faults)) if faults else 100.0

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set
 
-from repro.atpg.fault_sim import FaultSimulator
+from repro.atpg.fault_sim import DEFAULT_LANES, FaultSimulator
 from repro.atpg.faults import Fault, build_fault_list
 from repro.atpg.vectors import Test, TestSet
 from repro.synth.netlist import Netlist
@@ -39,7 +39,9 @@ class CompactionResult:
 def compact(testset: TestSet, netlist: Netlist,
             region: Optional[str] = None,
             extra_observables: Optional[Sequence[int]] = None,
-            reverse: bool = True) -> CompactionResult:
+            reverse: bool = True,
+            lanes: Optional[int] = None,
+            backend: Optional[str] = None) -> CompactionResult:
     """Reverse-order static compaction of ``testset`` against ``netlist``.
 
     Tests are re-simulated (newest first by default — deterministic tests
@@ -51,7 +53,8 @@ def compact(testset: TestSet, netlist: Netlist,
     q_by_name = {netlist.net_name(d.output): d.output
                  for d in netlist.dffs()}
     faults = build_fault_list(netlist, region=region)
-    fsim = FaultSimulator(netlist)
+    fsim = FaultSimulator(netlist, lanes=lanes or DEFAULT_LANES,
+                          backend=backend)
 
     remaining: Set[Fault] = set(faults)
     kept: List[Test] = []

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.atpg.fault_sim import FaultSimulator
+from repro.atpg.fault_sim import DEFAULT_LANES, FaultSimulator
 from repro.atpg.faults import Fault, build_fault_list
 from repro.atpg.vectors import TestSet
 from repro.synth.netlist import Netlist
@@ -47,9 +47,13 @@ class Diagnoser:
     """Effect-cause diagnosis over a test set."""
 
     def __init__(self, netlist: Netlist, testset: TestSet,
-                 region: Optional[str] = None):
+                 region: Optional[str] = None,
+                 lanes: int = DEFAULT_LANES,
+                 backend: Optional[str] = None):
         self.netlist = netlist
         self.testset = testset
+        self.lanes = lanes
+        self.backend = backend
         self.faults = build_fault_list(netlist, region=region)
         self._syndromes: Optional[Dict[Fault, Tuple[bool, ...]]] = None
 
@@ -59,7 +63,8 @@ class Diagnoser:
         """Per-fault tuple: does test *i* fail under this fault?"""
         if self._syndromes is None:
             per_test: List[Set[Fault]] = []
-            fsim = FaultSimulator(self.netlist)
+            fsim = FaultSimulator(self.netlist, lanes=self.lanes,
+                                  backend=self.backend)
             pi_by_name = {self.netlist.net_name(pi): pi
                           for pi in self.netlist.pis}
             q_by_name = {self.netlist.net_name(d.output): d.output

@@ -15,7 +15,7 @@ from repro.obs import CpuTimer, Deadline, counter, gauge, histogram, span
 from repro.obs.record import RunRecord
 from repro.synth.netlist import Netlist
 from repro.atpg.faults import Fault, build_fault_list
-from repro.atpg.fault_sim import FaultSimulator
+from repro.atpg.fault_sim import DEFAULT_LANES, FaultSimulator
 from repro.atpg.podem import Podem, PodemResult
 from repro.atpg.sequential import UnrolledModel
 
@@ -41,7 +41,10 @@ class AtpgOptions:
     pier_qs: frozenset = frozenset()
     fault_region: Optional[str] = None
     fault_sample: Optional[int] = None
-    fault_sim_lanes: int = 512
+    fault_sim_lanes: int = DEFAULT_LANES
+    # None defers to the session default (compiled unless REPRO_SIM_BACKEND
+    # says otherwise); set "interpreted" to run against the reference oracle.
+    fault_sim_backend: Optional[str] = None
 
     def schedule(self) -> List[int]:
         if self.frame_schedule is not None:
@@ -163,6 +166,9 @@ class AtpgEngine:
         rng = random.Random(opts.seed)
         budget = Deadline(opts.total_time_limit)
 
+        # ``faults`` stays the one sorted list for the whole run; the hot
+        # loops below filter it by membership in ``remaining`` instead of
+        # re-sorting the shrinking set after every detection.
         faults = build_fault_list(self.netlist, region=opts.fault_region)
         if opts.fault_sample is not None and len(faults) > opts.fault_sample:
             faults = sorted(rng.sample(faults, opts.fault_sample))
@@ -173,7 +179,8 @@ class AtpgEngine:
         aborted: Set[Fault] = set()
         abort_reasons: Dict[str, int] = {}
 
-        fsim = FaultSimulator(self.netlist, lanes=opts.fault_sim_lanes)
+        fsim = FaultSimulator(self.netlist, lanes=opts.fault_sim_lanes,
+                              backend=opts.fault_sim_backend)
         fault_sim_timer = CpuTimer()
         observe = sorted(
             dff.inputs[0]
@@ -191,7 +198,9 @@ class AtpgEngine:
                     for _ in range(opts.random_sequence_length)
                 ]
                 with fault_sim_timer:
-                    found = fsim.detected_faults(vectors, sorted(remaining))
+                    found = fsim.detected_faults(
+                        vectors, [f for f in faults if f in remaining]
+                    )
                 if found:
                     self.tests.append((vectors, {}))
                 detected |= found
@@ -205,7 +214,7 @@ class AtpgEngine:
         unattempted = 0
         total_backtracks = 0
         with span("atpg.podem") as sp_podem:
-            for fault in sorted(faults):
+            for fault in faults:
                 if fault not in remaining:
                     continue
                 if budget.expired():
@@ -231,7 +240,7 @@ class AtpgEngine:
                         with fault_sim_timer:
                             extra = fsim.detected_faults(
                                 result.vectors,
-                                sorted(remaining),
+                                [f for f in faults if f in remaining],
                                 initial_state=result.initial_state or None,
                                 extra_observables=observe,
                             )

@@ -15,23 +15,45 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
+from repro.atpg.compiled import (compiled_detected_faults, get_compiled,
+                                 resolve_backend)
 from repro.atpg.faults import Fault
 
 Vector = Mapping[int, int]  # PI net -> 0 or 1 (missing = X)
 
+# Default lane width (one good machine + 511 faulty machines per block);
+# call sites that want a different width take a ``lanes`` parameter rather
+# than hard-coding their own number.
+DEFAULT_LANES = 512
+
 
 class FaultSimulator:
-    """Simulates vector sequences against a fault list, lane-parallel."""
+    """Simulates vector sequences against a fault list, lane-parallel.
 
-    def __init__(self, netlist: Netlist, lanes: int = 512):
+    ``backend="compiled"`` (default) runs the cone-partitioned simulation of
+    :mod:`repro.atpg.compiled`: one shared good-machine pass per cycle, each
+    fault block evaluating only the union of its faults' fanout cones, with
+    early exit once every lane has detected.  ``backend="interpreted"``
+    walks the full flat gate list per block — slower, kept as the reference
+    oracle.  Detected-fault sets are identical between the two.
+    """
+
+    def __init__(self, netlist: Netlist, lanes: int = DEFAULT_LANES,
+                 backend: Optional[str] = None):
         if lanes < 2:
             raise ValueError("need at least two lanes (good + one fault)")
         self.netlist = netlist
         self.lanes = lanes
-        self._order = netlist.topological_order()
+        self.backend = resolve_backend(backend)
         self._dffs = netlist.dffs()
-        # Pre-extract (type, output, inputs) for the hot loop.
-        self._flat = [(g.type, g.output, g.inputs) for g in self._order]
+        if self.backend == "compiled":
+            self._compiled = get_compiled(netlist)
+            self._flat = []
+        else:
+            self._compiled = None
+            # Pre-extract (type, output, inputs) for the hot loop.
+            self._flat = [(g.type, g.output, g.inputs)
+                          for g in netlist.topological_order()]
 
     def detected_faults(
         self,
@@ -50,14 +72,22 @@ class FaultSimulator:
         """
         from repro.obs import counter
 
-        detected: Set[Fault] = set()
-        block_size = self.lanes - 1
-        blocks = 0
-        for start in range(0, len(faults), block_size):
-            block = faults[start : start + block_size]
-            blocks += 1
-            detected |= self._simulate_block(vectors, block, initial_state,
-                                             extra_observables)
+        if self._compiled is not None:
+            detected, blocks = compiled_detected_faults(
+                self._compiled, vectors, faults, initial_state,
+                extra_observables, self.lanes,
+            )
+        else:
+            detected = set()
+            block_size = self.lanes - 1
+            blocks = 0
+            for start in range(0, len(faults), block_size):
+                block = faults[start : start + block_size]
+                blocks += 1
+                detected |= self._simulate_block(vectors, block,
+                                                 initial_state,
+                                                 extra_observables)
+        counter(f"fault_sim.backend.{self.backend}").inc()
         counter("fault_sim.calls").inc()
         counter("fault_sim.blocks").inc(blocks)
         counter("fault_sim.vectors").inc(len(vectors) * blocks)

@@ -65,23 +65,11 @@ class UnrolledModel:
             dff = self.dff_of_q[q]
             self.observable.append((frames - 1, dff.inputs[0]))
 
-        self._levels = self._compute_levels()
+        # Combinational level of each net within a frame (PIs/Qs at 0).
+        self._levels = netlist.levels(self.order)
         self._controllable = self._compute_controllable()
 
     # -- static analyses --------------------------------------------------------
-
-    def _compute_levels(self) -> Dict[int, int]:
-        """Combinational level of each net within a frame (PIs/Qs at 0)."""
-        level: Dict[int, int] = {CONST0: 0, CONST1: 0}
-        for pi in self.netlist.pis:
-            level[pi] = 0
-        for dff in self.dffs:
-            level[dff.output] = 0
-        for gate in self.order:
-            level[gate.output] = 1 + max(
-                (level.get(i, 0) for i in gate.inputs), default=0
-            )
-        return level
 
     def _compute_controllable(self) -> Set[int]:
         """Base nets whose value can (possibly) be influenced by assignable

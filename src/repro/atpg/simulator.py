@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
+from repro.atpg.compiled import NetValues, get_compiled, resolve_backend
 
 Mask = Tuple[int, int]  # (ones, zeros)
 
@@ -57,15 +58,25 @@ class LogicSimulator:
     State (DFF outputs) starts all-X, matching a real power-on; a reset
     sequence must be applied to initialise it, exactly the situation a
     sequential ATPG tool faces.
+
+    ``backend`` selects the evaluation strategy: ``"compiled"`` (default)
+    runs code generated per netlist by :mod:`repro.atpg.compiled`,
+    ``"interpreted"`` walks the gate list — both produce identical values.
     """
 
-    def __init__(self, netlist: Netlist, width: int = 1):
+    def __init__(self, netlist: Netlist, width: int = 1,
+                 backend: Optional[str] = None):
         self.netlist = netlist
         self.width = width
         self.full = (1 << width) - 1
-        self._order = netlist.topological_order()
+        self.backend = resolve_backend(backend)
         self._dffs = netlist.dffs()
-        self._driven = {g.output for g in netlist.gates}
+        if self.backend == "compiled":
+            self._compiled = get_compiled(netlist)
+            self._order = self._compiled.order
+        else:
+            self._compiled = None
+            self._order = netlist.topological_order()
         self.reset_state()
 
     def reset_state(self) -> None:
@@ -73,18 +84,20 @@ class LogicSimulator:
         self.state: Dict[int, Mask] = {
             dff.output: (0, 0) for dff in self._dffs
         }
-        self.values: Dict[int, Mask] = {}
+        self.values: Mapping[int, Mask] = {}
 
     def load_state(self, state: Mapping[int, Mask]) -> None:
         self.state = dict(state)
 
-    def step(self, pi_values: Mapping[int, Mask]) -> Dict[int, Mask]:
+    def step(self, pi_values: Mapping[int, Mask]) -> Mapping[int, Mask]:
         """Simulate one clock cycle.
 
         ``pi_values`` maps PI net -> (ones, zeros) masks.  Unlisted PIs are X.
         Returns the full net-value map for the cycle (also kept in
         ``self.values``); flip-flop state advances to the new D values.
         """
+        if self._compiled is not None:
+            return self._step_compiled(pi_values)
         full = self.full
         values: Dict[int, Mask] = {CONST0: (0, full), CONST1: (full, 0)}
         for pi in self.netlist.pis:
@@ -97,6 +110,32 @@ class LogicSimulator:
         self.values = values
         self.state = {
             dff.output: values.get(dff.inputs[0], (0, 0))
+            for dff in self._dffs
+        }
+        return values
+
+    def _step_compiled(self, pi_values: Mapping[int, Mask]
+                       ) -> Mapping[int, Mask]:
+        cn = self._compiled
+        full = self.full
+        flat = cn.fresh_values(full)
+        for pi in cn.pis:
+            ones, zeros = pi_values.get(pi, (0, 0))
+            i = 2 * pi
+            flat[i] = ones
+            flat[i + 1] = zeros
+        state = self.state
+        for dff in self._dffs:
+            ones, zeros = state.get(dff.output, (0, 0))
+            i = 2 * dff.output
+            flat[i] = ones
+            flat[i + 1] = zeros
+        cn.eval_into(flat, full)
+        values = NetValues(flat, cn.num_nets)
+        self.values = values
+        self.state = {
+            dff.output: (flat[2 * dff.inputs[0]],
+                         flat[2 * dff.inputs[0] + 1])
             for dff in self._dffs
         }
         return values

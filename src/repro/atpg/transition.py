@@ -27,6 +27,10 @@ from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
 
 Vector = Mapping[int, int]
 
+# Transition simulation tracks per-site previous values, so it runs narrower
+# blocks than the stuck-at simulator's DEFAULT_LANES.
+DEFAULT_TRANSITION_LANES = 256
+
 
 @dataclass(frozen=True, order=True)
 class TransitionFault:
@@ -66,7 +70,8 @@ class TransitionFaultSimulator:
     from the good machine.
     """
 
-    def __init__(self, netlist: Netlist, lanes: int = 256):
+    def __init__(self, netlist: Netlist,
+                 lanes: int = DEFAULT_TRANSITION_LANES):
         if lanes < 2:
             raise ValueError("need at least two lanes")
         self.netlist = netlist
@@ -218,6 +223,7 @@ def transition_coverage(netlist: Netlist,
                         region: Optional[str] = None,
                         initial_states: Optional[Sequence[Optional[
                             Mapping[int, int]]]] = None,
+                        lanes: int = DEFAULT_TRANSITION_LANES,
                         ) -> Tuple[float, List[TransitionFault]]:
     """Transition coverage of a collection of vector sequences.
 
@@ -226,7 +232,7 @@ def transition_coverage(netlist: Netlist,
     faults = build_transition_fault_list(netlist, region=region)
     if not faults:
         return 100.0, []
-    sim = TransitionFaultSimulator(netlist)
+    sim = TransitionFaultSimulator(netlist, lanes=lanes)
     remaining: Set[TransitionFault] = set(faults)
     inits = initial_states or [None] * len(vector_sequences)
     for vectors, init in zip(vector_sequences, inits):

@@ -11,7 +11,9 @@ from repro.bench.experiments import (
     bench_scale,
     default_atpg_options,
     get_experiments,
+    resolve_jobs,
 )
+from repro.bench.micro import run_bench
 
 __all__ = ["Arm2Experiments", "bench_scale", "default_atpg_options",
-           "get_experiments"]
+           "get_experiments", "resolve_jobs", "run_bench"]

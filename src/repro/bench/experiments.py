@@ -9,15 +9,25 @@ Environment knobs:
 
 - ``REPRO_BENCH_SCALE=smoke``  — tiny fault samples / budgets for CI smoke
   runs (default is ``paper``: the full evaluation),
-- ``REPRO_BENCH_SEED``        — RNG seed for the ATPG random phase.
+- ``REPRO_BENCH_SEED``        — RNG seed for the ATPG random phase,
+- ``REPRO_JOBS``              — worker-process count for the Table 4-6 ATPG
+  fan-out (default: ``os.cpu_count()``; ``1`` forces serial).
+
+The per-MUT ATPG reports are independent and seeded, so computing them in a
+:class:`~concurrent.futures.ProcessPoolExecutor` returns bit-identical rows
+to a serial run; worker metrics snapshots are merged back into the parent
+registry so benchmark ``RunRecord`` payloads stay complete.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from typing import Dict, List, Optional, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.atpg.engine import AtpgEngine, AtpgOptions, AtpgReport
+from repro.obs import get_registry
 from repro.core.composer import ConstraintComposer
 from repro.core.extractor import ExtractionMode, MutSpec
 from repro.core.piers import find_piers, pier_q_nets
@@ -58,6 +68,30 @@ def default_atpg_options(**overrides) -> AtpgOptions:
     )
     base.update(overrides)
     return AtpgOptions(**base)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else all cores."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        jobs = int(env) if env else (os.cpu_count() or 1)
+    return max(1, jobs)
+
+
+def _report_job(key: Tuple) -> Tuple[Tuple, AtpgReport,
+                                     Dict[str, Dict[str, object]]]:
+    """Worker entry point: compute one ATPG report in a pool process.
+
+    With the default fork start method the worker inherits the parent's
+    warm ``_SHARED`` experiments instance; under spawn it rebuilds one (the
+    reports are seeded, so results are identical either way).  The metrics
+    registry is reset first so the returned snapshot is exactly this job's
+    delta for the parent to merge.
+    """
+    registry = get_registry()
+    registry.reset()
+    report = get_experiments().compute_report(key)
+    return key, report, registry.snapshot()
 
 
 def processor_level_fault_sample() -> int:
@@ -149,6 +183,50 @@ class Arm2Experiments:
     def table3_rows(self) -> List[Dict[str, object]]:
         return self.transform_rows(ExtractionMode.COMPOSE)
 
+    # -- parallel ATPG fan-out ---------------------------------------------
+
+    def compute_report(self, key: Tuple) -> AtpgReport:
+        """Compute (and cache) the ATPG report named by a cache key."""
+        mut = next(m for m in self.muts() if m.name == key[1])
+        if key[0] == "proc":
+            return self.processor_level_report(mut)
+        if key[0] == "standalone":
+            return self.standalone_report(mut)
+        if key[0] == "transformed":
+            return self.transformed_report(mut, ExtractionMode(key[2]),
+                                           use_piers=key[3])
+        raise KeyError(f"unknown report key {key!r}")
+
+    def prefetch_reports(self, keys: Sequence[Tuple],
+                         jobs: Optional[int] = None) -> None:
+        """Fill the ATPG report cache, fanning the misses out over worker
+        processes (``jobs`` -> ``REPRO_JOBS`` -> ``os.cpu_count()``)."""
+        missing = [k for k in keys if k not in self._atpg_cache]
+        if not missing:
+            return
+        jobs = min(resolve_jobs(jobs), len(missing))
+        if jobs <= 1:
+            for key in missing:
+                self.compute_report(key)
+            return
+        # Fork-based workers inherit this exact instance via _SHARED, so
+        # they skip the expensive design/composer construction.
+        global _SHARED
+        previous = _SHARED
+        _SHARED = self
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            with ProcessPoolExecutor(max_workers=jobs,
+                                     mp_context=context) as pool:
+                for key, report, metrics in pool.map(_report_job, missing):
+                    self._atpg_cache[key] = report
+                    get_registry().merge_snapshot(metrics)
+        finally:
+            _SHARED = previous
+
     # -- Table 4: raw test generation ------------------------------------------
 
     def processor_level_report(self, mut: MutInfo) -> AtpgReport:
@@ -170,7 +248,13 @@ class Arm2Experiments:
             ).run()
         return self._atpg_cache[key]
 
-    def table4_rows(self) -> List[Dict[str, object]]:
+    def table4_rows(self, jobs: Optional[int] = None
+                    ) -> List[Dict[str, object]]:
+        self.prefetch_reports(
+            [("proc", m.name) for m in self.muts()]
+            + [("standalone", m.name) for m in self.muts()],
+            jobs=jobs,
+        )
         rows = []
         for mut in self.muts():
             proc = self.processor_level_report(mut)
@@ -203,7 +287,12 @@ class Arm2Experiments:
             self._atpg_cache[key] = AtpgEngine(tr.netlist, opts).run()
         return self._atpg_cache[key]
 
-    def atpg_rows(self, mode: ExtractionMode) -> List[Dict[str, object]]:
+    def atpg_rows(self, mode: ExtractionMode,
+                  jobs: Optional[int] = None) -> List[Dict[str, object]]:
+        self.prefetch_reports(
+            [("transformed", m.name, mode.value, True) for m in self.muts()],
+            jobs=jobs,
+        )
         rows = []
         for mut in self.muts():
             tr = self.transformed(mut, mode)
@@ -286,6 +375,10 @@ class Arm2Experiments:
         """Transformed-module ATPG with PIERs enabled vs disabled."""
         rows = []
         mut = next(m for m in self.muts() if m.name == "regfile_struct")
+        self.prefetch_reports([
+            ("transformed", mut.name, ExtractionMode.COMPOSE.value, use)
+            for use in (True, False)
+        ])
         for label, use in (("piers_on", True), ("piers_off", False)):
             report = self.transformed_report(
                 mut, ExtractionMode.COMPOSE, use_piers=use

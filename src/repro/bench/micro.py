@@ -1,0 +1,262 @@
+"""Microbenchmarks for the simulation backends: ``repro bench``.
+
+Two differential benchmark suites, each timed with the observability CPU
+clock and written as a ``BENCH_*.json`` payload next to the table output:
+
+- **fault_sim** — the same (vectors, faults) workload through the
+  interpreted reference simulator and the compiled/cone-partitioned
+  backend.  The detected sets must be identical; the row records both
+  CPU times and the throughput ratio.  With ``--jobs > 1`` an extra row
+  partitions the fault list across a process pool and checks the union
+  of the chunk detections against the serial run.
+- **atpg** — one deterministic small ATPG configuration run with each
+  backend; coverage, efficiency, detections and vector counts must be
+  bit-identical (the backend may only change speed, never results).
+
+Any differential mismatch makes :func:`run_bench` return a non-zero exit
+status, so the CI smoke job doubles as an equivalence gate.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.atpg.engine import AtpgEngine, AtpgOptions
+from repro.atpg.fault_sim import FaultSimulator
+from repro.atpg.faults import Fault, build_fault_list
+from repro.bench.experiments import resolve_jobs
+from repro.core.report import format_table
+from repro.designs.arm2 import arm2_design
+from repro.obs import RunRecord, get_logger, span
+from repro.synth import synthesize
+from repro.synth.netlist import Netlist
+
+_LOG = get_logger("bench.micro")
+
+# Benchmark netlists, built once per process (the pool workers re-use the
+# warm cache under the default fork start method).
+_NETLISTS: Dict[str, Netlist] = {}
+_FAULTS: Dict[str, List[Fault]] = {}
+
+
+def _bench_netlist(name: str) -> Netlist:
+    if name not in _NETLISTS:
+        if name == "arm2":
+            _NETLISTS[name] = synthesize(arm2_design())
+        else:
+            _NETLISTS[name] = synthesize(arm2_design(), root=name, name=name)
+    return _NETLISTS[name]
+
+
+def _bench_faults(name: str) -> List[Fault]:
+    if name not in _FAULTS:
+        _FAULTS[name] = build_fault_list(_bench_netlist(name))
+    return _FAULTS[name]
+
+
+def random_vectors(netlist: Netlist, count: int,
+                   seed: int) -> List[Dict[int, int]]:
+    """Seeded fully-specified random input vectors."""
+    rng = random.Random(seed)
+    return [{pi: rng.randint(0, 1) for pi in netlist.pis}
+            for _ in range(count)]
+
+
+def _timed_detect(netlist: Netlist, backend: str,
+                  vectors: Sequence[Dict[int, int]],
+                  faults: Sequence[Fault],
+                  repeats: int = 1) -> Tuple[Set[Fault], float]:
+    """Detected set and best-of-``repeats`` CPU seconds for one backend.
+
+    A small untimed warmup call first populates the per-netlist caches
+    (generated code, fanout adjacency), so the row reports steady-state
+    throughput — the regime every ATPG run after the first operates in.
+    """
+    sim = FaultSimulator(netlist, backend=backend)
+    sim.detected_faults(vectors[:1], faults[:32])
+    best = None
+    detected: Set[Fault] = set()
+    for _ in range(max(1, repeats)):
+        with span("bench.fault_sim", backend=backend,
+                  design=netlist.name) as sp:
+            detected = sim.detected_faults(vectors, faults)
+        if best is None or sp.cpu_seconds < best:
+            best = sp.cpu_seconds
+    return detected, best or 0.0
+
+
+def _fault_chunk_job(job: Tuple[str, int, int, int, int]) -> List[Fault]:
+    """Pool worker: compiled fault sim over one slice of the fault list."""
+    name, count, seed, start, stop = job
+    netlist = _bench_netlist(name)
+    faults = _bench_faults(name)[start:stop]
+    vectors = random_vectors(netlist, count, seed)
+    sim = FaultSimulator(netlist, backend="compiled")
+    return sorted(sim.detected_faults(vectors, faults))
+
+
+def _kfvs(faults: int, vectors: int, seconds: float) -> float:
+    """Throughput in thousands of fault-vector evaluations per second."""
+    return faults * vectors / max(seconds, 1e-9) / 1000.0
+
+
+def fault_sim_rows(quick: bool = False, seed: int = 2002,
+                   jobs: Optional[int] = None) -> List[Dict[str, object]]:
+    """Differential interpreted-vs-compiled fault simulation rows."""
+    designs = ["arm_alu"] if quick else ["arm_alu", "arm2"]
+    count = 8 if quick else 16
+    jobs = resolve_jobs(jobs)
+    rows: List[Dict[str, object]] = []
+    for name in designs:
+        netlist = _bench_netlist(name)
+        faults = _bench_faults(name)
+        vectors = random_vectors(netlist, count, seed)
+        repeats = 1 if quick else 2
+        interp, interp_s = _timed_detect(netlist, "interpreted",
+                                         vectors, faults, repeats)
+        compiled, compiled_s = _timed_detect(netlist, "compiled",
+                                             vectors, faults, repeats)
+        match = interp == compiled
+        if not match:
+            _LOG.error("fault_sim.mismatch", design=name,
+                       interpreted=len(interp), compiled=len(compiled))
+        rows.append({
+            "design": name,
+            "mode": "serial",
+            "faults": len(faults),
+            "vectors": count,
+            "interp_s": round(interp_s, 3),
+            "compiled_s": round(compiled_s, 3),
+            "interp_kfv_s": round(_kfvs(len(faults), count, interp_s), 1),
+            "compiled_kfv_s": round(_kfvs(len(faults), count, compiled_s), 1),
+            "speedup_x": round(interp_s / max(compiled_s, 1e-9), 2),
+            "detected": len(compiled),
+            "match": match,
+        })
+        if jobs > 1:
+            chunk = (len(faults) + jobs - 1) // jobs
+            slices = [(name, count, seed, lo, min(lo + chunk, len(faults)))
+                      for lo in range(0, len(faults), chunk)]
+            context = multiprocessing.get_context(
+                "fork" if hasattr(os, "fork") else None)
+            with span("bench.fault_sim", backend="compiled-parallel",
+                      design=name, jobs=jobs) as sp:
+                with ProcessPoolExecutor(max_workers=jobs,
+                                         mp_context=context) as pool:
+                    parts = list(pool.map(_fault_chunk_job, slices))
+            union: Set[Fault] = set()
+            for part in parts:
+                union.update(part)
+            par_match = union == compiled
+            if not par_match:
+                _LOG.error("fault_sim.parallel_mismatch", design=name,
+                           serial=len(compiled), parallel=len(union))
+            # Worker CPU time is invisible to the parent's CPU clock, so
+            # the parallel row reports wall seconds (includes pool setup).
+            par_s = sp.wall_seconds
+            rows.append({
+                "design": name,
+                "mode": f"parallel(j={jobs})",
+                "faults": len(faults),
+                "vectors": count,
+                "interp_s": round(interp_s, 3),
+                "compiled_s": round(par_s, 3),
+                "interp_kfv_s": round(_kfvs(len(faults), count, interp_s), 1),
+                "compiled_kfv_s": round(
+                    _kfvs(len(faults), count, par_s), 1),
+                "speedup_x": round(interp_s / max(par_s, 1e-9), 2),
+                "detected": len(union),
+                "match": par_match,
+            })
+    return rows
+
+
+def atpg_rows(quick: bool = False,
+              seed: int = 2002) -> List[Dict[str, object]]:
+    """One small deterministic ATPG run per backend; results must match."""
+    netlist = _bench_netlist("arm_alu")
+    opts = dict(
+        max_frames=2,
+        frame_schedule=(1, 2),
+        backtrack_limit=50,
+        fault_time_limit=0.1,
+        total_time_limit=120.0,
+        random_sequences=2,
+        random_sequence_length=8,
+        seed=seed,
+        fault_sample=40 if quick else None,
+    )
+    rows: List[Dict[str, object]] = []
+    reports = {}
+    for backend in ("interpreted", "compiled"):
+        engine = AtpgEngine(netlist, AtpgOptions(
+            fault_sim_backend=backend, **opts))
+        with span("bench.atpg", backend=backend) as sp:
+            report = engine.run()
+        reports[backend] = report
+        rows.append({
+            "backend": backend,
+            "faults": report.total_faults,
+            "detected": report.detected,
+            "cov%": round(report.coverage_percent, 2),
+            "eff%": round(report.efficiency_percent, 2),
+            "vectors": report.num_vectors,
+            "cpu_s": round(sp.cpu_seconds, 3),
+        })
+    a, b = reports["interpreted"], reports["compiled"]
+    match = (
+        a.coverage_percent == b.coverage_percent
+        and a.efficiency_percent == b.efficiency_percent
+        and a.detected == b.detected
+        and a.num_vectors == b.num_vectors
+    )
+    if not match:
+        _LOG.error("atpg.backend_mismatch",
+                   interpreted=rows[0], compiled=rows[1])
+    for row in rows:
+        row["match"] = match
+    return rows
+
+
+def run_bench(out_dir: str = "benchmarks/results", quick: bool = False,
+              jobs: Optional[int] = None, seed: int = 2002) -> int:
+    """Run both suites, print their tables, write ``BENCH_*.json``.
+
+    Returns 0 when every differential check passed, 1 otherwise.
+    """
+    jobs = resolve_jobs(jobs)
+    scale = "quick" if quick else "full"
+    os.makedirs(out_dir, exist_ok=True)
+    status = 0
+    suites = (
+        ("fault_sim", "Fault simulation: interpreted vs compiled backend",
+         fault_sim_rows(quick=quick, seed=seed, jobs=jobs)),
+        ("atpg", "ATPG backend equivalence (arm_alu)",
+         atpg_rows(quick=quick, seed=seed)),
+    )
+    for key, title, rows in suites:
+        print(format_table(f"{title} [{scale}]", rows))
+        if not all(row["match"] for row in rows):
+            status = 1
+        payload = {
+            "title": title,
+            "scale": scale,
+            "seed": seed,
+            "jobs": jobs,
+            "rows": rows,
+            "record": RunRecord.capture(f"bench.{key}").as_dict(),
+        }
+        path = os.path.join(out_dir, f"BENCH_{key}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {path}")
+    if status:
+        print("DIFFERENTIAL MISMATCH: compiled backend disagrees with "
+              "the interpreted reference (see rows with match=False)")
+    return status

@@ -21,7 +21,10 @@ Subcommands:
                    exit 0 clean, 1 warnings with ``--strict``, 2 errors,
 - ``profile``      full pipeline run with a per-phase time/metric breakdown,
 - ``stats``        netlist statistics for the whole design (or one module),
-- ``piers``        list PI/PO-accessible registers.
+- ``piers``        list PI/PO-accessible registers,
+- ``bench``        differential simulation-backend benchmarks (interpreted
+                   vs compiled fault simulation plus an ATPG equivalence
+                   check); writes ``BENCH_*.json``, exits 1 on mismatch.
 
 ``analyze`` and ``atpg`` accept ``--lint`` to run the linter as a
 pre-flight gate: error-severity findings abort before extraction starts.
@@ -71,6 +74,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs(p):
+        p.add_argument("--log-level", default="warning",
+                       choices=["debug", "info", "warning", "error"],
+                       help="structured log verbosity (default: warning)")
+        p.add_argument("--trace-out", metavar="FILE",
+                       help="write the span trace as JSON (.jsonl and "
+                            ".chrome.json select other formats)")
+        p.add_argument("--metrics-out", metavar="FILE",
+                       help="write the metrics registry snapshot as JSON")
+
     def add_common(p, needs_mut=True, files_nargs="+"):
         p.add_argument("files", nargs=files_nargs,
                        help="Verilog source files")
@@ -81,14 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--include", "-I", action="append", default=[],
                        metavar="DIR", help="`include search directory "
                                            "(repeatable)")
-        p.add_argument("--log-level", default="warning",
-                       choices=["debug", "info", "warning", "error"],
-                       help="structured log verbosity (default: warning)")
-        p.add_argument("--trace-out", metavar="FILE",
-                       help="write the span trace as JSON (.jsonl and "
-                            ".chrome.json select other formats)")
-        p.add_argument("--metrics-out", metavar="FILE",
-                       help="write the metrics registry snapshot as JSON")
+        add_obs(p)
         if needs_mut:
             p.add_argument("--mut", required=True,
                            help="module under test (module name)")
@@ -108,6 +114,9 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-piers", action="store_true",
                        help="disable PIER pseudo PI/PO")
         p.add_argument("--seed", type=int, default=2002)
+        p.add_argument("--backend", choices=["compiled", "interpreted"],
+                       help="fault-simulation backend (default: compiled, "
+                            "or REPRO_SIM_BACKEND)")
 
     def add_lint_gate(p):
         p.add_argument("--lint", action=argparse.BooleanOptionalAction,
@@ -172,6 +181,22 @@ def _build_parser() -> argparse.ArgumentParser:
     p_piers = sub.add_parser("piers", help="list PI/PO-accessible registers")
     add_common(p_piers, needs_mut=False)
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="differential simulation-backend benchmarks "
+             "(writes BENCH_*.json)",
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI-sized workload (arm_alu only, few vectors)")
+    p_bench.add_argument("--jobs", type=int,
+                         help="worker processes for the parallel row "
+                              "(default: REPRO_JOBS or all cores)")
+    p_bench.add_argument("--seed", type=int, default=2002)
+    p_bench.add_argument("--out", default="benchmarks/results",
+                         help="output directory for BENCH_*.json "
+                              "(default: benchmarks/results)")
+    add_obs(p_bench)
+
     return parser
 
 
@@ -193,6 +218,7 @@ def _atpg_options(args) -> AtpgOptions:
         max_frames=args.frames,
         backtrack_limit=args.backtrack_limit,
         seed=args.seed,
+        fault_sim_backend=getattr(args, "backend", None),
     )
 
 
@@ -465,6 +491,13 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench.micro import run_bench
+
+    return run_bench(out_dir=args.out, quick=args.quick,
+                     jobs=args.jobs, seed=args.seed)
+
+
 def _cmd_piers(args) -> int:
     factor = _factor_for(args)
     rows = []
@@ -488,6 +521,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "stats": _cmd_stats,
     "piers": _cmd_piers,
+    "bench": _cmd_bench,
 }
 
 

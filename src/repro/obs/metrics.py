@@ -166,6 +166,37 @@ class MetricsRegistry:
                 if name.startswith(prefix)
             }
 
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`snapshot` (typically from a worker process) into
+        this registry: counters add, gauges take the incoming value,
+        histograms merge their summaries and buckets."""
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).inc(data["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(data["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                hist.count += data["count"]
+                hist.total += data["sum"]
+                for bound in ("min", "max"):
+                    incoming = data.get(bound)
+                    if incoming is None:
+                        continue
+                    current = getattr(hist, bound)
+                    if current is None:
+                        setattr(hist, bound, incoming)
+                    elif bound == "min":
+                        setattr(hist, bound, min(current, incoming))
+                    else:
+                        setattr(hist, bound, max(current, incoming))
+                for key, n in data.get("buckets", {}).items():
+                    exp = int(key[len("le_2^"):])
+                    hist._buckets[exp] = hist._buckets.get(exp, 0) + n
+            else:
+                raise ValueError(f"metric {name!r}: unknown type {kind!r}")
+
     def reset(self) -> None:
         with self._lock:
             self._metrics = {}

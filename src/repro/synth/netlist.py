@@ -197,6 +197,63 @@ class Netlist:
                     f"primary output {self.po_name(net)} is floating"
                 )
 
+    def fanout_adjacency(self, through_dffs: bool = True
+                         ) -> Dict[int, List[int]]:
+        """Map net -> output nets of the gates reading it (one step of
+        fanout).  With ``through_dffs`` the D->Q edge of every flip-flop is
+        included, so reachability over this adjacency is *sequential*
+        fanout."""
+        adj: Dict[int, List[int]] = {}
+        for gate in self.gates:
+            if gate.type is GateType.DFF and not through_dffs:
+                continue
+            for inp in gate.inputs:
+                adj.setdefault(inp, []).append(gate.output)
+        return adj
+
+    def fanout_cone(self, nets, through_dffs: bool = True) -> Set[int]:
+        """Transitive fanout of a net (or collection of nets), including the
+        nets themselves.  This is the set of nets a stuck-at fault on any of
+        ``nets`` can possibly influence."""
+        if isinstance(nets, int):
+            nets = (nets,)
+        adj = self.fanout_adjacency(through_dffs=through_dffs)
+        seen: Set[int] = set(nets)
+        stack = list(seen)
+        while stack:
+            net = stack.pop()
+            for down in adj.get(net, ()):
+                if down not in seen:
+                    seen.add(down)
+                    stack.append(down)
+        return seen
+
+    def levels(self, order: Optional[List[Gate]] = None) -> Dict[int, int]:
+        """Combinational depth of each net within a frame: constants, PIs
+        and flip-flop outputs sit at level 0, a gate output one above its
+        deepest input."""
+        level: Dict[int, int] = {CONST0: 0, CONST1: 0}
+        for pi in self.pis:
+            level[pi] = 0
+        for dff in self.dffs():
+            level[dff.output] = 0
+        for gate in order if order is not None else self.topological_order():
+            level[gate.output] = 1 + max(
+                (level.get(i, 0) for i in gate.inputs), default=0
+            )
+        return level
+
+    def levelized_order(self) -> List[Gate]:
+        """Combinational gates sorted by level (stable within a level).
+
+        Level-sorting preserves topological validity — a gate's level is
+        strictly above all its inputs' — while grouping gates of equal
+        depth, which keeps generated straight-line code cache-friendly.
+        """
+        order = self.topological_order()
+        level = self.levels(order)
+        return sorted(order, key=lambda g: level[g.output])
+
     def topological_order(self) -> List[Gate]:
         """Combinational gates in topological order (DFF outputs, PIs and
         constants are sources).  Raises on combinational cycles."""

@@ -1,0 +1,68 @@
+"""Tests for the ``repro bench`` microbenchmark harness."""
+
+import json
+
+from repro.bench.experiments import resolve_jobs
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_resolve_jobs(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) == 1  # floor at one worker
+    assert resolve_jobs() >= 1
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs() == 5
+    assert resolve_jobs(2) == 2  # explicit argument wins over the env
+
+
+def test_merge_snapshot_folds_worker_delta():
+    worker = MetricsRegistry()
+    worker.counter("jobs").inc(4)
+    worker.gauge("depth").set(7)
+    worker.histogram("secs").observe(0.5)
+    worker.histogram("secs").observe(3.0)
+
+    parent = MetricsRegistry()
+    parent.counter("jobs").inc(1)
+    parent.histogram("secs").observe(8.0)
+    parent.merge_snapshot(worker.snapshot())
+
+    snap = parent.snapshot()
+    assert snap["jobs"]["value"] == 5
+    assert snap["depth"]["value"] == 7
+    assert snap["secs"]["count"] == 3
+    assert snap["secs"]["sum"] == 11.5
+    assert snap["secs"]["min"] == 0.5
+    assert snap["secs"]["max"] == 8.0
+    assert sum(snap["secs"]["buckets"].values()) == 3
+
+
+def test_merge_snapshot_rejects_unknown_type():
+    registry = MetricsRegistry()
+    try:
+        registry.merge_snapshot({"weird": {"type": "sparkline", "value": 1}})
+    except ValueError as err:
+        assert "sparkline" in str(err)
+    else:  # pragma: no cover - the merge must raise
+        raise AssertionError("unknown metric type was accepted")
+
+
+def test_cli_bench_quick_writes_payloads(tmp_path, capsys):
+    out = tmp_path / "results"
+    code = main(["bench", "--quick", "--jobs", "1", "--seed", "9",
+                 "--out", str(out)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "Fault simulation" in captured
+    assert "ATPG backend equivalence" in captured
+    for key in ("fault_sim", "atpg"):
+        payload = json.loads((out / f"BENCH_{key}.json").read_text())
+        assert payload["scale"] == "quick"
+        assert payload["seed"] == 9
+        assert payload["jobs"] == 1
+        assert payload["rows"], key
+        assert all(row["match"] for row in payload["rows"])
+        assert payload["record"]["label"] == f"bench.{key}"
+        assert "metrics" in payload["record"]
