@@ -12,6 +12,22 @@ from repro.obs import RunRecord
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _no_artifact_store():
+    """Benchmarks measure real work: disable the persistent artifact
+    store so neither a warm ~/.cache/repro nor an earlier table's run
+    can shortcut the timed stages.  (The warm-start pipeline itself is
+    measured by the ``repro bench`` warm_pipeline suite, which manages
+    its own cache directory in subprocess environments.)"""
+    previous = os.environ.get("REPRO_NO_CACHE")
+    os.environ["REPRO_NO_CACHE"] = "1"
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_NO_CACHE", None)
+    else:
+        os.environ["REPRO_NO_CACHE"] = previous
+
+
 @pytest.fixture(scope="session")
 def experiments():
     return get_experiments()
@@ -28,12 +44,12 @@ def emit_table():
     """
 
     def _emit(filename, title, rows, columns=()):
+        from repro.obs import atomic_write_text
+
         text = format_table(title, rows, columns)
         print("\n" + text)
         os.makedirs(RESULTS_DIR, exist_ok=True)
-        with open(os.path.join(RESULTS_DIR, filename), "w",
-                  encoding="utf-8") as handle:
-            handle.write(text)
+        atomic_write_text(os.path.join(RESULTS_DIR, filename), text)
         record = RunRecord.capture(label=title)
         payload = {
             "title": title,
@@ -43,10 +59,9 @@ def emit_table():
             "record": record.as_dict(),
         }
         json_name = os.path.splitext(filename)[0] + ".json"
-        with open(os.path.join(RESULTS_DIR, json_name), "w",
-                  encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, default=str)
-            handle.write("\n")
+        atomic_write_text(
+            os.path.join(RESULTS_DIR, json_name),
+            json.dumps(payload, indent=2, default=str) + "\n")
         return text
 
     return _emit

@@ -103,9 +103,9 @@ def _gate_statements(gate: Gate) -> List[str]:
     raise ValueError(f"cannot compile gate type {t}")
 
 
-def _codegen_chunks(order: Sequence[Gate], name: str):
-    """Compile the gate list into a list of ``fn(V, full)`` chunk functions."""
-    chunks = []
+def _codegen_code_objects(order: Sequence[Gate], name: str):
+    """Generate and compile one code object per gate chunk."""
+    codes = []
     for start in range(0, len(order), _CHUNK_GATES):
         gates = order[start:start + _CHUNK_GATES]
         lines = ["def _chunk(V, full):"]
@@ -124,10 +124,51 @@ def _codegen_chunks(order: Sequence[Gate], name: str):
         if len(lines) == 1:
             lines.append(" pass")
         source = "\n".join(lines)
+        codes.append(compile(source, f"<compiled:{name}:{start}>", "exec"))
+    return codes
+
+
+def _chunks_from_codes(codes) -> List:
+    chunks = []
+    for code in codes:
         namespace: Dict[str, object] = {}
-        exec(compile(source, f"<compiled:{name}:{start}>", "exec"), namespace)
+        exec(code, namespace)
         chunks.append(namespace["_chunk"])
     return chunks
+
+
+def _codegen_chunks(order: Sequence[Gate], name: str,
+                    num_nets: Optional[int] = None):
+    """The ``fn(V, full)`` chunk functions for a levelized gate order.
+
+    Codegen and CPython compilation dominate first-call latency on large
+    netlists, so the compiled code objects are persisted in the artifact
+    store as :mod:`marshal` blobs keyed by the gate-order fingerprint and
+    the interpreter's bytecode magic; a warm process deserializes instead
+    of re-generating and re-compiling.  Any failure to deserialize falls
+    back to a fresh compile.
+    """
+    import importlib.util
+    import marshal
+
+    from repro.store import MISS, gates_fingerprint, get_store
+
+    store = get_store()
+    key = {
+        "gates": gates_fingerprint(order,
+                                   num_nets if num_nets is not None else 0),
+        "chunk_gates": _CHUNK_GATES,
+        "magic": importlib.util.MAGIC_NUMBER.hex(),
+    }
+    blobs = store.get("codegen", key)
+    if blobs is not MISS:
+        try:
+            return _chunks_from_codes(marshal.loads(blob) for blob in blobs)
+        except (ValueError, EOFError, TypeError, KeyError):
+            pass  # foreign/damaged blob: fall through to a fresh compile
+    codes = _codegen_code_objects(order, name)
+    store.put("codegen", key, [marshal.dumps(code) for code in codes])
+    return _chunks_from_codes(codes)
 
 
 class NetValues(Mapping[int, Mask]):
@@ -178,7 +219,8 @@ class CompiledNetlist:
         self.site_rank: Dict[int, int] = {
             g.output: i for i, g in enumerate(topo)
         }
-        self._chunks = _codegen_chunks(self.order, netlist.name)
+        self._chunks = _codegen_chunks(self.order, netlist.name,
+                                       num_nets=self.num_nets)
         self._adjacency: Optional[Dict[int, List[int]]] = None
         self._fingerprint = self._current_fingerprint()
 

@@ -35,7 +35,7 @@ from repro.core.testability import analyze_testability
 from repro.core.transform import TransformedModule
 from repro.designs.arm2 import ARM2_MUTS, MutInfo, arm2_design
 from repro.hierarchy.design import Design
-from repro.synth import synthesize
+from repro.store import synthesize_cached
 from repro.synth.stats import netlist_stats
 
 
@@ -106,7 +106,7 @@ class Arm2Experiments:
 
     def __init__(self) -> None:
         self.design: Design = arm2_design()
-        self.full_netlist = synthesize(self.design)
+        self.full_netlist = synthesize_cached(self.design)
         self.composers: Dict[ExtractionMode, ConstraintComposer] = {
             ExtractionMode.COMPOSE: ConstraintComposer(
                 self.design, ExtractionMode.COMPOSE
@@ -126,7 +126,7 @@ class Arm2Experiments:
 
     def standalone_netlist(self, mut: MutInfo):
         if mut.name not in self._standalone_cache:
-            self._standalone_cache[mut.name] = synthesize(
+            self._standalone_cache[mut.name] = synthesize_cached(
                 self.design, root=mut.name
             )
         return self._standalone_cache[mut.name]

@@ -23,6 +23,10 @@ import json
 import multiprocessing
 import os
 import random
+import shutil
+import subprocess
+import sys
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -32,8 +36,8 @@ from repro.atpg.faults import Fault, build_fault_list
 from repro.bench.experiments import resolve_jobs
 from repro.core.report import format_table
 from repro.designs.arm2 import arm2_design
-from repro.obs import RunRecord, get_logger, span
-from repro.synth import synthesize
+from repro.obs import RunRecord, atomic_write_text, get_logger, span
+from repro.store import synthesize_cached
 from repro.synth.netlist import Netlist
 
 _LOG = get_logger("bench.micro")
@@ -47,9 +51,10 @@ _FAULTS: Dict[str, List[Fault]] = {}
 def _bench_netlist(name: str) -> Netlist:
     if name not in _NETLISTS:
         if name == "arm2":
-            _NETLISTS[name] = synthesize(arm2_design())
+            _NETLISTS[name] = synthesize_cached(arm2_design())
         else:
-            _NETLISTS[name] = synthesize(arm2_design(), root=name, name=name)
+            _NETLISTS[name] = synthesize_cached(arm2_design(),
+                                                root=name, name=name)
     return _NETLISTS[name]
 
 
@@ -223,6 +228,77 @@ def atpg_rows(quick: bool = False,
     return rows
 
 
+def warm_pipeline_rows(quick: bool = False,
+                       seed: int = 2002) -> List[Dict[str, object]]:
+    """Cold-vs-warm end-to-end pipeline run against a fresh artifact store.
+
+    Runs the full CLI (``repro atpg`` on the bundled arm2, arm_alu MUT)
+    twice in subprocesses sharing one freshly created ``REPRO_CACHE_DIR``.
+    The first run is cold (every store stage misses and publishes); the
+    second is warm (parse, extraction, synthesis, codegen and the final
+    ATPG report all load from the store).  The reports must be
+    byte-identical — the stored report carries the cold run's timing
+    fields, so even ``tgen_s`` matches — and the row records the
+    end-to-end wall-clock speedup.
+    """
+    from repro.designs import arm2_source
+
+    frames, backtracks = ("1", "10") if quick else ("2", "50")
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    work = tempfile.mkdtemp(prefix="repro-warm-bench-")
+    rows: List[Dict[str, object]] = []
+    try:
+        design_path = os.path.join(work, "arm2.v")
+        atomic_write_text(design_path, arm2_source())
+        cache_dir = os.path.join(work, "store")
+        env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
+        env.pop("REPRO_NO_CACHE", None)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                          else []))
+        outputs: Dict[str, str] = {}
+        timings: Dict[str, float] = {}
+        hits: Dict[str, int] = {}
+        for mode in ("cold", "warm"):
+            metrics_path = os.path.join(work, f"metrics-{mode}.json")
+            cmd = [sys.executable, "-m", "repro", "atpg", design_path,
+                   "--top", "arm", "--mut", "arm_alu",
+                   "--frames", frames, "--backtrack-limit", backtracks,
+                   "--seed", str(seed), "--metrics-out", metrics_path]
+            with span("bench.warm_pipeline", mode=mode) as sp:
+                proc = subprocess.run(cmd, env=env, capture_output=True,
+                                      text=True)
+            if proc.returncode != 0:
+                _LOG.error("warm_pipeline.run_failed", mode=mode,
+                           returncode=proc.returncode,
+                           stderr=proc.stderr[-2000:])
+            outputs[mode] = proc.stdout
+            timings[mode] = sp.wall_seconds
+            with open(metrics_path, encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+            hits[mode] = sum(
+                metric.get("value", 0)
+                for name, metric in snapshot.items()
+                if name.startswith("store.") and name.endswith(".hits"))
+        match = outputs["cold"] == outputs["warm"] and bool(outputs["cold"])
+        if not match:
+            _LOG.error("warm_pipeline.report_mismatch")
+        speedup = timings["cold"] / max(timings["warm"], 1e-9)
+        for mode in ("cold", "warm"):
+            rows.append({
+                "mode": mode,
+                "design": "arm2/arm_alu",
+                "wall_s": round(timings[mode], 3),
+                "store_hits": hits[mode],
+                "speedup_x": round(speedup, 2) if mode == "warm" else 1.0,
+                "match": match,
+            })
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+    return rows
+
+
 def run_bench(out_dir: str = "benchmarks/results", quick: bool = False,
               jobs: Optional[int] = None, seed: int = 2002) -> int:
     """Run both suites, print their tables, write ``BENCH_*.json``.
@@ -238,6 +314,8 @@ def run_bench(out_dir: str = "benchmarks/results", quick: bool = False,
          fault_sim_rows(quick=quick, seed=seed, jobs=jobs)),
         ("atpg", "ATPG backend equivalence (arm_alu)",
          atpg_rows(quick=quick, seed=seed)),
+        ("warm_pipeline", "Warm-start pipeline: cold vs warm artifact store",
+         warm_pipeline_rows(quick=quick, seed=seed)),
     )
     for key, title, rows in suites:
         print(format_table(f"{title} [{scale}]", rows))
@@ -252,9 +330,7 @@ def run_bench(out_dir: str = "benchmarks/results", quick: bool = False,
             "record": RunRecord.capture(f"bench.{key}").as_dict(),
         }
         path = os.path.join(out_dir, f"BENCH_{key}.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
         print(f"wrote {path}")
     if status:
         print("DIFFERENTIAL MISMATCH: compiled backend disagrees with "

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from typing import Dict, List, Optional
 
@@ -49,12 +50,12 @@ from repro.core.factor import Factor
 from repro.core.report import format_table
 from repro.obs import (
     Span,
+    atomic_write_text,
     configure_logging,
     get_logger,
     get_registry,
     get_tracer,
 )
-from repro.synth import synthesize
 from repro.synth.stats import netlist_stats
 
 _log = get_logger("cli")
@@ -180,6 +181,24 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_piers = sub.add_parser("piers", help="list PI/PO-accessible registers")
     add_common(p_piers, needs_mut=False)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="artifact-store maintenance (stats / clear / gc)",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="per-stage entry counts and sizes")
+    add_obs(p_cache_stats)
+    p_cache_clear = cache_sub.add_parser(
+        "clear", help="remove every cached artifact")
+    add_obs(p_cache_clear)
+    p_cache_gc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a size cap")
+    p_cache_gc.add_argument(
+        "--max-size", required=True, metavar="SIZE",
+        help="target store size, e.g. 512M, 2G, or plain bytes")
+    add_obs(p_cache_gc)
 
     p_bench = sub.add_parser(
         "bench",
@@ -442,6 +461,7 @@ def _profile_rows(root: Span) -> List[Dict[str, object]]:
 
 _PROFILE_METRIC_PREFIXES = (
     "verilog.", "extract.", "compose.", "synth.", "atpg.", "fault_sim.",
+    "store.",
 )
 
 
@@ -483,8 +503,10 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    from repro.store import synthesize_cached
+
     factor = _factor_for(args)
-    netlist = synthesize(factor.design, root=args.module)
+    netlist = synthesize_cached(factor.design, root=args.module)
     stats = netlist_stats(netlist)
     print(format_table(f"Netlist statistics: {netlist.name}",
                        [stats.as_row()]))
@@ -496,6 +518,62 @@ def _cmd_bench(args) -> int:
 
     return run_bench(out_dir=args.out, quick=args.quick,
                      jobs=args.jobs, seed=args.seed)
+
+
+def _human_bytes(num: int) -> str:
+    value = float(num)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError  # pragma: no cover
+
+
+def _parse_size(text: str) -> int:
+    """``512M`` / ``2G`` / ``100KiB`` / plain bytes -> byte count."""
+    match = re.fullmatch(
+        r"\s*(\d+(?:\.\d+)?)\s*([KkMmGg]i?[Bb]?|[Bb]?)\s*", text)
+    if not match:
+        raise ValueError(f"bad size {text!r}; expected e.g. 512M or 2G")
+    value = float(match.group(1))
+    unit = match.group(2).lower().rstrip("b").rstrip("i")
+    scale = {"": 1, "k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}[unit]
+    return int(value * scale)
+
+
+def _cmd_cache(args) -> int:
+    from repro.store import get_store, store_disabled
+
+    store = get_store()
+    if store_disabled():
+        print("artifact store disabled (REPRO_NO_CACHE is set)")
+        return 0
+    if args.cache_command == "stats":
+        stats = store.stats()
+        rows = [
+            {"stage": stage,
+             "entries": bucket["entries"],
+             "size": _human_bytes(bucket["bytes"])}
+            for stage, bucket in sorted(stats.items())
+            if stage != "total"
+        ]
+        rows.append({"stage": "total",
+                     "entries": stats["total"]["entries"],
+                     "size": _human_bytes(stats["total"]["bytes"])})
+        print(format_table(f"Artifact store: {store.root}", rows,
+                           columns=["stage", "entries", "size"]))
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached artifacts from {store.root}")
+        return 0
+    if args.cache_command == "gc":
+        max_bytes = _parse_size(args.max_size)
+        removed, remaining = store.gc(max_bytes)
+        print(f"evicted {removed} artifacts; store now "
+              f"{_human_bytes(remaining)} (cap {_human_bytes(max_bytes)})")
+        return 0
+    raise AssertionError  # pragma: no cover - argparse enforces choices
 
 
 def _cmd_piers(args) -> int:
@@ -522,6 +600,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "piers": _cmd_piers,
     "bench": _cmd_bench,
+    "cache": _cmd_cache,
 }
 
 
@@ -531,9 +610,10 @@ def _write_observability(args) -> None:
         get_tracer().write_json(trace_out)
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out:
-        with open(metrics_out, "w", encoding="utf-8") as handle:
-            json.dump(get_registry().snapshot(), handle, indent=2)
-            handle.write("\n")
+        atomic_write_text(
+            metrics_out,
+            json.dumps(get_registry().snapshot(), indent=2) + "\n",
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

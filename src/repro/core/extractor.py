@@ -147,7 +147,7 @@ class FunctionalConstraintExtractor:
                  mode: ExtractionMode = ExtractionMode.COMPOSE):
         self.design = design
         self.mode = mode
-        self.chaindb = ChainDB(design)
+        self.chaindb: ChainDB = design.chaindb()
         self._item_index: Dict[str, Dict[int, Tuple[str, int]]] = {}
         self._modules = {name: design.module(name)
                          for name in design.module_names()}

@@ -25,8 +25,14 @@ from repro.core.piers import PierInfo, find_piers, pier_q_nets
 from repro.core.testability import TestabilityReport, analyze_testability
 from repro.core.transform import TransformedModule
 from repro.hierarchy.design import Design
-from repro.obs import RunRecord, get_logger, span
-from repro.verilog.parser import parse_source
+from repro.obs import RunRecord, counter, get_logger, span
+from repro.store import (
+    MISS,
+    atpg_options_fingerprint,
+    get_store,
+    netlist_fingerprint,
+    parse_verilog_cached,
+)
 from repro.verilog.writer import write_module
 
 _log = get_logger("factor")
@@ -74,7 +80,8 @@ class Factor:
     def from_verilog(cls, source_text: str, top: Optional[str] = None,
                      mode: ExtractionMode = ExtractionMode.COMPOSE
                      ) -> "Factor":
-        return cls(Design(parse_source(source_text), top=top), mode=mode)
+        return cls(Design(parse_verilog_cached(source_text), top=top),
+                   mode=mode)
 
     @classmethod
     def from_files(cls, paths: Sequence[str], top: Optional[str] = None,
@@ -143,10 +150,34 @@ class Factor:
     def generate_tests(self, result: FactorResult,
                        options: Optional[AtpgOptions] = None) -> AtpgReport:
         """Run the ATPG substrate on the transformed module, targeting only
-        the MUT's faults, with PIERs as pseudo PI/PO."""
+        the MUT's faults, with PIERs as pseudo PI/PO.
+
+        The finished report is memoized in the persistent artifact store
+        keyed by the netlist content fingerprint and the fully resolved
+        engine options: ATPG is deterministic given both, so a warm run
+        returns the stored report (including the timing fields of the run
+        that computed it) without re-running PODEM or fault simulation.
+        """
+        from repro.atpg.compiled import resolve_backend
+
         opts = options or AtpgOptions()
         opts.fault_region = result.transformed.mut_region
         if result.pier_nets:
             opts.pier_qs = frozenset(result.pier_nets)
-        engine = AtpgEngine(result.transformed.netlist, opts)
-        return engine.run()
+        store = get_store()
+        store_key = {
+            "netlist": netlist_fingerprint(result.transformed.netlist),
+            "options": atpg_options_fingerprint(
+                opts, resolve_backend(opts.fault_sim_backend)),
+        }
+        report = store.get("atpg", store_key)
+        if report is MISS:
+            engine = AtpgEngine(result.transformed.netlist, opts)
+            report = engine.run()
+            store.put("atpg", store_key, report)
+        else:
+            with span("atpg.store", mut=result.mut.path):
+                counter("atpg.report_store_hits").inc()
+            _log.info("atpg_store_hit", mut=result.mut.path,
+                      detected=report.detected, faults=report.total_faults)
+        return report

@@ -51,7 +51,7 @@ def find_piers(design: Design, max_depth: int = 24,
     register file crosses the writeback stage register (one hop), whereas a
     store drives the data pins combinationally (zero hops).
     """
-    chaindb = ChainDB(design)
+    chaindb = design.chaindb()
     modules = {name: design.module(name) for name in design.module_names()}
     analysis = _Reachability(design, chaindb, modules, max_depth,
                              load_hops, store_hops)

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.hierarchy.design import Design
-from repro.verilog.parser import parse_source
+from repro.store import parse_verilog_cached
 
 
 @dataclass(frozen=True)
@@ -1411,7 +1411,7 @@ def arm2_source() -> str:
 
 def arm2_design() -> Design:
     """Parse the benchmark into a :class:`~repro.hierarchy.Design`."""
-    return Design(parse_source(_ARM2_VERILOG), top="arm")
+    return Design(parse_verilog_cached(_ARM2_VERILOG), top="arm")
 
 
 def mut_by_name(name: str) -> MutInfo:

@@ -30,7 +30,7 @@ from typing import List
 
 from repro.designs.arm2 import MutInfo
 from repro.hierarchy.design import Design
-from repro.verilog.parser import parse_source
+from repro.store import parse_verilog_cached
 
 FILTERCHIP_MUTS: List[MutInfo] = [
     MutInfo(name="mac_tap", path="u_dsp.u_fir.u_mac1.", level=3),
@@ -265,4 +265,4 @@ def filterchip_source() -> str:
 
 
 def filterchip_design() -> Design:
-    return Design(parse_source(_FILTERCHIP_VERILOG), top="filterchip")
+    return Design(parse_verilog_cached(_FILTERCHIP_VERILOG), top="filterchip")

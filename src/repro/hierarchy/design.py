@@ -64,12 +64,52 @@ class Design:
         if self._top not in self._modules:
             raise DesignError(f"top module {self._top!r} not found")
         self._check_acyclic()
+        self._chaindb = None
+        self._fingerprint: Optional[str] = None
 
     # -- basic lookups -----------------------------------------------------
 
     @property
     def top(self) -> str:
         return self._top
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the design (source text + top module).
+
+        When the source was produced by
+        :func:`repro.store.parse_verilog_cached` the stamped text hash is
+        reused; otherwise (programmatically built ASTs) the canonical
+        written-back Verilog is hashed.  Artifact-store keys for every
+        per-design stage derive from this value.
+        """
+        if self._fingerprint is None:
+            from repro.store.fingerprint import fingerprint_obj, \
+                fingerprint_text
+
+            source_fp = getattr(self.source, "fingerprint", None)
+            if source_fp is None:
+                from repro.verilog.writer import write_source
+
+                source_fp = fingerprint_text(write_source(self.source))
+            self._fingerprint = fingerprint_obj(
+                {"source": source_fp, "top": self._top}
+            )
+        return self._fingerprint
+
+    def chaindb(self):
+        """The design-wide def-use/use-def chain database, built once.
+
+        The extractor, the PIER analysis and the lint engine all need the
+        same :class:`repro.hierarchy.chains.ChainDB`; memoizing it here
+        means e.g. a ``--lint`` pre-flight gate and the extraction that
+        follows share a single build instead of two.
+        """
+        if self._chaindb is None:
+            from repro.hierarchy.chains import ChainDB
+
+            self._chaindb = ChainDB(self)
+        return self._chaindb
 
     def module(self, name: str) -> ast.Module:
         try:

@@ -280,7 +280,9 @@ class LintContext:
     @property
     def chaindb(self) -> ChainDB:
         if self._chaindb is None:
-            self._chaindb = ChainDB(self.design)
+            # Shared with the extractor/PIER analysis: a --lint pre-flight
+            # gate and the extraction after it build the chains only once.
+            self._chaindb = self.design.chaindb()
         return self._chaindb
 
     def netlist(self):

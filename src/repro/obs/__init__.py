@@ -9,9 +9,12 @@ clock source and one run record format:
   and deadlines; exportable as a span tree, JSON lines or Chrome trace,
 - :mod:`repro.obs.metrics` — process-wide counters, gauges and histograms,
 - :mod:`repro.obs.record`  — ``RunRecord``: spans + metrics snapshot
-  attached to analysis/ATPG results.
+  attached to analysis/ATPG results,
+- :mod:`repro.obs.atomic`  — atomic tmp+``os.replace`` file publication
+  shared by every writer of persisted artifacts.
 """
 
+from repro.obs.atomic import atomic_write_bytes, atomic_write_text
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -36,6 +39,8 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
     "configure_logging",
     "get_logger",
     "Counter",

@@ -1,0 +1,36 @@
+"""Atomic file publication: write-to-temp then :func:`os.replace`.
+
+Every artifact the pipeline persists — ``RunRecord`` JSON, benchmark
+payloads, ``--metrics-out``/``--trace-out`` files, artifact-store entries —
+goes through this helper so an interrupted run can never leave a
+half-written file behind: readers either see the old content or the
+complete new content, on POSIX and on Windows.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-",
+                                    suffix=os.path.basename(path))
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -12,6 +12,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs.atomic import atomic_write_text
 from repro.obs.metrics import get_registry
 from repro.obs.trace import Span
 
@@ -53,6 +54,5 @@ class RunRecord:
     def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
         text = json.dumps(self.as_dict(), indent=indent)
         if path is not None:
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(text + "\n")
+            atomic_write_text(path, text + "\n")
         return text

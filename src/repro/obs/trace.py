@@ -238,8 +238,9 @@ class Tracer:
             text = json.dumps(to_chrome_trace(list(self.roots)), indent=2)
         else:
             text = json.dumps(self.to_dict(), indent=2)
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+        from repro.obs.atomic import atomic_write_text
+
+        atomic_write_text(path, text + "\n")
 
 
 def to_jsonl(roots: List[Span]) -> str:

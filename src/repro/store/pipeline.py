@@ -1,0 +1,67 @@
+"""Store-backed pipeline stages: parsing and whole-design synthesis.
+
+These wrappers are the warm-start entry points for the two stages whose
+inputs are easy to fingerprint at the call boundary: Verilog text (the
+``ast`` stage) and a whole design (the ``synth`` stage).  The per-MUT
+stages (extraction, transform, ATPG) key on upstream fingerprints and live
+with their owners in :mod:`repro.core.composer` / :mod:`repro.core.factor`.
+
+Both wrappers are drop-in replacements for the uncached functions: a
+disabled or unwritable store degrades to calling straight through.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs import counter, span
+from repro.store.core import MISS, get_store
+from repro.store.fingerprint import fingerprint_text
+
+
+def parse_verilog_cached(text: str):
+    """Parse Verilog text, memoized on the text fingerprint.
+
+    The returned :class:`~repro.verilog.ast.Source` is stamped with
+    ``fingerprint`` (the text hash) either way, which
+    :class:`repro.hierarchy.design.Design` picks up so downstream stage
+    keys don't have to re-serialize the AST.
+    """
+    from repro.verilog.parser import parse_source
+
+    text_fp = fingerprint_text(text)
+    store = get_store()
+    key = {"text": text_fp}
+    source = store.get("ast", key)
+    if source is MISS:
+        source = parse_source(text)
+        store.put("ast", key, source)
+    else:
+        with span("parse.store", chars=len(text)):
+            counter("verilog.parse_store_hits").inc()
+    source.fingerprint = text_fp
+    return source
+
+
+def synthesize_cached(design, root: Optional[str] = None,
+                      name: Optional[str] = None,
+                      do_optimize: bool = True):
+    """Whole-design synthesis memoized on the design fingerprint."""
+    from repro.synth.elaborate import synthesize
+
+    store = get_store()
+    key = {
+        "design": design.fingerprint,
+        "root": root,
+        "name": name,
+        "do_optimize": do_optimize,
+    }
+    netlist = store.get("synth", key)
+    if netlist is MISS:
+        netlist = synthesize(design, root=root, name=name,
+                             do_optimize=do_optimize)
+        store.put("synth", key, netlist)
+    else:
+        with span("synth.store", design=design.top, root=root or ""):
+            counter("synth.store_hits").inc()
+    return netlist

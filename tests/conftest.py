@@ -4,6 +4,19 @@ from typing import Dict, Optional
 
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _isolated_artifact_store(tmp_path, monkeypatch):
+    """Point the persistent artifact store at a per-test temp dir.
+
+    Tests must never read (or pollute) the developer's ~/.cache/repro,
+    and a store warmed by an earlier test would make results order
+    dependent (and mask recomputation bugs).  Tests that exercise warm
+    behavior run the pipeline twice themselves.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-store"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+
 from repro.atpg.simulator import LogicSimulator
 from repro.hierarchy import Design
 from repro.synth import synthesize
