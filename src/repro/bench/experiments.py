@@ -35,6 +35,7 @@ from repro.core.testability import analyze_testability
 from repro.core.transform import TransformedModule
 from repro.designs.arm2 import ARM2_MUTS, MutInfo, arm2_design
 from repro.hierarchy.design import Design
+from repro.jobs import resolve_jobs
 from repro.store import synthesize_cached
 from repro.synth.stats import netlist_stats
 
@@ -70,12 +71,6 @@ def default_atpg_options(**overrides) -> AtpgOptions:
     return AtpgOptions(**base)
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit argument, else ``REPRO_JOBS``, else all cores."""
-    if jobs is None:
-        env = os.environ.get("REPRO_JOBS")
-        jobs = int(env) if env else (os.cpu_count() or 1)
-    return max(1, jobs)
 
 
 def _report_job(key: Tuple) -> Tuple[Tuple, AtpgReport,

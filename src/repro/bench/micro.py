@@ -299,26 +299,50 @@ def warm_pipeline_rows(quick: bool = False,
     return rows
 
 
+#: Suites run by a bare ``repro bench``.  The serve suite is opt-in
+#: (``--suite serve`` / ``--suite all``): it boots a server subprocess
+#: with its own worker pool, which is too heavy for the default smoke.
+DEFAULT_SUITES = ("fault_sim", "atpg", "warm_pipeline")
+ALL_SUITES = DEFAULT_SUITES + ("serve",)
+
+
 def run_bench(out_dir: str = "benchmarks/results", quick: bool = False,
-              jobs: Optional[int] = None, seed: int = 2002) -> int:
-    """Run both suites, print their tables, write ``BENCH_*.json``.
+              jobs: Optional[int] = None, seed: int = 2002,
+              suites: Optional[Sequence[str]] = None) -> int:
+    """Run the selected suites, print tables, write ``BENCH_*.json``.
 
     Returns 0 when every differential check passed, 1 otherwise.
     """
+    from repro.bench.serve import serve_rows
+
     jobs = resolve_jobs(jobs)
     scale = "quick" if quick else "full"
     os.makedirs(out_dir, exist_ok=True)
     status = 0
-    suites = (
-        ("fault_sim", "Fault simulation: interpreted vs compiled backend",
-         fault_sim_rows(quick=quick, seed=seed, jobs=jobs)),
-        ("atpg", "ATPG backend equivalence (arm_alu)",
-         atpg_rows(quick=quick, seed=seed)),
-        ("warm_pipeline", "Warm-start pipeline: cold vs warm artifact store",
-         warm_pipeline_rows(quick=quick, seed=seed)),
-    )
-    for key, title, rows in suites:
-        print(format_table(f"{title} [{scale}]", rows))
+    selected = tuple(suites) if suites else DEFAULT_SUITES
+    unknown = [name for name in selected if name not in ALL_SUITES]
+    if unknown:
+        raise ValueError(f"unknown bench suite(s): {', '.join(unknown)} "
+                         f"(choose from {', '.join(ALL_SUITES)})")
+    catalogue = {
+        "fault_sim": (
+            "Fault simulation: interpreted vs compiled backend",
+            lambda: fault_sim_rows(quick=quick, seed=seed, jobs=jobs)),
+        "atpg": (
+            "ATPG backend equivalence (arm_alu)",
+            lambda: atpg_rows(quick=quick, seed=seed)),
+        "warm_pipeline": (
+            "Warm-start pipeline: cold vs warm artifact store",
+            lambda: warm_pipeline_rows(quick=quick, seed=seed)),
+        "serve": (
+            "Job server: cold/warm/coalesced latency and throughput",
+            lambda: serve_rows(quick=quick, seed=seed, jobs=jobs)),
+    }
+    for key in selected:
+        title, build = catalogue[key]
+        rows = build()
+        columns = [col for col in rows[0] if col != "record"] if rows else ()
+        print(format_table(f"{title} [{scale}]", rows, columns=columns))
         if not all(row["match"] for row in rows):
             status = 1
         payload = {

@@ -24,15 +24,24 @@ Subcommands:
 - ``piers``        list PI/PO-accessible registers,
 - ``bench``        differential simulation-backend benchmarks (interpreted
                    vs compiled fault simulation plus an ATPG equivalence
-                   check); writes ``BENCH_*.json``, exits 1 on mismatch.
+                   check); writes ``BENCH_*.json``, exits 1 on mismatch,
+- ``serve``        resident ATPG job server (queueing, admission control,
+                   request coalescing, graceful drain; see docs/serving.md),
+- ``submit``       submit a job to a running server and (by default) wait,
+- ``jobs``         list the jobs a running server knows about.
 
 ``analyze`` and ``atpg`` accept ``--lint`` to run the linter as a
 pre-flight gate: error-severity findings abort before extraction starts.
+``atpg`` accepts ``--mut`` repeatedly; with ``--jobs`` the per-MUT runs
+fan out across worker processes.
 
 Every subcommand also takes the observability flags ``--log-level``,
 ``--trace-out FILE`` (span tree as JSON; ``.jsonl`` / ``.chrome.json``
 variants by extension) and ``--metrics-out FILE`` (metrics registry
-snapshot as JSON).
+snapshot as JSON, or Prometheus text exposition with a ``.prom`` suffix).
+
+``SIGINT`` exits 130; ``SIGTERM`` exits 143 — both flush partial
+``--trace-out`` / ``--metrics-out`` payloads first.
 """
 
 from __future__ import annotations
@@ -48,6 +57,12 @@ from repro.atpg.engine import AtpgOptions
 from repro.core.extractor import ExtractionMode
 from repro.core.factor import Factor
 from repro.core.report import format_table
+from repro.jobs import (
+    SIGTERM_EXIT_CODE,
+    Terminated,
+    install_sigterm_handler,
+    resolve_jobs,
+)
 from repro.obs import (
     Span,
     atomic_write_text,
@@ -85,7 +100,8 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-out", metavar="FILE",
                        help="write the metrics registry snapshot as JSON")
 
-    def add_common(p, needs_mut=True, files_nargs="+"):
+    def add_common(p, needs_mut=True, files_nargs="+",
+                   mut_repeatable=False):
         p.add_argument("files", nargs=files_nargs,
                        help="Verilog source files")
         p.add_argument("--top", help="top module (inferred when unique)")
@@ -97,8 +113,13 @@ def _build_parser() -> argparse.ArgumentParser:
                                            "(repeatable)")
         add_obs(p)
         if needs_mut:
-            p.add_argument("--mut", required=True,
-                           help="module under test (module name)")
+            if mut_repeatable:
+                p.add_argument("--mut", required=True, action="append",
+                               help="module under test (repeatable; "
+                                    "multiple MUTs fan out over --jobs)")
+            else:
+                p.add_argument("--mut", required=True,
+                               help="module under test (module name)")
             p.add_argument("--path",
                            help="instance path, e.g. u_core.u_dp.u_alu. "
                                 "(inferred when the module has one instance)")
@@ -108,7 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
                 help="extraction mode (default: compose)",
             )
 
-    def add_atpg_options(p):
+    def add_atpg_options(p, with_jobs=False):
         p.add_argument("--frames", type=int, default=4,
                        help="maximum time frames (default 4)")
         p.add_argument("--backtrack-limit", type=int, default=300)
@@ -118,6 +139,11 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--backend", choices=["compiled", "interpreted"],
                        help="fault-simulation backend (default: compiled, "
                             "or REPRO_SIM_BACKEND)")
+        if with_jobs:
+            p.add_argument("--jobs", type=int,
+                           help="worker processes for multi-MUT fan-out "
+                                "(default: REPRO_JOBS or all cores; "
+                                "<= 0 means all cores)")
 
     def add_lint_gate(p):
         p.add_argument("--lint", action=argparse.BooleanOptionalAction,
@@ -135,10 +161,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                                 "report")
     add_common(p_test)
 
-    p_atpg = sub.add_parser("atpg", help="generate tests for the MUT")
-    add_common(p_atpg)
+    p_atpg = sub.add_parser("atpg", help="generate tests for the MUT(s)")
+    add_common(p_atpg, mut_repeatable=True)
     add_lint_gate(p_atpg)
-    add_atpg_options(p_atpg)
+    add_atpg_options(p_atpg, with_jobs=True)
 
     p_lint = sub.add_parser(
         "lint",
@@ -214,7 +240,98 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--out", default="benchmarks/results",
                          help="output directory for BENCH_*.json "
                               "(default: benchmarks/results)")
+    p_bench.add_argument("--suite", action="append", default=[],
+                         choices=["fault_sim", "atpg", "warm_pipeline",
+                                  "serve", "all"],
+                         help="suites to run (repeatable; default: "
+                              "fault_sim, atpg, warm_pipeline)")
     add_obs(p_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="resident ATPG job server (see docs/serving.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8371,
+                         help="listen port (0 picks an ephemeral port; "
+                              "default 8371)")
+    p_serve.add_argument("--jobs", type=int,
+                         help="worker pool size (default: REPRO_JOBS or "
+                              "all cores; <= 0 means all cores)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="admission bound: queued jobs beyond this "
+                              "get 429 + Retry-After (default 64)")
+    p_serve.add_argument("--journal", metavar="FILE",
+                         help="JSONL job journal; queued work survives "
+                              "restarts when set")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         help="seconds running jobs get to finish on "
+                              "SIGTERM/SIGINT (default 30)")
+    p_serve.add_argument("--job-timeout", type=float,
+                         help="per-job wall-clock budget once running "
+                              "(default: unlimited)")
+    p_serve.add_argument("--worker-mode", choices=["process", "thread"],
+                         default="process",
+                         help="worker pool flavor (default: process; "
+                              "thread is for tests/smoke runs)")
+    add_obs(p_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a job to a running repro serve",
+    )
+    p_submit.add_argument("files", nargs="*",
+                          help="Verilog source files (preprocessed "
+                               "locally, uploaded as one unit)")
+    p_submit.add_argument("--design", choices=["arm2", "filterchip"],
+                          help="submit a bundled design instead of files")
+    p_submit.add_argument("--op", default="atpg",
+                          choices=["analyze", "testability", "atpg",
+                                   "lint"],
+                          help="pipeline operation (default: atpg)")
+    p_submit.add_argument("--top", help="top module")
+    p_submit.add_argument("--mut", help="module under test")
+    p_submit.add_argument("--path", help="MUT instance path")
+    p_submit.add_argument("--mode", choices=["compose", "conventional"],
+                          default="compose")
+    p_submit.add_argument("--define", "-D", action="append", default=[],
+                          metavar="NAME[=VALUE]")
+    p_submit.add_argument("--include", "-I", action="append", default=[],
+                          metavar="DIR")
+    p_submit.add_argument("--frames", type=int, default=4)
+    p_submit.add_argument("--backtrack-limit", type=int, default=300)
+    p_submit.add_argument("--seed", type=int, default=2002)
+    p_submit.add_argument("--backend",
+                          choices=["compiled", "interpreted"])
+    p_submit.add_argument("--no-piers", action="store_true")
+    p_submit.add_argument("--strict", action="store_true",
+                          help="lint jobs: warnings fail the job")
+    p_submit.add_argument("--deadline", type=float, metavar="SECONDS",
+                          help="fail the job if still queued after this "
+                               "many seconds")
+    p_submit.add_argument("--server", metavar="URL",
+                          help="server base URL (default: REPRO_SERVER "
+                               "or http://127.0.0.1:8371)")
+    p_submit.add_argument("--wait", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="poll until the job finishes "
+                               "(default: --wait)")
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          help="seconds to wait for completion "
+                               "(default 600)")
+    p_submit.add_argument("--json", action="store_true", dest="as_json",
+                          help="print the full job as JSON")
+    add_obs(p_submit)
+
+    p_jobs = sub.add_parser("jobs", help="list jobs on a running server")
+    p_jobs.add_argument("--server", metavar="URL",
+                        help="server base URL (default: REPRO_SERVER "
+                             "or http://127.0.0.1:8371)")
+    p_jobs.add_argument("--status",
+                        choices=["queued", "running", "done", "failed"],
+                        help="only jobs in this state")
+    p_jobs.add_argument("--json", action="store_true", dest="as_json")
+    add_obs(p_jobs)
 
     return parser
 
@@ -379,21 +496,95 @@ def _cmd_testability(args) -> int:
     return 0
 
 
+def _run_one_mut(payload):
+    """Full pipeline + ATPG for one MUT (serial and pool paths share it)."""
+    files, top, mode, defines, includes, use_piers, opts_fields, mut = \
+        payload
+    factor = Factor.from_files(
+        files, top=top,
+        mode=(ExtractionMode.CONVENTIONAL if mode == "conventional"
+              else ExtractionMode.COMPOSE),
+        defines=defines or None, include_dirs=includes)
+    result = factor.analyze(mut, use_piers=use_piers)
+    return factor.generate_tests(result, AtpgOptions(**opts_fields))
+
+
+def _atpg_mut_job(payload) -> tuple:
+    """Pool worker: resets the per-process registry so the returned
+    snapshot is a mergeable delta."""
+    get_registry().reset()
+    report = _run_one_mut(payload)
+    return payload[-1], report, get_registry().snapshot()
+
+
 def _cmd_atpg(args) -> int:
-    factor = _factor_for(args)
+    muts = args.mut if isinstance(args.mut, list) else [args.mut]
+    if len(muts) != len(set(muts)):
+        raise ValueError("duplicate --mut values")
+    if len(muts) > 1 and args.path:
+        raise ValueError("--path only applies to a single --mut; paths "
+                         "are inferred for multi-MUT runs")
+    if len(muts) == 1:
+        factor = _factor_for(args)
+        if getattr(args, "lint", False):
+            code = _lint_gate(args, factor)
+            if code:
+                return code
+        result = factor.analyze(muts[0], path=args.path,
+                                use_piers=not args.no_piers)
+        report = factor.generate_tests(result, _atpg_options(args))
+        print(format_table(
+            f"ATPG report for {muts[0]}",
+            [report.as_row()],
+        ))
+        print(f"detected {report.detected}, "
+              f"untestable {report.untestable}, "
+              f"aborted {report.aborted} of {report.total_faults} faults")
+        return 0
+
     if getattr(args, "lint", False):
-        code = _lint_gate(args, factor)
+        code = _lint_gate(args, _factor_for(args))
         if code:
             return code
-    result = factor.analyze(args.mut, path=args.path,
-                            use_piers=not args.no_piers)
-    report = factor.generate_tests(result, _atpg_options(args))
+    opts_fields = dict(
+        max_frames=args.frames,
+        backtrack_limit=args.backtrack_limit,
+        seed=args.seed,
+        fault_sim_backend=getattr(args, "backend", None),
+    )
+    payloads = [(list(args.files), args.top,
+                 getattr(args, "mode", "compose"),
+                 {k: v for k, v in
+                  (item.partition("=")[::2] for item in args.define)},
+                 list(args.include), not args.no_piers, opts_fields, mut)
+                for mut in muts]
+    jobs = min(resolve_jobs(getattr(args, "jobs", None)), len(muts))
+    rows = []
+    totals = {"detected": 0, "faults": 0}
+    if jobs <= 1:
+        reports = [_run_one_mut(payload) for payload in payloads]
+    else:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        parent = get_registry()
+        reports = []
+        with ProcessPoolExecutor(max_workers=jobs,
+                                 mp_context=context) as pool:
+            for _mut, report, metrics in pool.map(_atpg_mut_job, payloads):
+                parent.merge_snapshot(metrics)
+                reports.append(report)
+    for report in reports:
+        totals["detected"] += report.detected
+        totals["faults"] += report.total_faults
+        rows.append(report.as_row())
     print(format_table(
-        f"ATPG report for {args.mut}",
-        [report.as_row()],
-    ))
-    print(f"detected {report.detected}, untestable {report.untestable}, "
-          f"aborted {report.aborted} of {report.total_faults} faults")
+        f"ATPG reports for {len(muts)} MUTs (jobs={jobs})", rows))
+    print(f"detected {totals['detected']} of {totals['faults']} faults "
+          f"across {len(muts)} MUTs")
     return 0
 
 
@@ -516,8 +707,151 @@ def _cmd_stats(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.bench.micro import run_bench
 
+    suites = list(args.suite)
+    if "all" in suites:
+        suites = ["fault_sim", "atpg", "warm_pipeline", "serve"]
     return run_bench(out_dir=args.out, quick=args.quick,
-                     jobs=args.jobs, seed=args.seed)
+                     jobs=args.jobs, seed=args.seed,
+                     suites=suites or None)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+        journal_path=args.journal,
+        drain_timeout=args.drain_timeout,
+        job_timeout=args.job_timeout,
+        worker_mode=args.worker_mode,
+    )
+
+    def on_started(address: str) -> None:
+        # Parsed by scripts/tests that start the server with --port 0.
+        print(f"serving on {address}", flush=True)
+
+    return run_server(config, on_started=on_started)
+
+
+def _submit_source(args) -> str:
+    """Local preprocessing, so the server only ever sees plain Verilog."""
+    from repro.verilog.preprocess import Preprocessor
+
+    defines = {}
+    for item in args.define:
+        name, _, value = item.partition("=")
+        defines[name] = value
+    pp = Preprocessor(defines=defines or None, include_dirs=args.include)
+    return "\n".join(pp.process_file(path) for path in args.files)
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    if bool(args.files) == bool(args.design):
+        print("error: pass Verilog files or --design, not both/neither",
+              file=sys.stderr)
+        return 1
+    spec = {
+        "op": args.op,
+        "design": args.design,
+        "source": _submit_source(args) if args.files else None,
+        "top": args.top,
+        "mut": args.mut,
+        "path": args.path,
+        "mode": args.mode,
+        "frames": args.frames,
+        "backtrack_limit": args.backtrack_limit,
+        "seed": args.seed,
+        "backend": args.backend,
+        "use_piers": not args.no_piers,
+        "strict": args.strict,
+        "deadline_s": args.deadline,
+    }
+    client = ServeClient(args.server)
+    try:
+        response = client.submit(spec)
+        job = response["job"]
+        if not args.as_json:
+            origin = job.get("served_from") or (
+                "coalesced" if response.get("coalesced") else "queued")
+            print(f"job {job['id']}: {job['status']} ({origin})")
+        if args.wait and job["status"] not in ("done", "failed"):
+            job = client.wait(job["id"], timeout=args.timeout)
+    except ServeError as exc:
+        if exc.status == 429:
+            print(f"rejected: {exc.message}", file=sys.stderr)
+            return 75  # EX_TEMPFAIL: back off and retry
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(job, indent=2))
+    else:
+        _print_job_outcome(job)
+    if job["status"] == "failed":
+        return 1
+    result = job.get("result") or {}
+    if args.op == "lint" and not result.get("clean", True):
+        return 2
+    return 0
+
+
+def _print_job_outcome(job: Dict[str, object]) -> None:
+    result = job.get("result")
+    if job["status"] == "failed":
+        print(f"job {job['id']} failed: {job.get('error')}",
+              file=sys.stderr)
+        return
+    if not isinstance(result, dict):
+        print(f"job {job['id']}: {job['status']}")
+        return
+    op = result.get("op")
+    if op == "atpg":
+        print(format_table(f"ATPG report for {result.get('mut')}",
+                           [{k: v for k, v in result.items()
+                             if k in ("name", "faults", "detected", "cov%",
+                                      "eff%", "tgen_s", "total_s", "tests",
+                                      "vectors")}]))
+    elif op in ("testability", "lint"):
+        print(result.get("summary", ""))
+    elif op == "analyze":
+        print(f"MUT {result.get('mut')} at {result.get('mut_region')}: "
+              f"{result.get('total_gates')} gates "
+              f"({result.get('mut_gates')} MUT + "
+              f"{result.get('surrounding_gates')} S'), "
+              f"{result.get('num_pis')} PI, {result.get('num_pos')} PO")
+    served = job.get("served_from")
+    if served and served != "pipeline":
+        print(f"(served from {served})")
+
+
+def _cmd_jobs(args) -> int:
+    from repro.serve import ServeClient, ServeError
+    from repro.serve.client import jobs_summary_rows
+
+    client = ServeClient(args.server)
+    try:
+        listing = client.jobs(status=args.status)
+    except (OSError, ServeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(listing, indent=2))
+        return 0
+    rows = jobs_summary_rows(listing)
+    if not rows:
+        print("no jobs")
+    else:
+        print(format_table(
+            f"Jobs ({listing['queued']} queued, "
+            f"{listing['running']} running)", rows))
+    return 0
 
 
 def _human_bytes(num: int) -> str:
@@ -601,6 +935,9 @@ _COMMANDS = {
     "piers": _cmd_piers,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
 }
 
 
@@ -610,15 +947,20 @@ def _write_observability(args) -> None:
         get_tracer().write_json(trace_out)
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out:
-        atomic_write_text(
-            metrics_out,
-            json.dumps(get_registry().snapshot(), indent=2) + "\n",
-        )
+        if metrics_out.endswith(".prom"):
+            text = get_registry().to_prometheus()
+        else:
+            text = json.dumps(get_registry().snapshot(), indent=2) + "\n"
+        atomic_write_text(metrics_out, text)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     configure_logging(getattr(args, "log_level", "warning"))
+    # SIGTERM becomes an exception so long atpg/bench runs exit cleanly
+    # (143) with partial metrics flushed; `repro serve` overrides this
+    # with loop-level handlers that drain gracefully instead.
+    install_sigterm_handler()
     # Fresh per-invocation state so --trace-out / --metrics-out describe
     # exactly this run even when main() is driven in-process.
     get_tracer().reset()
@@ -628,6 +970,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         code = 130
+    except Terminated:
+        print("terminated", file=sys.stderr)
+        code = SIGTERM_EXIT_CODE
     except (OSError, ValueError) as err:
         print(f"error: {err}", file=sys.stderr)
         code = 1

@@ -16,8 +16,32 @@ Metrics are get-or-create by name::
 
 from __future__ import annotations
 
+import re
 import threading
 from typing import Dict, List, Optional, Union
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus grammar.
+
+    ``store.ast.hits`` -> ``store_ast_hits``; names may not start with a
+    digit, so a leading underscore is prepended when they do.
+    """
+    out = _PROM_INVALID.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prometheus_number(value: Union[int, float]) -> str:
+    """Render a sample value (ints stay ints; floats use repr)."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
 
 
 class Counter:
@@ -196,6 +220,41 @@ class MetricsRegistry:
                     hist._buckets[exp] = hist._buckets.get(exp, 0) + n
             else:
                 raise ValueError(f"metric {name!r}: unknown type {kind!r}")
+
+    def to_prometheus(self, prefix: str = "") -> str:
+        """Prometheus text exposition (version 0.0.4) of every metric.
+
+        Counters follow the ``_total`` naming convention; histograms emit
+        cumulative ``_bucket{le="..."}`` series over the power-of-two
+        magnitude buckets plus ``_sum`` and ``_count``.  The output is what
+        ``GET /metrics`` on the job server returns and what
+        ``--metrics-out FILE.prom`` writes.
+        """
+        with self._lock:
+            metrics = [m for name, m in sorted(self._metrics.items())
+                       if name.startswith(prefix)]
+        lines: List[str] = []
+        for metric in metrics:
+            name = _prometheus_name(metric.name)
+            if metric.kind == "counter":
+                name += "_total"
+            if metric.description:
+                lines.append(f"# HELP {name} {metric.description}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if metric.kind in ("counter", "gauge"):
+                lines.append(f"{name} {_prometheus_number(metric.value)}")
+                continue
+            # Histogram: buckets only track positive observations, so the
+            # +Inf bucket (== count) absorbs zero/negative samples too.
+            cumulative = 0
+            for exp, bucket_n in sorted(metric._buckets.items()):
+                cumulative += bucket_n
+                lines.append(f'{name}_bucket{{le="{2.0 ** exp!r}"}} '
+                             f"{cumulative}")
+            lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{name}_sum {_prometheus_number(metric.total)}")
+            lines.append(f"{name}_count {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def reset(self) -> None:
         with self._lock:

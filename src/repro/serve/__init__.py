@@ -1,0 +1,59 @@
+"""ATPG-as-a-service: a resident job server over the FACTOR pipeline.
+
+Every other entry point in this repository is a one-shot process; this
+package keeps the pipeline hot.  A hand-rolled HTTP/1.1 front end on
+``asyncio`` accepts jobs (``analyze`` | ``testability`` | ``atpg`` |
+``lint``), an admission controller bounds the backlog, a process pool
+executes, and three layers of reuse make repeated traffic cheap:
+
+- **coalescing** — identical in-flight submissions collapse onto one job
+  (single flight, keyed by the request's store fingerprint),
+- **store serving** — finished results are published to the persistent
+  artifact store and answer duplicate submissions without a worker,
+- **warm workers** — worker processes share the artifact store, so even
+  distinct jobs over the same design reuse parsed ASTs, extractions and
+  synthesized netlists.
+
+Modules: :mod:`~repro.serve.protocol` (job model + fingerprints),
+:mod:`~repro.serve.httpd` (HTTP plumbing), :mod:`~repro.serve.admission`
+(bounded queue, 429/Retry-After, deadlines), :mod:`~repro.serve.journal`
+(JSONL durability + restart resume), :mod:`~repro.serve.worker`
+(in-worker execution), :mod:`~repro.serve.server` (the event loop that
+ties them together) and :mod:`~repro.serve.client` (the blocking client
+behind ``repro submit`` / ``repro jobs``).
+
+See ``docs/serving.md`` for the API reference and deployment knobs.
+"""
+
+from repro.serve.admission import AdmissionController, QueueFull
+from repro.serve.client import ServeClient, ServeError, default_server_url
+from repro.serve.journal import JobJournal
+from repro.serve.protocol import (
+    BUNDLED_DESIGNS,
+    OPERATIONS,
+    Job,
+    JobSpec,
+    ProtocolError,
+)
+from repro.serve.server import JobServer, ServeConfig, ServerThread, \
+    run_server
+from repro.serve.worker import execute_job
+
+__all__ = [
+    "AdmissionController",
+    "QueueFull",
+    "ServeClient",
+    "ServeError",
+    "default_server_url",
+    "JobJournal",
+    "BUNDLED_DESIGNS",
+    "OPERATIONS",
+    "Job",
+    "JobSpec",
+    "ProtocolError",
+    "JobServer",
+    "ServeConfig",
+    "ServerThread",
+    "run_server",
+    "execute_job",
+]

@@ -1,0 +1,148 @@
+"""Admission control: the bounded queue between HTTP and the worker pool.
+
+The controller owns the only mutable queue state in the server, so its
+invariants are easy to audit:
+
+- at most ``depth`` jobs wait for a worker; an admission attempt beyond
+  that raises :class:`QueueFull`, which the HTTP layer maps to ``429``
+  with a ``Retry-After`` estimate derived from the observed job-duration
+  EWMA and the current backlog,
+- jobs that carry a ``deadline_s`` are dropped (failed, never dispatched)
+  when their budget expires while queued — a client that has stopped
+  waiting must not consume a worker,
+- draining closes admission; dispatchers see :data:`CLOSED` once the
+  backlog they are allowed to finish is exhausted.
+
+All methods are called from the event-loop thread only; the asyncio
+primitives here need no extra locking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.obs import counter, gauge, wall_clock
+
+from repro.serve.protocol import FAILED, Job
+
+#: Sentinel yielded to dispatchers when the queue is drained and closed.
+CLOSED = object()
+
+
+class QueueFull(Exception):
+    """Admission rejected: the queue is at configured depth."""
+
+    def __init__(self, depth: int, retry_after: int):
+        super().__init__(f"queue full at depth {depth}")
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """Bounded FIFO of queued jobs with deadline enforcement."""
+
+    def __init__(self, depth: int, workers: int, on_expired=None):
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth = depth
+        self.workers = max(1, workers)
+        #: Called with each deadline-expired job after it is failed, so
+        #: the server can journal the terminal state and notify pollers.
+        self.on_expired = on_expired
+        self._queue: Deque[Job] = deque()
+        self._available = asyncio.Event()
+        self._closed = False
+        # Seeded pessimistically so the very first Retry-After is sane
+        # even before any job has completed.
+        self._job_seconds_ewma = 5.0
+        self._depth_gauge = gauge(
+            "serve.queue_depth", "jobs waiting for a worker")
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, job: Job, force: bool = False) -> None:
+        """Enqueue ``job`` or raise :class:`QueueFull` / ``RuntimeError``.
+
+        ``force`` bypasses the depth bound — used for journal-resumed
+        backlogs, which were admitted by a previous process and must not
+        be dropped however deep they run.
+        """
+        if self._closed:
+            raise RuntimeError("admission closed (server draining)")
+        if not force and len(self._queue) >= self.depth:
+            counter("serve.rejected_full").inc()
+            raise QueueFull(self.depth, self.retry_after_hint())
+        self._queue.append(job)
+        self._depth_gauge.set(len(self._queue))
+        self._available.set()
+
+    def retry_after_hint(self) -> int:
+        """Seconds a 429'd client should wait: backlog / service rate."""
+        backlog = max(1, len(self._queue))
+        estimate = backlog * self._job_seconds_ewma / self.workers
+        return max(1, min(300, math.ceil(estimate)))
+
+    def observe_job_seconds(self, seconds: float) -> None:
+        """Fold a completed job's duration into the Retry-After estimate."""
+        self._job_seconds_ewma += 0.3 * (seconds - self._job_seconds_ewma)
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def next_job(self):
+        """The next dispatchable job, or :data:`CLOSED` after drain.
+
+        Deadline-expired jobs are failed here, at the moment they would
+        otherwise occupy a worker, and never returned.
+        """
+        while True:
+            while self._queue:
+                job = self._queue.popleft()
+                self._depth_gauge.set(len(self._queue))
+                if _expired(job):
+                    _fail_expired(job)
+                    if self.on_expired is not None:
+                        self.on_expired(job)
+                    continue
+                return job
+            if self._closed:
+                return CLOSED
+            self._available.clear()
+            await self._available.wait()
+
+    # -- drain -------------------------------------------------------------
+
+    def close(self, keep_backlog: bool = True) -> List[Job]:
+        """Stop admitting; returns (and optionally abandons) the backlog.
+
+        With ``keep_backlog`` the queued jobs stay dispatchable so an
+        unhurried drain can finish them; without it the backlog is removed
+        from the queue (its journal entries keep it durable for the next
+        process) and only running jobs are waited on.
+        """
+        self._closed = True
+        backlog = list(self._queue)
+        if not keep_backlog:
+            self._queue.clear()
+            self._depth_gauge.set(0)
+        self._available.set()  # wake dispatchers so they observe CLOSED
+        return backlog
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+def _expired(job: Job) -> bool:
+    deadline = job.spec.deadline_s
+    return (deadline is not None
+            and wall_clock() - job.submitted_at > deadline)
+
+
+def _fail_expired(job: Job) -> None:
+    job.status = FAILED
+    job.error = (f"deadline of {job.spec.deadline_s}s expired "
+                 "before a worker was available")
+    job.finished_at = wall_clock()
+    counter("serve.deadline_expired").inc()

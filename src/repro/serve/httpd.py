@@ -1,0 +1,227 @@
+"""Hand-rolled HTTP/1.1 on ``asyncio`` streams.
+
+The job server deliberately avoids ``http.server`` (synchronous, thread-
+per-connection) and keeps the surface tiny: request parsing with bounded
+line/header/body sizes, a literal-segment router with ``{param}`` capture,
+and response rendering.  Connections are persistent by default (HTTP/1.1
+keep-alive) and closed when the client sends ``Connection: close``, when a
+parse error makes the stream position untrustworthy, or when the server is
+draining.
+
+Only what the service needs is implemented: ``Content-Length`` bodies (no
+chunked transfer), no compression, no TLS.  Anything outside that envelope
+gets a clean 4xx instead of undefined behavior.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import unquote
+
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+#: Bundled arm2 is ~0.2 MiB of Verilog; 16 MiB leaves generous headroom
+#: for uploaded designs while bounding a hostile request.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    408: "Request Timeout", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Abort request handling with a specific status code."""
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    #: False once the client asked for ``Connection: close``.
+    keep_alive: bool = True
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+
+@dataclass
+class HttpResponse:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+    close: bool = False
+
+    @classmethod
+    def from_json(cls, payload: Any, status: int = 200,
+                  headers: Optional[Dict[str, str]] = None) -> "HttpResponse":
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        return cls(status=status, body=body, headers=headers or {})
+
+    @classmethod
+    def from_text(cls, text: str, status: int = 200,
+                  content_type: str = "text/plain; charset=utf-8"
+                  ) -> "HttpResponse":
+        return cls(status=status, body=text.encode("utf-8"),
+                   content_type=content_type)
+
+    def render(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}",
+                 f"Content-Type: {self.content_type}",
+                 f"Content-Length: {len(self.body)}"]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        lines.append("Connection: close" if self.close
+                     else "Connection: keep-alive")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        return head + self.body
+
+
+def _parse_query(raw: str) -> Dict[str, str]:
+    query: Dict[str, str] = {}
+    for pair in raw.split("&"):
+        if not pair:
+            continue
+        name, _, value = pair.partition("=")
+        query[unquote(name)] = unquote(value)
+    return query
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int = MAX_BODY_BYTES
+                       ) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` on malformed or oversized input — after
+    which the connection must be closed, since the stream position is no
+    longer trustworthy.
+    """
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise HttpError(400, "truncated request line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "request line too long") from exc
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpError(400, "request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    total_header_bytes = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError) as exc:
+            raise HttpError(400, "truncated headers") from exc
+        total_header_bytes += len(line)
+        if total_header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(400, "headers too large")
+        if line == b"\r\n":
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(400, "chunked transfer encoding is not supported")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as exc:
+            raise HttpError(400, "bad Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"body exceeds {max_body} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated body") from exc
+
+    path, _, raw_query = target.partition("?")
+    keep_alive = headers.get("connection", "").lower() != "close"
+    return HttpRequest(method=method, target=target, path=unquote(path),
+                       query=_parse_query(raw_query), headers=headers,
+                       body=body, keep_alive=keep_alive)
+
+
+Handler = Callable[..., Any]
+
+
+class Router:
+    """Method + path routing with ``{param}`` capture segments."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, Tuple[str, ...], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        segments = tuple(pattern.strip("/").split("/")) \
+            if pattern.strip("/") else ()
+        self._routes.append((method.upper(), segments, handler))
+
+    def match(self, method: str, path: str
+              ) -> Tuple[Handler, Dict[str, str]]:
+        """The handler and captured params for a request.
+
+        Raises 404 when no pattern matches the path, 405 when one does
+        but not with this method.
+        """
+        segments = tuple(path.strip("/").split("/")) \
+            if path.strip("/") else ()
+        path_matched = False
+        for method_, pattern, handler in self._routes:
+            params = _match_segments(pattern, segments)
+            if params is None:
+                continue
+            path_matched = True
+            if method_ == method.upper():
+                return handler, params
+        if path_matched:
+            raise HttpError(405, f"method {method} not allowed for {path}")
+        raise HttpError(404, f"no route for {path}")
+
+
+def _match_segments(pattern: Tuple[str, ...], segments: Tuple[str, ...]
+                    ) -> Optional[Dict[str, str]]:
+    if len(pattern) != len(segments):
+        return None
+    params: Dict[str, str] = {}
+    for expected, actual in zip(pattern, segments):
+        if expected.startswith("{") and expected.endswith("}"):
+            params[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return params

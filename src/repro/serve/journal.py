@@ -1,0 +1,114 @@
+"""JSONL job journal: crash/restart durability for queued work.
+
+Every accepted job appends a ``submitted`` event (carrying the full spec);
+dispatch and completion append ``started`` / ``done`` / ``failed`` events.
+On startup the server replays the journal: any job with a ``submitted``
+event but no terminal event is re-enqueued — including jobs that were
+*running* when the previous process died, since their results were lost.
+After replay the journal is compacted down to just the surviving
+``submitted`` events, so it stays proportional to the backlog rather than
+to server lifetime.
+
+Appends are flushed per event (a crashed server loses at most the event
+being written; a torn final line is tolerated and dropped on replay).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, TextIO, Tuple
+
+from repro.obs import atomic_write_text, counter, get_logger
+
+_log = get_logger("serve.journal")
+
+
+class JobJournal:
+    """Append-only JSONL event log with replay + compaction."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._handle: Optional[TextIO] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.path is not None
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, event: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self._handle is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        record = {"event": event}
+        record.update(fields)
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> Tuple[List[Dict[str, Any]], int]:
+        """Unfinished ``submitted`` events and the next job sequence number.
+
+        Reads the journal (tolerating a torn final line), drops every job
+        that reached a terminal event, compacts the file down to the
+        survivors and returns them in submission order.
+        """
+        if not self.enabled or not os.path.exists(self.path):
+            return [], 1
+        submitted: Dict[str, Dict[str, Any]] = {}
+        finished: set = set()
+        max_seq = 0
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    _log.warning("journal_torn_line", path=self.path)
+                    continue
+                event = record.get("event")
+                job_id = record.get("id")
+                if event == "submitted" and job_id:
+                    submitted[job_id] = record
+                    max_seq = max(max_seq, _sequence_of(job_id))
+                elif event in ("done", "failed") and job_id:
+                    finished.add(job_id)
+        survivors = [record for job_id, record in submitted.items()
+                     if job_id not in finished]
+        self.compact(survivors)
+        if survivors:
+            counter("serve.journal_resumed").inc(len(survivors))
+            _log.info("journal_replayed", path=self.path,
+                      resumed=len(survivors),
+                      completed_dropped=len(finished))
+        return survivors, max_seq + 1
+
+    def compact(self, survivors: List[Dict[str, Any]]) -> None:
+        """Rewrite the journal to contain only the surviving submissions."""
+        if not self.enabled:
+            return
+        self.close()
+        text = "".join(json.dumps(record, separators=(",", ":")) + "\n"
+                       for record in survivors)
+        atomic_write_text(self.path, text)
+
+
+def _sequence_of(job_id: str) -> int:
+    """The monotonic sequence component of a ``job-<seq>-<fp8>`` id."""
+    parts = job_id.split("-")
+    try:
+        return int(parts[1])
+    except (IndexError, ValueError):
+        return 0

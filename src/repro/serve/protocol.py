@@ -1,0 +1,215 @@
+"""Job model and wire format for the ATPG job service.
+
+A *job* is one pipeline operation (``analyze`` | ``testability`` | ``atpg``
+| ``lint``) over a design, described by a :class:`JobSpec`.  Specs arrive
+as the JSON body of ``POST /v1/jobs``; the design itself is either raw
+Verilog text (``source``) or the name of a bundled benchmark design
+(``design: "arm2"``).  Bundled names are resolved to their source text at
+validation time, so an uploaded copy of arm2 and ``design: "arm2"``
+fingerprint — and therefore coalesce and warm-start — identically.
+
+The :meth:`JobSpec.fingerprint` is the request's content address: a SHA-256
+over every field that affects the result (and nothing else — admission
+knobs like ``deadline_s`` are excluded).  The server uses it for
+single-flight coalescing of identical in-flight submissions and as the
+artifact-store key under which finished results are published.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.store import fingerprint_obj, fingerprint_text
+
+#: Operations a job may request, in the order the docs present them.
+OPERATIONS = ("analyze", "testability", "atpg", "lint")
+
+#: Bundled designs resolvable by name instead of uploading source text.
+BUNDLED_DESIGNS = ("arm2", "filterchip")
+
+#: Job lifecycle states (terminal: ``done`` / ``failed``).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Where a finished result came from: a fresh pipeline execution, the
+#: persistent artifact store, or another in-flight job it coalesced onto.
+FROM_PIPELINE = "pipeline"
+FROM_STORE = "store"
+FROM_COALESCED = "coalesced"
+
+
+class ProtocolError(ValueError):
+    """A malformed or unsatisfiable request (maps to HTTP 400)."""
+
+
+def bundled_source(name: str) -> str:
+    """Source text of a bundled benchmark design."""
+    if name == "arm2":
+        from repro.designs import arm2_source
+
+        return arm2_source()
+    if name == "filterchip":
+        from repro.designs import filterchip_source
+
+        return filterchip_source()
+    raise ProtocolError(
+        f"unknown bundled design {name!r}; expected one of "
+        f"{', '.join(BUNDLED_DESIGNS)}")
+
+
+@dataclass
+class JobSpec:
+    """One pipeline request, fully self-contained and picklable."""
+
+    op: str
+    source: Optional[str] = None
+    design: Optional[str] = None
+    top: Optional[str] = None
+    mut: Optional[str] = None
+    path: Optional[str] = None
+    mode: str = "compose"
+    frames: int = 4
+    backtrack_limit: int = 300
+    seed: int = 2002
+    backend: Optional[str] = None
+    use_piers: bool = True
+    strict: bool = False  # lint only: warnings fail the job
+    #: Admission budget in seconds: a job still queued this long after
+    #: submission is failed instead of dispatched.  Not part of the
+    #: fingerprint — it changes *whether* the job runs, never its result.
+    deadline_s: Optional[float] = None
+
+    _fingerprint: Optional[str] = field(default=None, repr=False,
+                                        compare=False, init=False)
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> "JobSpec":
+        """Check the spec and resolve bundled design names to source text.
+
+        Raises :class:`ProtocolError` with a client-presentable message on
+        any problem; returns ``self`` for chaining.
+        """
+        if self.op not in OPERATIONS:
+            raise ProtocolError(
+                f"unknown op {self.op!r}; expected one of "
+                f"{', '.join(OPERATIONS)}")
+        if self.source is None and self.design is None:
+            raise ProtocolError(
+                "request needs Verilog text ('source') or a bundled "
+                "design name ('design')")
+        if self.source is not None and self.design is not None:
+            raise ProtocolError("'source' and 'design' are exclusive")
+        if self.design is not None:
+            self.source = bundled_source(self.design)
+            self.design = None
+            self._fingerprint = None
+        if not isinstance(self.source, str) or not self.source.strip():
+            raise ProtocolError("'source' must be non-empty Verilog text")
+        if self.op in ("analyze", "testability", "atpg") and not self.mut:
+            raise ProtocolError(f"op {self.op!r} requires 'mut'")
+        if self.mode not in ("compose", "conventional"):
+            raise ProtocolError(
+                f"bad mode {self.mode!r}; expected compose|conventional")
+        if self.backend not in (None, "compiled", "interpreted"):
+            raise ProtocolError(
+                f"bad backend {self.backend!r}; "
+                "expected compiled|interpreted")
+        for name in ("frames", "backtrack_limit", "seed"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ProtocolError(f"{name!r} must be an integer")
+        if self.frames < 1:
+            raise ProtocolError("'frames' must be >= 1")
+        if self.deadline_s is not None:
+            if not isinstance(self.deadline_s, (int, float)) \
+                    or self.deadline_s <= 0:
+                raise ProtocolError("'deadline_s' must be a positive number")
+        return self
+
+    # -- identity ----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content address of this request (validated specs only).
+
+        The source text enters as its own fingerprint so megabyte designs
+        hash once, and the spec key stays small enough to journal.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_obj({
+                "op": self.op,
+                "source": fingerprint_text(self.source or ""),
+                "top": self.top,
+                "mut": self.mut,
+                "path": self.path,
+                "mode": self.mode,
+                "frames": self.frames,
+                "backtrack_limit": self.backtrack_limit,
+                "seed": self.seed,
+                "backend": self.backend,
+                "use_piers": self.use_piers,
+                "strict": self.strict,
+            })
+        return self._fingerprint
+
+    # -- wire format -------------------------------------------------------
+
+    _FIELDS = ("op", "source", "design", "top", "mut", "path", "mode",
+               "frames", "backtrack_limit", "seed", "backend", "use_piers",
+               "strict", "deadline_s")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        unknown = set(payload) - set(cls._FIELDS)
+        if unknown:
+            raise ProtocolError(
+                f"unknown request fields: {', '.join(sorted(unknown))}")
+        if "op" not in payload:
+            raise ProtocolError("request needs an 'op' field")
+        return cls(**payload)
+
+
+@dataclass
+class Job:
+    """Server-side state of one submitted job."""
+
+    job_id: str
+    spec: JobSpec
+    fingerprint: str
+    status: str = QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    served_from: Optional[str] = None
+    coalesced_count: int = 0
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+
+    def summary(self) -> Dict[str, Any]:
+        """Listing row: everything but the (possibly large) result body."""
+        return {
+            "id": self.job_id,
+            "op": self.spec.op,
+            "mut": self.spec.mut,
+            "status": self.status,
+            "fingerprint": self.fingerprint,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "served_from": self.served_from,
+            "coalesced_count": self.coalesced_count,
+            "error": self.error,
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload = self.summary()
+        payload["result"] = self.result
+        return payload

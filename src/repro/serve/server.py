@@ -1,0 +1,517 @@
+"""The resident ATPG job server.
+
+One asyncio event loop owns all bookkeeping (job table, coalescing index,
+admission queue, journal); pipeline work runs in a worker pool
+(:class:`~concurrent.futures.ProcessPoolExecutor` by default) sized by the
+shared ``--jobs``/``REPRO_JOBS`` rule.  Request flow for ``POST /v1/jobs``:
+
+1. **validate** the spec and compute its store fingerprint,
+2. **coalesce**: an identical job already queued or running absorbs the
+   submission (same job id, one pipeline run for N clients),
+3. **warm-serve**: a result already published to the artifact store under
+   this fingerprint completes the job instantly, no worker involved,
+4. **admit**: the bounded queue accepts the job (or answers 429 with a
+   ``Retry-After`` estimate), the journal records it, a dispatcher hands
+   it to the pool when a worker frees up.
+
+``SIGTERM``/``SIGINT`` start a graceful drain: admission closes, running
+jobs get ``drain_timeout`` seconds to finish, the queued backlog persists
+in the JSONL journal (or is finished in-line when no journal is
+configured), and the process exits 0.  A restarted server replays the
+journal and resumes the backlog before accepting new work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import signal
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, \
+    ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro import __version__
+from repro.jobs import resolve_jobs
+from repro.obs import counter, gauge, get_logger, get_registry, histogram, \
+    wall_clock
+from repro.store import MISS, get_store
+from repro.serve.admission import CLOSED, AdmissionController, QueueFull
+from repro.serve.httpd import HttpError, HttpRequest, HttpResponse, Router, \
+    read_request
+from repro.serve.journal import JobJournal
+from repro.serve.protocol import DONE, FAILED, FROM_PIPELINE, FROM_STORE, \
+    Job, JobSpec, ProtocolError, QUEUED, RUNNING
+from repro.serve.worker import execute_job
+
+_log = get_logger("serve")
+
+#: Finished jobs kept in the in-memory table for ``GET /v1/jobs``.
+MAX_FINISHED_JOBS = 1000
+
+
+@dataclass
+class ServeConfig:
+    """Deployment knobs for one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8371
+    jobs: Optional[int] = None        # worker pool size (shared --jobs rule)
+    queue_depth: int = 64             # admission bound
+    journal_path: Optional[str] = None
+    drain_timeout: float = 30.0       # seconds running jobs get on drain
+    job_timeout: Optional[float] = None  # per-job wall budget once running
+    worker_mode: str = "process"      # process | thread
+
+
+class JobServer:
+    """One resident server: HTTP front, admission, pool, journal."""
+
+    def __init__(self, config: ServeConfig):
+        if config.worker_mode not in ("process", "thread"):
+            raise ValueError(
+                f"bad worker_mode {config.worker_mode!r}; "
+                "expected process|thread")
+        self.config = config
+        self.workers = resolve_jobs(config.jobs)
+        self.address: Optional[str] = None
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, str] = {}  # fingerprint -> job id
+        self._seq = 1
+        self._running = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._journal = JobJournal(config.journal_path)
+        self._admission = AdmissionController(
+            config.queue_depth, self.workers,
+            on_expired=self._on_queue_expired)
+        self._executor: Optional[Executor] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._dispatchers = []
+        self._router = Router()
+        self._router.add("POST", "/v1/jobs", self._route_submit)
+        self._router.add("GET", "/v1/jobs", self._route_list)
+        self._router.add("GET", "/v1/jobs/{job_id}", self._route_job)
+        self._router.add("GET", "/healthz", self._route_health)
+        self._router.add("GET", "/metrics", self._route_metrics)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> str:
+        """Bind, replay the journal, start dispatchers; returns base URL."""
+        if self.config.worker_mode == "process":
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="serve-worker")
+        gauge("serve.workers", "worker pool size").set(self.workers)
+        self._resume_from_journal()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.address = f"http://{host}:{port}"
+        self._dispatchers = [
+            asyncio.ensure_future(self._dispatcher())
+            for _ in range(self.workers)
+        ]
+        _log.info("serve_started", address=self.address,
+                  workers=self.workers, mode=self.config.worker_mode,
+                  queue_depth=self.config.queue_depth,
+                  journal=self.config.journal_path or "")
+        return self.address
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, functools.partial(self.request_drain, signum))
+
+    def request_drain(self, signum: int = signal.SIGTERM) -> None:
+        """Begin graceful shutdown (idempotent, callable from the loop)."""
+        if self._draining:
+            return
+        self._draining = True
+        _log.info("serve_draining", signum=signum,
+                  queued=len(self._admission), running=self._running)
+        # With a journal the backlog is durable, so drain fast: persist
+        # queued jobs and only wait for the ones already on a worker.
+        # Without one, finishing the backlog is the only non-lossy option.
+        self._admission.close(keep_backlog=not self._journal.enabled)
+        self._drained.set()
+
+    async def run_until_drained(self) -> int:
+        """Serve until a drain is requested, then shut down; returns 0."""
+        await self._drained.wait()
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*self._dispatchers, return_exceptions=True),
+                timeout=self.config.drain_timeout)
+        except asyncio.TimeoutError:
+            _log.warning("drain_timeout_exceeded",
+                         timeout=self.config.drain_timeout)
+            for task in self._dispatchers:
+                task.cancel()
+            await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._server.close()
+        await self._server.wait_closed()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._journal.close()
+        _log.info("serve_stopped", jobs_total=len(self._jobs))
+        return 0
+
+    async def run(self, install_signals: bool = True) -> int:
+        await self.start()
+        if install_signals:
+            self.install_signal_handlers()
+        return await self.run_until_drained()
+
+    # -- journal resume ----------------------------------------------------
+
+    def _resume_from_journal(self) -> None:
+        survivors, next_seq = self._journal.replay()
+        self._seq = max(self._seq, next_seq)
+        for record in survivors:
+            try:
+                spec = JobSpec.from_dict(record["spec"]).validate()
+            except (ProtocolError, KeyError, TypeError) as exc:
+                _log.warning("journal_bad_spec", id=record.get("id"),
+                             error=str(exc))
+                continue
+            job = Job(job_id=record["id"], spec=spec,
+                      fingerprint=spec.fingerprint(),
+                      submitted_at=wall_clock())
+            self._jobs[job.job_id] = job
+            self._inflight[job.fingerprint] = job.job_id
+            # Resumed work predates this process's admission window, so
+            # it may exceed queue_depth; it must never be dropped.
+            self._admission.admit(job, force=True)
+        if survivors:
+            _log.info("journal_resume_enqueued", jobs=len(survivors))
+
+    def _on_queue_expired(self, job: Job) -> None:
+        self._inflight.pop(job.fingerprint, None)
+        self._journal.append("failed", id=job.job_id, error=job.error)
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatcher(self) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            job = await self._admission.next_job()
+            if job is CLOSED:
+                return
+            job.status = RUNNING
+            job.started_at = wall_clock()
+            self._running += 1
+            gauge("serve.running", "jobs on a worker").set(self._running)
+            histogram("serve.queue_wait_seconds").observe(
+                job.started_at - job.submitted_at)
+            self._journal.append("started", id=job.job_id)
+            fresh_registry = self.config.worker_mode == "process"
+            try:
+                future = loop.run_in_executor(
+                    self._executor, functools.partial(
+                        execute_job, job.spec.as_dict(),
+                        fresh_registry=fresh_registry))
+                counter("serve.executed",
+                        "jobs dispatched to the pipeline").inc()
+                if self.config.job_timeout is not None:
+                    outcome = await asyncio.wait_for(
+                        asyncio.shield(future),
+                        timeout=self.config.job_timeout)
+                else:
+                    outcome = await future
+            except asyncio.TimeoutError:
+                self._finish(job, ok=False,
+                             error=f"job exceeded the server's "
+                                   f"{self.config.job_timeout}s run budget")
+                continue
+            except Exception as exc:  # pool broke, worker died...
+                self._finish(job, ok=False,
+                             error=f"worker failure: {exc}")
+                continue
+            finally:
+                self._running -= 1
+                gauge("serve.running").set(self._running)
+            if outcome["metrics"]:
+                get_registry().merge_snapshot(outcome["metrics"])
+            if outcome["ok"]:
+                self._finish(job, ok=True, result=outcome["result"],
+                             wall_s=outcome["wall_s"])
+            else:
+                self._finish(job, ok=False, error=outcome["error"])
+
+    def _finish(self, job: Job, ok: bool, result=None, error=None,
+                wall_s: Optional[float] = None) -> None:
+        job.finished_at = wall_clock()
+        if ok:
+            job.status = DONE
+            job.served_from = FROM_PIPELINE
+            job.result = result
+            counter("serve.completed").inc()
+            self._journal.append("done", id=job.job_id,
+                                 served_from=FROM_PIPELINE)
+            get_store().put("serve", {"request": job.fingerprint},
+                            {"result": result, "op": job.spec.op})
+        else:
+            job.status = FAILED
+            job.error = error
+            counter("serve.failed").inc()
+            self._journal.append("failed", id=job.job_id, error=error)
+        duration = wall_s if wall_s is not None else (
+            job.finished_at - (job.started_at or job.submitted_at))
+        histogram("serve.job_seconds",
+                  "pipeline seconds per executed job").observe(duration)
+        self._admission.observe_job_seconds(duration)
+        if self._inflight.get(job.fingerprint) == job.job_id:
+            del self._inflight[job.fingerprint]
+        self._trim_finished()
+
+    def _trim_finished(self) -> None:
+        if len(self._jobs) <= MAX_FINISHED_JOBS:
+            return
+        finished = [job_id for job_id, job in self._jobs.items()
+                    if job.status in (DONE, FAILED)]
+        for job_id in finished[:len(self._jobs) - MAX_FINISHED_JOBS]:
+            del self._jobs[job_id]
+
+    # -- routes ------------------------------------------------------------
+
+    def _route_submit(self, request: HttpRequest) -> HttpResponse:
+        if self._draining:
+            raise HttpError(503, "server is draining",
+                            headers={"Retry-After": "5"})
+        try:
+            spec = JobSpec.from_dict(request.json()).validate()
+        except ProtocolError as exc:
+            raise HttpError(400, str(exc)) from exc
+        except TypeError as exc:
+            raise HttpError(400, f"malformed request: {exc}") from exc
+        fingerprint = spec.fingerprint()
+        counter("serve.submitted", "job submissions accepted").inc()
+
+        # Single flight: identical in-flight work absorbs the submission.
+        existing_id = self._inflight.get(fingerprint)
+        if existing_id is not None:
+            job = self._jobs[existing_id]
+            job.coalesced_count += 1
+            counter("serve.coalesced",
+                    "submissions absorbed by an in-flight twin").inc()
+            return HttpResponse.from_json(
+                {"job": job.as_dict(), "coalesced": True}, status=200)
+
+        # Warm path: a finished twin lives in the artifact store.
+        stored = get_store().get("serve", {"request": fingerprint})
+        if stored is not MISS:
+            job = self._new_job(spec, fingerprint)
+            now = wall_clock()
+            job.status = DONE
+            job.started_at = job.finished_at = now
+            job.served_from = FROM_STORE
+            job.result = stored["result"]
+            counter("serve.store_served",
+                    "submissions answered from the artifact store").inc()
+            self._journal.append("submitted", id=job.job_id,
+                                 fingerprint=fingerprint,
+                                 spec=spec.as_dict())
+            self._journal.append("done", id=job.job_id,
+                                 served_from=FROM_STORE)
+            return HttpResponse.from_json(
+                {"job": job.as_dict(), "coalesced": False}, status=200)
+
+        # Cold path: admission control, then the queue.
+        job = self._new_job(spec, fingerprint)
+        try:
+            self._admission.admit(job)
+        except QueueFull as exc:
+            del self._jobs[job.job_id]
+            raise HttpError(
+                429,
+                f"queue full ({exc.depth} jobs); retry in "
+                f"{exc.retry_after}s",
+                headers={"Retry-After": str(exc.retry_after)}) from exc
+        self._inflight[fingerprint] = job.job_id
+        self._journal.append("submitted", id=job.job_id,
+                             fingerprint=fingerprint, spec=spec.as_dict())
+        return HttpResponse.from_json(
+            {"job": job.as_dict(), "coalesced": False}, status=202)
+
+    def _new_job(self, spec: JobSpec, fingerprint: str) -> Job:
+        job = Job(job_id=f"job-{self._seq}-{fingerprint[:8]}", spec=spec,
+                  fingerprint=fingerprint, status=QUEUED,
+                  submitted_at=wall_clock())
+        self._seq += 1
+        self._jobs[job.job_id] = job
+        return job
+
+    def _route_list(self, request: HttpRequest) -> HttpResponse:
+        jobs = [job.summary() for job in self._jobs.values()]
+        status_filter = request.query.get("status")
+        if status_filter:
+            jobs = [j for j in jobs if j["status"] == status_filter]
+        return HttpResponse.from_json({
+            "jobs": jobs,
+            "queued": len(self._admission),
+            "running": self._running,
+        })
+
+    def _route_job(self, request: HttpRequest,
+                   job_id: str) -> HttpResponse:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, f"no such job {job_id!r}")
+        return HttpResponse.from_json({"job": job.as_dict()})
+
+    def _route_health(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.from_json({
+            "status": "draining" if self._draining else "ok",
+            "version": __version__,
+            "workers": self.workers,
+            "worker_mode": self.config.worker_mode,
+            "queued": len(self._admission),
+            "queue_depth": self.config.queue_depth,
+            "running": self._running,
+            "jobs": len(self._jobs),
+        })
+
+    def _route_metrics(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.from_text(
+            get_registry().to_prometheus(),
+            content_type="text/plain; version=0.0.4; charset=utf-8")
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(self._error_response(exc, close=True)
+                                 .render())
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = self._dispatch_request(request)
+                if not request.keep_alive or self._draining:
+                    response.close = True
+                writer.write(response.render())
+                await writer.drain()
+                if response.close:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _dispatch_request(self, request: HttpRequest) -> HttpResponse:
+        counter("serve.http_requests", "HTTP requests handled").inc()
+        try:
+            handler, params = self._router.match(request.method,
+                                                 request.path)
+            return handler(request, **params)
+        except HttpError as exc:
+            return self._error_response(exc)
+        except Exception:
+            _log.exception("request_failed", method=request.method,
+                           path=request.path)
+            counter("serve.http_errors").inc()
+            return self._error_response(
+                HttpError(500, "internal server error"))
+
+    @staticmethod
+    def _error_response(exc: HttpError, close: bool = False
+                        ) -> HttpResponse:
+        response = HttpResponse.from_json(
+            {"error": exc.message, "status": exc.status},
+            status=exc.status, headers=exc.headers)
+        response.close = close
+        return response
+
+
+def run_server(config: ServeConfig,
+               on_started=None) -> int:
+    """Blocking entry point for ``repro serve``.
+
+    Installs loop signal handlers (overriding the CLI's synchronous
+    SIGTERM translation for the lifetime of the loop), runs until drained
+    and returns the exit status.  ``on_started`` is called with the bound
+    base URL once the listener is up — the CLI uses it to print the
+    address only after binding cannot fail anymore.
+    """
+
+    async def _amain() -> int:
+        server = JobServer(config)
+        await server.start()
+        server.install_signal_handlers()
+        if on_started is not None:
+            on_started(server.address)
+        return await server.run_until_drained()
+
+    return asyncio.run(_amain())
+
+
+class ServerThread:
+    """A JobServer on a background thread (tests and benchmarks).
+
+    Signal handlers are not installed (not possible off the main
+    thread); stop the server with :meth:`stop`, which performs the same
+    graceful drain a SIGTERM would.
+    """
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.address: Optional[str] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[JobServer] = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve")
+        self._error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        async def _amain() -> None:
+            self._server = JobServer(self.config)
+            try:
+                await self._server.start()
+                self.address = self._server.address
+            finally:
+                self._started.set()
+            await self._server.run_until_drained()
+
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(_amain())
+        except BaseException as exc:  # surfaced by start()/stop()
+            self._error = exc
+            self._started.set()
+        finally:
+            self._loop.close()
+
+    def start(self, timeout: float = 30.0) -> str:
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("server did not start in time")
+        if self._error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._error}") from self._error
+        return self.address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._server.request_drain)
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - hard failure
+            raise TimeoutError("server did not drain in time")
+        if self._error is not None:
+            raise RuntimeError(
+                f"server thread failed: {self._error}") from self._error

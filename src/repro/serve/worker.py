@@ -1,0 +1,155 @@
+"""Job execution: the function that runs inside worker processes.
+
+:func:`execute_job` is the single entry point the server's
+``ProcessPoolExecutor`` calls.  It takes a picklable spec dict, runs the
+requested pipeline operation, and returns a picklable outcome dict —
+success or failure, a JSON-able result body, the job's CPU/wall seconds,
+and a metrics-registry snapshot for the parent to fold back in (worker
+processes have their own process-wide registry).
+
+Workers inherit ``REPRO_CACHE_DIR``/``REPRO_NO_CACHE``, so every
+operation warm-starts through the persistent artifact store exactly like
+a CLI run: the second time any design/MUT/options combination is
+executed — by any worker — parsing, extraction, synthesis and even the
+final ATPG report load from the store.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Dict
+
+from repro.atpg.engine import AtpgOptions
+from repro.core.extractor import ExtractionMode
+from repro.core.factor import Factor
+from repro.obs import get_registry, span
+
+from repro.serve.protocol import JobSpec
+
+
+def execute_job(spec_dict: Dict[str, Any],
+                fresh_registry: bool = True) -> Dict[str, Any]:
+    """Run one job to completion; never raises.
+
+    ``fresh_registry`` resets the process-wide metrics registry first so
+    the returned snapshot is a per-job delta (safe in dedicated worker
+    processes; the in-thread worker mode passes False because it shares
+    the server's registry).
+    """
+    if fresh_registry:
+        get_registry().reset()
+    try:
+        spec = JobSpec.from_dict(spec_dict).validate()
+        with span("serve.execute", op=spec.op) as sp:
+            result = _OPERATIONS[spec.op](spec)
+        return {
+            "ok": True,
+            "result": result,
+            "error": None,
+            "wall_s": sp.wall_seconds,
+            "cpu_s": sp.cpu_seconds,
+            "metrics": get_registry().snapshot() if fresh_registry else {},
+        }
+    except Exception as exc:
+        return {
+            "ok": False,
+            "result": None,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(limit=20),
+            "wall_s": 0.0,
+            "cpu_s": 0.0,
+            "metrics": get_registry().snapshot() if fresh_registry else {},
+        }
+
+
+def _factor(spec: JobSpec) -> Factor:
+    mode = (ExtractionMode.CONVENTIONAL if spec.mode == "conventional"
+            else ExtractionMode.COMPOSE)
+    return Factor.from_verilog(spec.source, top=spec.top, mode=mode)
+
+
+def _op_analyze(spec: JobSpec) -> Dict[str, Any]:
+    factor = _factor(spec)
+    result = factor.analyze(spec.mut, path=spec.path,
+                            use_piers=spec.use_piers)
+    tr = result.transformed
+    return {
+        "op": "analyze",
+        "mut": spec.mut,
+        "mut_region": tr.mut_region,
+        "extraction_seconds": tr.extraction_seconds,
+        "synthesis_seconds": tr.synthesis_seconds,
+        "tasks_run": result.extraction.tasks_run,
+        "tasks_reused": result.extraction.tasks_reused,
+        "total_gates": tr.total_gates,
+        "mut_gates": tr.mut_gates,
+        "surrounding_gates": tr.surrounding_gates,
+        "num_pis": tr.num_pis,
+        "num_pos": tr.num_pos,
+        "kept_modules": list(result.extraction.kept_modules()),
+    }
+
+
+def _op_testability(spec: JobSpec) -> Dict[str, Any]:
+    factor = _factor(spec)
+    result = factor.analyze(spec.mut, path=spec.path,
+                            use_piers=spec.use_piers)
+    report = result.testability
+    return {
+        "op": "testability",
+        "mut": spec.mut,
+        "hard_coded_inputs": report.num_hard_coded,
+        "total_input_ports": report.total_input_ports,
+        "warnings": len(report.warnings),
+        "summary": report.summary(),
+    }
+
+
+def _op_atpg(spec: JobSpec) -> Dict[str, Any]:
+    factor = _factor(spec)
+    result = factor.analyze(spec.mut, path=spec.path,
+                            use_piers=spec.use_piers)
+    report = factor.generate_tests(result, AtpgOptions(
+        max_frames=spec.frames,
+        backtrack_limit=spec.backtrack_limit,
+        seed=spec.seed,
+        fault_sim_backend=spec.backend,
+    ))
+    row = report.as_row()
+    row.update({
+        "op": "atpg",
+        "mut": spec.mut,
+        "untestable": report.untestable,
+        "aborted": report.aborted,
+        "coverage_percent": report.coverage_percent,
+        "efficiency_percent": report.efficiency_percent,
+    })
+    return row
+
+
+def _op_lint(spec: JobSpec) -> Dict[str, Any]:
+    from repro.hierarchy.design import Design
+    from repro.lint import run_lint
+    from repro.verilog.parser import parse_source
+
+    design = Design(parse_source(spec.source), top=spec.top)
+    result = run_lint(design)
+    findings = [diag.render() for diag in result.diagnostics[:200]]
+    return {
+        "op": "lint",
+        "errors": len(result.errors),
+        "warnings": len(result.warnings),
+        "findings": findings,
+        "truncated": len(result.diagnostics) > 200,
+        "summary": result.summary(),
+        "clean": not result.errors and not (spec.strict
+                                            and result.warnings),
+    }
+
+
+_OPERATIONS = {
+    "analyze": _op_analyze,
+    "testability": _op_testability,
+    "atpg": _op_atpg,
+    "lint": _op_lint,
+}

@@ -10,11 +10,23 @@ from repro.obs.metrics import MetricsRegistry
 def test_resolve_jobs(monkeypatch):
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     assert resolve_jobs(3) == 3
-    assert resolve_jobs(0) == 1  # floor at one worker
     assert resolve_jobs() >= 1
     monkeypatch.setenv("REPRO_JOBS", "5")
     assert resolve_jobs() == 5
     assert resolve_jobs(2) == 2  # explicit argument wins over the env
+
+
+def test_resolve_jobs_nonpositive_means_all_cores(monkeypatch):
+    import repro.jobs
+
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.setattr(repro.jobs.os, "cpu_count", lambda: 6)
+    assert resolve_jobs(0) == 6
+    assert resolve_jobs(-1) == 6
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert resolve_jobs() == 6
+    monkeypatch.setattr(repro.jobs.os, "cpu_count", lambda: None)
+    assert resolve_jobs(0) == 1  # cpu_count unknown -> floor of one
 
 
 def test_merge_snapshot_folds_worker_delta():

@@ -1,0 +1,156 @@
+"""CLI surfaces of the serving stack: submit/jobs commands and atpg --jobs.
+
+Driven in-process through ``cli.main`` against a ``ServerThread`` so no
+subprocess management is needed; the serve bench suite and the jobs-helper
+tests cover the real ``repro serve`` subprocess path.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve import ServeConfig, ServerThread
+
+TWO_MUTS = """
+module and2(input a, input b, output y);
+  assign y = a & b;
+endmodule
+module or2(input a, input b, output y);
+  assign y = a | b;
+endmodule
+module topm(input a, input b, input c, output y);
+  wire t, u;
+  and2 g0(.a(a), .b(b), .y(t));
+  or2  g1(.a(t), .b(c), .y(u));
+  assign y = ~u;
+endmodule
+"""
+
+
+@pytest.fixture()
+def design_file(tmp_path):
+    path = tmp_path / "two_muts.v"
+    path.write_text(TWO_MUTS)
+    return str(path)
+
+
+@pytest.fixture()
+def server(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    thread = ServerThread(ServeConfig(port=0, worker_mode="thread",
+                                      jobs=1))
+    address = thread.start()
+    monkeypatch.setenv("REPRO_SERVER", address)
+    yield address
+    thread.stop()
+
+
+class TestAtpgJobs:
+    def test_multi_mut_serial(self, design_file, capsys):
+        rc = main(["atpg", design_file, "--top", "topm",
+                   "--mut", "and2", "--mut", "or2",
+                   "--frames", "1", "--backtrack-limit", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ATPG reports for 2 MUTs (jobs=1)" in out
+        assert "and2_transformed" in out
+        assert "or2_transformed" in out
+        assert "across 2 MUTs" in out
+
+    def test_multi_mut_parallel_pool(self, design_file, tmp_path, capsys):
+        metrics_path = str(tmp_path / "metrics.json")
+        rc = main(["atpg", design_file, "--top", "topm",
+                   "--mut", "and2", "--mut", "or2",
+                   "--frames", "1", "--backtrack-limit", "10",
+                   "--jobs", "2", "--metrics-out", metrics_path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out
+        # Worker metrics were merged back into the parent registry.
+        snapshot = json.loads(open(metrics_path).read())
+        assert any(name.startswith("atpg.") for name in snapshot)
+
+    def test_duplicate_muts_rejected(self, design_file, capsys):
+        rc = main(["atpg", design_file, "--top", "topm",
+                   "--mut", "and2", "--mut", "and2"])
+        assert rc == 1
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_path_incompatible_with_multi_mut(self, design_file, capsys):
+        rc = main(["atpg", design_file, "--top", "topm",
+                   "--mut", "and2", "--mut", "or2", "--path", "g0."])
+        assert rc == 1
+        assert "--path" in capsys.readouterr().err
+
+
+class TestSubmit:
+    def test_submit_files_waits_and_prints_report(self, design_file,
+                                                  server, capsys):
+        rc = main(["submit", design_file, "--op", "atpg", "--top", "topm",
+                   "--mut", "and2", "--frames", "1",
+                   "--backtrack-limit", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "job job-" in out
+        assert "and2" in out
+
+    def test_submit_json_output(self, design_file, server, capsys):
+        rc = main(["submit", design_file, "--op", "lint", "--top", "topm",
+                   "--json"])
+        assert rc == 0
+        job = json.loads(capsys.readouterr().out)
+        assert job["status"] == "done"
+        assert job["result"]["clean"] is True
+
+    def test_identical_resubmission_is_store_served(self, design_file,
+                                                    server, capsys):
+        args = ["submit", design_file, "--op", "lint", "--top", "topm",
+                "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["served_from"] == "pipeline"
+        assert second["served_from"] == "store"
+
+    def test_lint_strict_unclean_exits_2(self, tmp_path, server, capsys):
+        # An undriven output is a lint warning; --strict fails the job.
+        path = tmp_path / "warny.v"
+        path.write_text("module w(input a, output y);\nendmodule\n")
+        rc = main(["submit", str(path), "--op", "lint", "--top", "w",
+                   "--strict"])
+        assert rc == 2
+
+    def test_needs_files_or_design(self, server, capsys):
+        rc = main(["submit", "--op", "lint"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unreachable_server_is_clean_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVER", "http://127.0.0.1:1")
+        rc = main(["submit", "--op", "lint", "--design", "arm2"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestJobsCommand:
+    def test_lists_submitted_jobs(self, design_file, server, capsys):
+        assert main(["submit", design_file, "--op", "lint",
+                     "--top", "topm"]) == 0
+        capsys.readouterr()
+        rc = main(["jobs"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "job-" in out
+        assert "lint" in out
+        assert "done" in out
+
+    def test_status_filter(self, design_file, server, capsys):
+        assert main(["submit", design_file, "--op", "lint",
+                     "--top", "topm"]) == 0
+        capsys.readouterr()
+        rc = main(["jobs", "--status", "failed"])
+        assert rc == 0
+        assert "job-" not in capsys.readouterr().out

@@ -116,3 +116,65 @@ class TestRegistry:
         name = "test_obs_metrics.helper"
         counter(name).inc(3)
         assert get_registry().snapshot()[name]["value"] >= 3
+
+
+class TestPrometheusExposition:
+    def test_empty_registry_is_empty_string(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_counter_total_suffix_and_name_mangling(self):
+        reg = MetricsRegistry()
+        reg.counter("store.ast.hits", "AST cache hits").inc(7)
+        text = reg.to_prometheus()
+        assert "# HELP store_ast_hits_total AST cache hits\n" in text
+        assert "# TYPE store_ast_hits_total counter\n" in text
+        assert "store_ast_hits_total 7\n" in text
+        assert "." not in text.replace("0.0.4", "")
+
+    def test_gauge_plain_name(self):
+        reg = MetricsRegistry()
+        reg.gauge("serve.queue_depth").set(3)
+        text = reg.to_prometheus()
+        assert "# TYPE serve_queue_depth gauge\n" in text
+        assert "serve_queue_depth 3\n" in text
+        assert "_total" not in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("job.seconds")
+        for v in (0.75, 3.0, 3.5):  # 2^0 bucket, then two in 2^2
+            h.observe(v)
+        h.observe(0.0)  # unbucketed, but counted
+        text = reg.to_prometheus()
+        assert 'job_seconds_bucket{le="1.0"} 1\n' in text
+        # cumulative: the 2^2 bucket includes the 2^0 observation
+        assert 'job_seconds_bucket{le="4.0"} 3\n' in text
+        assert 'job_seconds_bucket{le="+Inf"} 4\n' in text
+        assert "job_seconds_sum 7.25\n" in text
+        assert "job_seconds_count 4\n" in text
+
+    def test_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.executed").inc()
+        reg.counter("parse.tokens").inc()
+        text = reg.to_prometheus(prefix="serve.")
+        assert "serve_executed_total" in text
+        assert "parse_tokens" not in text
+
+    def test_leading_digit_gets_underscore(self):
+        reg = MetricsRegistry()
+        reg.gauge("2pass.width").set(1)
+        assert "_2pass_width 1\n" in reg.to_prometheus()
+
+    def test_text_ends_with_newline_and_parses_line_wise(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.histogram("b").observe(1.5)
+        text = reg.to_prometheus()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)  # every sample value must be numeric
+            assert name

@@ -1,0 +1,172 @@
+"""HTTP plumbing: request parsing limits, routing, response rendering."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.httpd import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    Router,
+    read_request,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    """Drive ``read_request`` over an in-memory stream."""
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        request = parse(b"GET /v1/jobs?status=done&x=a%20b HTTP/1.1\r\n"
+                        b"Host: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/jobs"
+        assert request.query == {"status": "done", "x": "a b"}
+        assert request.keep_alive is True
+
+    def test_post_with_body(self):
+        body = json.dumps({"op": "lint"}).encode()
+        raw = (b"POST /v1/jobs HTTP/1.1\r\n"
+               b"Content-Type: application/json\r\n"
+               + f"Content-Length: {len(body)}\r\n\r\n".encode() + body)
+        request = parse(raw)
+        assert request.json() == {"op": "lint"}
+
+    def test_connection_close_clears_keep_alive(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_request_line(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET /v1")
+        assert exc.value.status == 400
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError, match="malformed"):
+            parse(b"GETS LASH\r\n\r\n")
+
+    def test_rejects_http_10_and_below(self):
+        with pytest.raises(HttpError, match="unsupported protocol"):
+            parse(b"GET / HTTP/0.9\r\n\r\n")
+
+    def test_rejects_chunked_transfer(self):
+        with pytest.raises(HttpError, match="chunked"):
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+
+    def test_body_size_limit_is_413(self):
+        raw = (b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n"
+               + b"x" * 100)
+        with pytest.raises(HttpError) as exc:
+            parse(raw, max_body=10)
+        assert exc.value.status == 413
+
+    def test_bad_content_length(self):
+        with pytest.raises(HttpError, match="Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+        with pytest.raises(HttpError, match="Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+
+    def test_truncated_body(self):
+        with pytest.raises(HttpError, match="truncated body"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    def test_header_size_limit(self):
+        raw = (b"GET / HTTP/1.1\r\n"
+               + b"X-Pad: " + b"y" * (70 * 1024) + b"\r\n\r\n")
+        with pytest.raises(HttpError):
+            parse(raw)
+
+    def test_percent_decoded_path(self):
+        request = parse(b"GET /v1/jobs/job%2D1 HTTP/1.1\r\n\r\n")
+        assert request.path == "/v1/jobs/job-1"
+
+    def test_two_pipelined_requests(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"GET /a HTTP/1.1\r\n\r\n"
+                             b"GET /b HTTP/1.1\r\n\r\n")
+            reader.feed_eof()
+            first = await read_request(reader)
+            second = await read_request(reader)
+            third = await read_request(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(run())
+        assert (first.path, second.path) == ("/a", "/b")
+        assert third is None
+
+
+class TestResponse:
+    def test_render_json(self):
+        raw = HttpResponse.from_json({"ok": True}).render()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert b"Connection: keep-alive" in head
+        assert json.loads(body) == {"ok": True}
+
+    def test_render_close_and_extra_headers(self):
+        response = HttpResponse.from_json(
+            {"error": "full"}, status=429, headers={"Retry-After": "7"})
+        response.close = True
+        raw = response.render()
+        assert raw.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Retry-After: 7" in raw
+        assert b"Connection: close" in raw
+
+    def test_from_text(self):
+        raw = HttpResponse.from_text("# metrics\n",
+                                     content_type="text/plain").render()
+        assert b"Content-Type: text/plain" in raw
+        assert raw.endswith(b"# metrics\n")
+
+
+class TestRouter:
+    def build(self):
+        router = Router()
+        router.add("GET", "/v1/jobs", "list")
+        router.add("POST", "/v1/jobs", "submit")
+        router.add("GET", "/v1/jobs/{job_id}", "show")
+        router.add("GET", "/healthz", "health")
+        return router
+
+    def test_literal_and_param_match(self):
+        router = self.build()
+        handler, params = router.match("GET", "/v1/jobs")
+        assert (handler, params) == ("list", {})
+        handler, params = router.match("GET", "/v1/jobs/job-12-ab")
+        assert handler == "show"
+        assert params == {"job_id": "job-12-ab"}
+
+    def test_method_dispatch_on_same_path(self):
+        router = self.build()
+        assert router.match("POST", "/v1/jobs")[0] == "submit"
+
+    def test_404_vs_405(self):
+        router = self.build()
+        with pytest.raises(HttpError) as exc:
+            router.match("GET", "/v2/jobs")
+        assert exc.value.status == 404
+        with pytest.raises(HttpError) as exc:
+            router.match("DELETE", "/v1/jobs")
+        assert exc.value.status == 405
+
+    def test_request_dataclass_defaults(self):
+        request = HttpRequest(method="GET", target="/", path="/",
+                              query={}, headers={})
+        assert request.body == b""
+        assert request.keep_alive is True

@@ -1,0 +1,181 @@
+"""Journal durability and the admission controller's queue invariants."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import wall_clock
+from repro.serve.admission import CLOSED, AdmissionController, QueueFull
+from repro.serve.journal import JobJournal, _sequence_of
+from repro.serve.protocol import FAILED, Job, JobSpec
+
+TINY = "module t(input a, output y); assign y = ~a; endmodule\n"
+
+
+def _job(seq: int, deadline_s=None, submitted_at=None) -> Job:
+    spec = JobSpec(op="lint", source=TINY,
+                   deadline_s=deadline_s).validate()
+    return Job(job_id=f"job-{seq}-{spec.fingerprint()[:8]}", spec=spec,
+               fingerprint=spec.fingerprint(),
+               submitted_at=wall_clock() if submitted_at is None
+               else submitted_at)
+
+
+class TestJournal:
+    def test_disabled_journal_is_inert(self, tmp_path):
+        journal = JobJournal(None)
+        journal.append("submitted", id="job-1-x")
+        assert journal.enabled is False
+        assert journal.replay() == ([], 1)
+
+    def test_replay_returns_unfinished_submissions(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = JobJournal(path)
+        journal.append("submitted", id="job-1-aa", spec={"op": "lint"})
+        journal.append("submitted", id="job-2-bb", spec={"op": "atpg"})
+        journal.append("started", id="job-1-aa")
+        journal.append("done", id="job-1-aa")
+        journal.append("submitted", id="job-3-cc", spec={"op": "lint"})
+        journal.append("started", id="job-3-cc")  # died while running
+        journal.close()
+
+        survivors, next_seq = JobJournal(path).replay()
+        assert [record["id"] for record in survivors] \
+            == ["job-2-bb", "job-3-cc"]
+        assert next_seq == 4  # ids must not collide with journaled ones
+
+    def test_replay_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(
+            json.dumps({"event": "submitted", "id": "job-1-aa",
+                        "spec": {"op": "lint"}}) + "\n"
+            + '{"event":"submitted","id":"job-2-bb","sp')  # torn write
+        survivors, next_seq = JobJournal(str(path)).replay()
+        assert [record["id"] for record in survivors] == ["job-1-aa"]
+        assert next_seq == 2
+
+    def test_replay_compacts_file_to_survivors(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = JobJournal(path)
+        for seq in (1, 2, 3):
+            journal.append("submitted", id=f"job-{seq}-xx", spec={})
+        journal.append("failed", id="job-2-xx")
+        journal.close()
+        JobJournal(path).replay()
+
+        lines = [json.loads(line) for line in
+                 open(path, encoding="utf-8")]
+        assert [record["id"] for record in lines] \
+            == ["job-1-xx", "job-3-xx"]
+        assert all(record["event"] == "submitted" for record in lines)
+
+    def test_replay_of_missing_file(self, tmp_path):
+        journal = JobJournal(str(tmp_path / "absent.jsonl"))
+        assert journal.replay() == ([], 1)
+
+    def test_sequence_parse(self):
+        assert _sequence_of("job-17-abcd1234") == 17
+        assert _sequence_of("weird") == 0
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_fifo_order(self):
+        async def scenario():
+            controller = AdmissionController(depth=4, workers=1)
+            first, second = _job(1), _job(2)
+            controller.admit(first)
+            controller.admit(second)
+            assert len(controller) == 2
+            assert await controller.next_job() is first
+            assert await controller.next_job() is second
+
+        run(scenario())
+
+    def test_depth_bound_raises_queue_full(self):
+        async def scenario():
+            controller = AdmissionController(depth=2, workers=1)
+            controller.admit(_job(1))
+            controller.admit(_job(2))
+            with pytest.raises(QueueFull) as exc:
+                controller.admit(_job(3))
+            assert exc.value.retry_after >= 1
+            # forced admission (journal resume) bypasses the bound
+            controller.admit(_job(4), force=True)
+            assert len(controller) == 3
+
+        run(scenario())
+
+    def test_retry_after_tracks_ewma_and_clamps(self):
+        async def scenario():
+            controller = AdmissionController(depth=8, workers=2)
+            controller.observe_job_seconds(40.0)
+            controller.admit(_job(1))
+            controller.admit(_job(2))
+            hint = controller.retry_after_hint()
+            assert 1 <= hint <= 300
+            for _ in range(10):
+                controller.observe_job_seconds(100000.0)
+            assert controller.retry_after_hint() == 300
+
+        run(scenario())
+
+    def test_expired_job_failed_not_dispatched(self):
+        async def scenario():
+            expired_seen = []
+            controller = AdmissionController(
+                depth=4, workers=1, on_expired=expired_seen.append)
+            stale = _job(1, deadline_s=0.001,
+                         submitted_at=wall_clock() - 10.0)
+            fresh = _job(2)
+            controller.admit(stale)
+            controller.admit(fresh)
+            assert await controller.next_job() is fresh
+            assert stale.status == FAILED
+            assert "deadline" in stale.error
+            assert expired_seen == [stale]
+
+        run(scenario())
+
+    def test_close_wakes_dispatcher_with_closed(self):
+        async def scenario():
+            controller = AdmissionController(depth=4, workers=1)
+            waiter = asyncio.ensure_future(controller.next_job())
+            await asyncio.sleep(0)  # let the dispatcher block on the queue
+            controller.close()
+            assert await waiter is CLOSED
+            with pytest.raises(RuntimeError, match="draining"):
+                controller.admit(_job(1))
+
+        run(scenario())
+
+    def test_close_without_keep_backlog_abandons_queue(self):
+        async def scenario():
+            controller = AdmissionController(depth=4, workers=1)
+            job = _job(1)
+            controller.admit(job)
+            backlog = controller.close(keep_backlog=False)
+            assert backlog == [job]
+            assert len(controller) == 0
+            assert await controller.next_job() is CLOSED
+
+        run(scenario())
+
+    def test_close_with_keep_backlog_still_dispatches(self):
+        async def scenario():
+            controller = AdmissionController(depth=4, workers=1)
+            job = _job(1)
+            controller.admit(job)
+            controller.close(keep_backlog=True)
+            assert await controller.next_job() is job
+            assert await controller.next_job() is CLOSED
+
+        run(scenario())
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(depth=0, workers=1)

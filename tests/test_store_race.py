@@ -1,0 +1,65 @@
+"""Concurrent artifact-store publishes: last-writer-wins, never corruption.
+
+The job server's workers (and any two pipeline processes sharing a cache
+directory) can race ``put`` on the same key.  The store publishes through
+``os.replace`` of a per-writer temp file, so both writers must succeed
+and a subsequent ``get`` must return one writer's payload intact — a torn
+mix of the two, or a corrupt-entry miss, is a bug.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.store.core import MISS, ArtifactStore
+
+STAGE = "serve"
+KEY = {"request": "deadbeef"}
+
+
+def _racing_put(root, barrier, tag, results):
+    store = ArtifactStore(root)
+    payload = {"writer": tag, "rows": list(range(256)), "pad": "x" * 4096}
+    barrier.wait(timeout=30)
+    ok = store.put(STAGE, KEY, payload)
+    read_back = store.get(STAGE, KEY)
+    results.put((tag, ok, read_back is not MISS and read_back["writer"]))
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+def test_two_processes_racing_put_both_succeed(tmp_path):
+    context = multiprocessing.get_context("fork")
+    barrier = context.Barrier(2)
+    results = context.Queue()
+    workers = [
+        context.Process(target=_racing_put,
+                        args=(str(tmp_path), barrier, tag, results))
+        for tag in ("a", "b")
+    ]
+    for worker in workers:
+        worker.start()
+    outcomes = {}
+    for _ in workers:
+        tag, ok, seen_writer = results.get(timeout=60)
+        outcomes[tag] = (ok, seen_writer)
+    for worker in workers:
+        worker.join(timeout=30)
+        assert worker.exitcode == 0
+    # Both writers succeed, and each read back a complete envelope from
+    # one of the two writers (the race decides which).
+    assert set(outcomes) == {"a", "b"}
+    for ok, seen_writer in outcomes.values():
+        assert ok is True
+        assert seen_writer in ("a", "b")
+
+    # The surviving entry is a fully intact envelope.
+    final = ArtifactStore(str(tmp_path)).get(STAGE, KEY)
+    assert final is not MISS
+    assert final["writer"] in ("a", "b")
+    assert final["rows"] == list(range(256))
+    assert len(final["pad"]) == 4096
+    # No temp files were left behind by the losing writer.
+    leftovers = [name for _dir, _sub, files in os.walk(tmp_path)
+                 for name in files if name.startswith(".tmp-")]
+    assert leftovers == []
