@@ -11,7 +11,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.obs import CpuTimer, Deadline, counter, gauge, histogram, span
+from repro.obs import CpuTimer, Deadline, counter, gauge, histogram, \
+    progress, span
 from repro.obs.record import RunRecord
 from repro.synth.netlist import Netlist
 from repro.atpg.faults import Fault, build_fault_list
@@ -188,6 +189,9 @@ class AtpgEngine:
             if dff.output in opts.pier_qs
         ) if opts.pier_qs else None
 
+        progress("atpg.setup", force=True, faults=total,
+                 netlist=self.netlist.name)
+
         # -- phase 1: random vectors -------------------------------------
         with span("atpg.random") as sp_random:
             for _ in range(opts.random_sequences):
@@ -205,6 +209,9 @@ class AtpgEngine:
                     self.tests.append((vectors, {}))
                 detected |= found
                 remaining -= found
+                progress("atpg.random", detected=len(detected),
+                         remaining=len(remaining),
+                         vectors=sum(len(v) for v, _ in self.tests))
             random_detected = len(detected)
             sp_random.set("detected", random_detected)
 
@@ -254,12 +261,21 @@ class AtpgEngine:
                     remaining.discard(fault)
                     reason = result.abort_reason or "unknown"
                     abort_reasons[reason] = abort_reasons.get(reason, 0) + 1
+                progress("atpg.podem", detected=len(detected),
+                         remaining=len(remaining),
+                         untestable=len(untestable), aborted=len(aborted),
+                         backtracks=total_backtracks,
+                         vectors=sum(len(v) for v, _ in self.tests))
             sp_podem.set("backtracks", total_backtracks)
             sp_podem.set("test_gen_seconds", round(test_gen_seconds, 6))
 
         for reason, count in abort_reasons.items():
             counter(f"atpg.aborts.{reason}").inc(count)
         sp.set("fault_sim_seconds", round(fault_sim_timer.elapsed, 6))
+        progress("atpg.done", force=True, detected=len(detected),
+                 remaining=len(remaining), untestable=len(untestable),
+                 aborted=len(aborted), backtracks=total_backtracks,
+                 vectors=sum(len(v) for v, _ in self.tests))
 
         coverage = 100.0 * len(detected) / total if total else 100.0
         efficiency = (

@@ -70,7 +70,7 @@ class FaultSimulator:
         adds nets compared against the good machine every cycle (the PIER
         store-instruction model: those registers can be read out).
         """
-        from repro.obs import counter
+        from repro.obs import counter, progress
 
         if self._compiled is not None:
             detected, blocks = compiled_detected_faults(
@@ -93,6 +93,8 @@ class FaultSimulator:
         counter("fault_sim.vectors").inc(len(vectors) * blocks)
         counter("fault_sim.faults_simulated").inc(len(faults))
         counter("fault_sim.faults_detected").inc(len(detected))
+        progress("fault_sim", simulated=len(faults),
+                 found=len(detected), vectors=len(vectors))
         return detected
 
     # -- internals -------------------------------------------------------------

@@ -15,7 +15,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.obs import CpuTimer, Deadline
+from repro.obs import CpuTimer, Deadline, progress
 from repro.synth.netlist import GateType
 from repro.atpg.faults import Fault
 from repro.atpg.sequential import Key, UnrolledModel
@@ -143,6 +143,10 @@ class Podem:
                 key, value, tried, undo = stack.pop()
                 self._revert(undo)
                 self.backtracks += 1
+                if self.backtracks % 256 == 0:
+                    progress("podem.search", backtracks=self.backtracks,
+                             decisions=self.decisions,
+                             frames=model.frames)
                 if self.backtracks > self.backtrack_limit:
                     status = "aborted"
                     abort_reason = "backtrack_limit"

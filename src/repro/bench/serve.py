@@ -9,7 +9,10 @@ server subprocess with a fresh artifact store:
 - **coalesced** — N concurrent identical submissions while the job is in
   flight: all clients share one pipeline execution,
 - **throughput** — sustained distinct-job traffic from concurrent
-  clients, in jobs/second.
+  clients, in jobs/second,
+- **progress_overhead** — ATPG engine CPU seconds with the live progress
+  reporter installed vs not (in-process, store disabled); guards the
+  promise that observability costs under 2%.
 
 Every row records a ``match`` verdict (the run's correctness condition —
 e.g. warm rows must actually be store-served) and carries its own
@@ -125,6 +128,7 @@ def serve_rows(quick: bool = False, seed: int = 2002,
         rows.append(_warm_row(client, quick, seed))
         rows.append(_coalesced_row(client, quick, seed))
         rows.append(_throughput_row(client, quick, seed))
+        rows.append(_progress_overhead_row(quick, seed))
         code = server.stop()
         server = None
         if code != 0:
@@ -207,6 +211,61 @@ def _coalesced_row(client: ServeClient, quick: bool,
     return _row("coalesced", n=COALESCE_CLIENTS,
                 wall_s=round(sp.wall_seconds, 3),
                 served=f"executions={int(executions)}", match=match)
+
+
+def _progress_overhead_row(quick: bool, seed: int) -> Dict[str, object]:
+    """ATPG engine CPU seconds: progress reporter installed vs not.
+
+    Runs in-process (no server) with the artifact store disabled so both
+    configurations execute the full engine loop; best-of-N CPU seconds
+    per configuration to shrug off scheduler noise.  ``match`` holds the
+    <2% overhead promise from docs/observability.md — and requires the
+    reporter to have actually fired, so a silently-disconnected hook
+    can't pass as zero-cost.
+    """
+    from repro.atpg.engine import AtpgOptions
+    from repro.core.factor import Factor
+    from repro.designs import arm2_source
+    from repro.obs import CallbackProgressReporter, CpuTimer, reporting
+
+    frames, backtracks = (1, 10) if quick else (2, 50)
+    repeats = 3 if quick else 5
+    saved_no_cache = os.environ.get("REPRO_NO_CACHE")
+    os.environ["REPRO_NO_CACHE"] = "1"
+    events: List[Dict[str, object]] = []
+    try:
+        factor = Factor.from_verilog(arm2_source(), top="arm")
+        analyzed = factor.analyze("arm_alu")
+        options = AtpgOptions(max_frames=frames,
+                              backtrack_limit=backtracks, seed=seed)
+
+        def timed(reporter) -> float:
+            timer = CpuTimer()
+            with timer:
+                if reporter is None:
+                    factor.generate_tests(analyzed, options)
+                else:
+                    with reporting(reporter):
+                        factor.generate_tests(analyzed, options)
+            return timer.elapsed
+
+        with span("bench.serve", mode="progress_overhead",
+                  repeats=repeats) as sp:
+            baseline = min(timed(None) for _ in range(repeats))
+            reported = min(
+                timed(CallbackProgressReporter(events.append))
+                for _ in range(repeats))
+    finally:
+        if saved_no_cache is None:
+            os.environ.pop("REPRO_NO_CACHE", None)
+        else:
+            os.environ["REPRO_NO_CACHE"] = saved_no_cache
+    overhead_pct = 100.0 * (reported - baseline) / max(baseline, 1e-9)
+    return _row("progress_overhead", n=repeats,
+                wall_s=round(sp.wall_seconds, 3),
+                served=f"cpu {baseline:.3f}s -> {reported:.3f}s "
+                       f"({overhead_pct:+.2f}%)",
+                match=overhead_pct < 2.0 and bool(events))
 
 
 def _throughput_row(client: ServeClient, quick: bool,

@@ -27,8 +27,13 @@ Subcommands:
                    check); writes ``BENCH_*.json``, exits 1 on mismatch,
 - ``serve``        resident ATPG job server (queueing, admission control,
                    request coalescing, graceful drain; see docs/serving.md),
-- ``submit``       submit a job to a running server and (by default) wait,
-- ``jobs``         list the jobs a running server knows about.
+- ``submit``       submit a job to a running server and (by default) wait;
+                   ``--watch`` streams live progress instead of polling,
+- ``jobs``         list the jobs a running server knows about;
+                   ``--follow JOB_ID`` tails one job's event stream,
+- ``trace``        inspect stitched per-job trace files: ``show`` renders
+                   a waterfall + top-spans view, ``slow`` lists jobs that
+                   exceeded the server's slow threshold.
 
 ``analyze`` and ``atpg`` accept ``--lint`` to run the linter as a
 pre-flight gate: error-severity findings abort before extraction starts.
@@ -316,6 +321,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           default=True,
                           help="poll until the job finishes "
                                "(default: --wait)")
+    p_submit.add_argument("--watch", action="store_true",
+                          help="follow the job's live event stream and "
+                               "render a progress line (implies --wait)")
     p_submit.add_argument("--timeout", type=float, default=600.0,
                           help="seconds to wait for completion "
                                "(default 600)")
@@ -330,8 +338,48 @@ def _build_parser() -> argparse.ArgumentParser:
     p_jobs.add_argument("--status",
                         choices=["queued", "running", "done", "failed"],
                         help="only jobs in this state")
+    p_jobs.add_argument("--follow", metavar="JOB_ID",
+                        help="tail one job's event stream as NDJSON "
+                             "until it finishes")
+    p_jobs.add_argument("--since", type=int, default=0,
+                        help="with --follow: replay events after this "
+                             "sequence number (default 0 = all)")
     p_jobs.add_argument("--json", action="store_true", dest="as_json")
     add_obs(p_jobs)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect stitched per-job trace files (see "
+             "docs/observability.md)",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_show = trace_sub.add_parser(
+        "show", help="waterfall + top-spans view of one stitched trace")
+    p_trace_show.add_argument("trace",
+                              help="trace file path, or a job id looked "
+                                   "up under --trace-dir")
+    p_trace_show.add_argument("--trace-dir", metavar="DIR",
+                              help="stitched-trace directory (default: "
+                                   "<cache>/traces)")
+    p_trace_show.add_argument("--top", type=int, default=10,
+                              dest="top_spans",
+                              help="rows in the top-spans table "
+                                   "(default 10)")
+    p_trace_show.add_argument("--json", action="store_true",
+                              dest="as_json",
+                              help="print the parsed spans as JSON")
+    add_obs(p_trace_show)
+    p_trace_slow = trace_sub.add_parser(
+        "slow", help="jobs that exceeded the server's slow threshold")
+    p_trace_slow.add_argument("--trace-dir", metavar="DIR",
+                              help="stitched-trace directory (default: "
+                                   "<cache>/traces)")
+    p_trace_slow.add_argument("--limit", type=int, default=20,
+                              help="most recent entries shown "
+                                   "(default 20)")
+    p_trace_slow.add_argument("--json", action="store_true",
+                              dest="as_json")
+    add_obs(p_trace_slow)
 
     return parser
 
@@ -779,8 +827,12 @@ def _cmd_submit(args) -> int:
             origin = job.get("served_from") or (
                 "coalesced" if response.get("coalesced") else "queued")
             print(f"job {job['id']}: {job['status']} ({origin})")
-        if args.wait and job["status"] not in ("done", "failed"):
-            job = client.wait(job["id"], timeout=args.timeout)
+        if job["status"] not in ("done", "failed"):
+            if args.watch:
+                _watch_job(client, job["id"])
+                job = client.job(job["id"])
+            elif args.wait:
+                job = client.wait(job["id"], timeout=args.timeout)
     except ServeError as exc:
         if exc.status == 429:
             print(f"rejected: {exc.message}", file=sys.stderr)
@@ -831,11 +883,73 @@ def _print_job_outcome(job: Dict[str, object]) -> None:
         print(f"(served from {served})")
 
 
+def _watch_job(client, job_id: str) -> None:
+    """Render a job's event stream as a live one-line progress display.
+
+    Progress lines overwrite each other on stderr (carriage return, no
+    newline) so the terminal shows one updating status line; lifecycle
+    events print permanently.  Returns when the stream reaches a
+    terminal event or the connection drops — the caller re-fetches the
+    job either way.
+    """
+    live = False
+
+    def clear_line() -> None:
+        nonlocal live
+        if live:
+            print("\r\x1b[K", end="", file=sys.stderr)
+            live = False
+
+    try:
+        for event in client.events(job_id):
+            kind = event.get("event")
+            if kind in ("keepalive", "heartbeat"):
+                continue
+            if kind == "progress":
+                fields = ", ".join(
+                    f"{k}={v}" for k, v in sorted(event.items())
+                    if k not in ("event", "phase", "seq", "t"))
+                line = f"[{event.get('phase')}] {fields}"
+                print(f"\r\x1b[K{line[:120]}", end="",
+                      file=sys.stderr, flush=True)
+                live = True
+                continue
+            clear_line()
+            if kind == "done":
+                wall = event.get("wall_s")
+                extra = f" in {wall:.2f}s" if isinstance(
+                    wall, (int, float)) else ""
+                print(f"job {job_id} done{extra}", file=sys.stderr)
+            elif kind == "failed":
+                print(f"job {job_id} failed: {event.get('error')}",
+                      file=sys.stderr)
+            else:
+                print(f"job {job_id}: {kind}", file=sys.stderr)
+    except (OSError, TimeoutError) as exc:
+        clear_line()
+        print(f"watch interrupted ({exc}); fetching final state",
+              file=sys.stderr)
+    finally:
+        clear_line()
+
+
 def _cmd_jobs(args) -> int:
     from repro.serve import ServeClient, ServeError
     from repro.serve.client import jobs_summary_rows
 
     client = ServeClient(args.server)
+    if args.follow:
+        try:
+            for event in client.events(args.follow, since=args.since):
+                if event.get("event") == "keepalive":
+                    continue
+                print(json.dumps(event, sort_keys=True), flush=True)
+                if event.get("event") in ("done", "failed"):
+                    return 0 if event["event"] == "done" else 1
+        except (OSError, ServeError, TimeoutError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
     try:
         listing = client.jobs(status=args.status)
     except (OSError, ServeError) as exc:
@@ -851,6 +965,89 @@ def _cmd_jobs(args) -> int:
         print(format_table(
             f"Jobs ({listing['queued']} queued, "
             f"{listing['running']} running)", rows))
+    return 0
+
+
+def _default_trace_dir() -> str:
+    import os
+
+    from repro.store import default_cache_dir
+
+    return os.path.join(default_cache_dir(), "traces")
+
+
+def _cmd_trace(args) -> int:
+    import os
+
+    from repro.obs.trace import read_trace_jsonl
+    from repro.obs.traceview import top_spans, trace_summary, waterfall_rows
+
+    trace_dir = args.trace_dir or _default_trace_dir()
+    if args.trace_command == "slow":
+        path = os.path.join(trace_dir, "slow_jobs.jsonl")
+        entries = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue  # torn tail from a crashed writer
+                    if isinstance(entry, dict):
+                        entries.append(entry)
+        except OSError:
+            pass
+        entries = entries[-args.limit:]
+        if args.as_json:
+            print(json.dumps(entries, indent=2))
+            return 0
+        if not entries:
+            print(f"no slow jobs recorded under {trace_dir}")
+            return 0
+        rows = []
+        for entry in entries:
+            phases = entry.get("phases") or {}
+            top = max(phases.items(), key=lambda kv: kv[1])[0] \
+                if phases else "-"
+            rows.append({
+                "job": entry.get("id", "?"),
+                "op": entry.get("op", "-"),
+                "wall_s": f"{entry.get('wall_s', 0.0):.2f}",
+                "threshold_s": f"{entry.get('threshold_s', 0.0):.2f}",
+                "hottest_phase": top,
+                "trace": entry.get("trace") or "-",
+            })
+        print(format_table(f"Slow jobs (last {len(rows)})", rows))
+        return 0
+
+    # trace show: operand is a file path or a bare job id in trace_dir.
+    path = args.trace
+    if not os.path.exists(path):
+        candidate = os.path.join(trace_dir, f"{args.trace}.jsonl")
+        if os.path.exists(candidate):
+            path = candidate
+        else:
+            print(f"error: no trace file {args.trace!r} "
+                  f"(also tried {candidate})", file=sys.stderr)
+            return 1
+    spans = read_trace_jsonl(path)
+    if not spans:
+        print(f"error: no spans in {path}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(spans, indent=2))
+        return 0
+    summary = trace_summary(spans)
+    print(f"trace {', '.join(summary['trace_ids']) or '?'}: "
+          f"{summary['spans']} spans across "
+          f"{', '.join(summary['processes']) or '?'}; "
+          f"{summary['total_wall_s']:.3f}s total")
+    print(format_table("Waterfall", waterfall_rows(spans)))
+    rows = top_spans(spans, limit=args.top_spans)
+    print(format_table("Top spans by wall time", rows))
     return 0
 
 
@@ -938,6 +1135,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
+    "trace": _cmd_trace,
 }
 
 

@@ -8,6 +8,8 @@ clock source and one run record format:
 - :mod:`repro.obs.trace`   — hierarchical spans (wall + CPU time), timers
   and deadlines; exportable as a span tree, JSON lines or Chrome trace,
 - :mod:`repro.obs.metrics` — process-wide counters, gauges and histograms,
+- :mod:`repro.obs.progress` — live progress hook for long-running loops
+  (throttled reporters, worker→server queue forwarding, heartbeats),
 - :mod:`repro.obs.record`  — ``RunRecord``: spans + metrics snapshot
   attached to analysis/ATPG results,
 - :mod:`repro.obs.atomic`  — atomic tmp+``os.replace`` file publication
@@ -26,14 +28,28 @@ from repro.obs.metrics import (
     get_registry,
     histogram,
 )
+from repro.obs.progress import (
+    CallbackProgressReporter,
+    ProgressReporter,
+    QueueProgressReporter,
+    get_reporter,
+    progress,
+    reporting,
+    set_reporter,
+)
 from repro.obs.record import RunRecord
 from repro.obs.trace import (
     CpuTimer,
     Deadline,
     Span,
+    TraceContext,
     Tracer,
     cpu_clock,
+    epoch_seconds,
     get_tracer,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
     span,
     wall_clock,
 )
@@ -51,13 +67,25 @@ __all__ = [
     "gauge",
     "get_registry",
     "histogram",
+    "CallbackProgressReporter",
+    "ProgressReporter",
+    "QueueProgressReporter",
+    "get_reporter",
+    "progress",
+    "reporting",
+    "set_reporter",
     "RunRecord",
     "CpuTimer",
     "Deadline",
     "Span",
+    "TraceContext",
     "Tracer",
     "cpu_clock",
+    "epoch_seconds",
     "get_tracer",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "span",
     "wall_clock",
 ]

@@ -1,0 +1,110 @@
+"""Terminal rendering of stitched trace files (``repro trace``).
+
+A stitched trace is the flat JSONL the job server writes per job:
+one span per line with ``trace_id``/``id``/``parent`` links, a
+``process`` label (server/worker) and Unix-epoch start times, so spans
+from different processes share one axis.  This module turns that into
+
+- a **waterfall**: the span tree in start order, one bar per span scaled
+  to the trace's total wall time, and
+- a **top-spans** table: the heaviest spans by wall seconds.
+
+Pure functions over parsed span dicts — the CLI owns file IO and exit
+codes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Width of the waterfall bar column in characters.
+BAR_WIDTH = 30
+
+
+def span_children(spans: Sequence[Dict[str, Any]]
+                  ) -> Dict[Optional[str], List[Dict[str, Any]]]:
+    """Group spans by parent id, each group in start order."""
+    known = {s.get("id") for s in spans}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent")
+        # A parent outside the file (e.g. a client-side context the
+        # server never saw) makes the span a root of this view.
+        key = parent if parent in known else None
+        children.setdefault(key, []).append(span)
+    for group in children.values():
+        group.sort(key=lambda s: s.get("start_unix") or 0.0)
+    return children
+
+
+def waterfall_rows(spans: Sequence[Dict[str, Any]]
+                   ) -> List[Dict[str, Any]]:
+    """Flatten the span forest into indented waterfall rows."""
+    if not spans:
+        return []
+    children = span_children(spans)
+    starts = [s.get("start_unix") for s in spans
+              if s.get("start_unix") is not None]
+    t0 = min(starts) if starts else 0.0
+    ends = [(s.get("start_unix") or t0) + (s.get("wall_s") or 0.0)
+            for s in spans]
+    total = max(ends) - t0 if ends else 0.0
+    rows: List[Dict[str, Any]] = []
+
+    def emit(span: Dict[str, Any], depth: int) -> None:
+        start = (span.get("start_unix") or t0) - t0
+        wall = span.get("wall_s") or 0.0
+        if total > 0:
+            left = int(round(BAR_WIDTH * start / total))
+            width = max(1, int(round(BAR_WIDTH * wall / total)))
+            left = min(left, BAR_WIDTH - 1)
+            width = min(width, BAR_WIDTH - left)
+        else:
+            left, width = 0, BAR_WIDTH
+        rows.append({
+            "span": "  " * depth + str(span.get("name") or "?"),
+            "proc": span.get("process") or "-",
+            "start_s": f"{start:+.3f}",
+            "wall_s": f"{wall:.3f}",
+            "cpu_s": f"{span.get('cpu_s') if span.get('cpu_s') is not None else 0.0:.3f}",
+            "timeline": " " * left + "#" * width
+                        + " " * (BAR_WIDTH - left - width),
+        })
+        for child in children.get(span.get("id"), []):
+            emit(child, depth + 1)
+
+    for root in children.get(None, []):
+        emit(root, 0)
+    return rows
+
+
+def top_spans(spans: Sequence[Dict[str, Any]], limit: int = 10
+              ) -> List[Dict[str, Any]]:
+    """The heaviest spans by wall seconds, as table rows."""
+    ranked = sorted(spans, key=lambda s: s.get("wall_s") or 0.0,
+                    reverse=True)
+    rows = []
+    for span in ranked[:limit]:
+        rows.append({
+            "span": str(span.get("name") or "?"),
+            "proc": span.get("process") or "-",
+            "wall_s": f"{span.get('wall_s') or 0.0:.3f}",
+            "cpu_s": f"{span.get('cpu_s') if span.get('cpu_s') is not None else 0.0:.3f}",
+        })
+    return rows
+
+
+def trace_summary(spans: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Header facts for one stitched trace."""
+    trace_ids = sorted({s.get("trace_id") for s in spans
+                        if s.get("trace_id")})
+    processes = sorted({s.get("process") for s in spans
+                        if s.get("process")})
+    roots = span_children(spans).get(None, [])
+    total = max((r.get("wall_s") or 0.0) for r in roots) if roots else 0.0
+    return {
+        "spans": len(spans),
+        "trace_ids": trace_ids,
+        "processes": processes,
+        "total_wall_s": round(total, 6),
+    }

@@ -89,6 +89,12 @@ class AdmissionController:
         """Fold a completed job's duration into the Retry-After estimate."""
         self._job_seconds_ewma += 0.3 * (seconds - self._job_seconds_ewma)
 
+    @property
+    def job_seconds_ewma(self) -> float:
+        """The smoothed job duration (seed 5.0, α=0.3) — also the basis
+        of the server's slow-job threshold."""
+        return self._job_seconds_ewma
+
     # -- dispatch ----------------------------------------------------------
 
     async def next_job(self):

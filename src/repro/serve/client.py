@@ -11,7 +11,7 @@ import json
 import os
 import time
 from http.client import HTTPConnection
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 from urllib.parse import urlparse
 
 DEFAULT_SERVER = "http://127.0.0.1:8371"
@@ -49,17 +49,19 @@ class ServeClient:
     # -- transport ---------------------------------------------------------
 
     def request(self, method: str, path: str,
-                payload: Optional[Dict[str, Any]] = None
+                payload: Optional[Dict[str, Any]] = None,
+                headers: Optional[Dict[str, str]] = None
                 ) -> Tuple[int, Dict[str, str], Any]:
         """One request; returns (status, headers, parsed body)."""
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = None
-            headers = {"Connection": "close"}
+            send_headers = {"Connection": "close"}
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
+                send_headers["Content-Type"] = "application/json"
+            send_headers.update(headers or {})
+            conn.request(method, path, body=body, headers=send_headers)
             response = conn.getresponse()
             raw = response.read()
             header_map = {k.lower(): v for k, v in response.getheaders()}
@@ -73,8 +75,10 @@ class ServeClient:
         return response.status, header_map, parsed
 
     def _checked(self, method: str, path: str,
-                 payload: Optional[Dict[str, Any]] = None) -> Any:
-        status, headers, body = self.request(method, path, payload)
+                 payload: Optional[Dict[str, Any]] = None,
+                 headers: Optional[Dict[str, str]] = None) -> Any:
+        status, headers, body = self.request(method, path, payload,
+                                             headers=headers)
         if status >= 400:
             message = body.get("error", str(body)) \
                 if isinstance(body, dict) else str(body)
@@ -86,9 +90,15 @@ class ServeClient:
 
     # -- API ---------------------------------------------------------------
 
-    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
-        """Submit a job spec; returns ``{"job": ..., "coalesced": ...}``."""
-        return self._checked("POST", "/v1/jobs", spec)
+    def submit(self, spec: Dict[str, Any],
+               traceparent: Optional[str] = None) -> Dict[str, Any]:
+        """Submit a job spec; returns ``{"job": ..., "coalesced": ...}``.
+
+        ``traceparent`` propagates a caller-side trace context: the
+        server parents its submit span (and everything under it) there.
+        """
+        headers = {"traceparent": traceparent} if traceparent else None
+        return self._checked("POST", "/v1/jobs", spec, headers=headers)
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._checked("GET", f"/v1/jobs/{job_id}")["job"]
@@ -112,6 +122,47 @@ class ServeClient:
             if len(parts) == 2 and parts[0] == name:
                 return float(parts[1])
         return None
+
+    def events(self, job_id: str, since: int = 0,
+               timeout: Optional[float] = None
+               ) -> Iterator[Dict[str, Any]]:
+        """Stream a job's NDJSON event feed; yields one dict per event.
+
+        Long-poll semantics: replays events past the ``since`` cursor,
+        then follows live until the job reaches a terminal state (the
+        server closes the stream after the ``done``/``failed`` event).
+        Keep-alive lines (``{"event": "keepalive"}``) are yielded too so
+        callers can show liveness; filter on ``event`` if unwanted.
+        ``timeout`` bounds each read, not the whole stream — it must
+        exceed the server's keep-alive interval.
+        """
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=timeout or max(self.timeout, 60.0))
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events?since={since}",
+                         headers={"Connection": "close"})
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw.decode("utf-8"))["error"]
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    message = raw.decode("utf-8", errors="replace")
+                raise ServeError(response.status, message)
+            # http.client undoes the chunked framing; iterating the
+            # response yields the NDJSON lines as the server flushes them.
+            for raw_line in response:
+                line = raw_line.decode("utf-8").strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(event, dict):
+                    yield event
+        finally:
+            conn.close()
 
     def wait(self, job_id: str, timeout: float = 300.0,
              interval: float = 0.05) -> Dict[str, Any]:

@@ -8,9 +8,13 @@ keep-alive) and closed when the client sends ``Connection: close``, when a
 parse error makes the stream position untrustworthy, or when the server is
 draining.
 
-Only what the service needs is implemented: ``Content-Length`` bodies (no
-chunked transfer), no compression, no TLS.  Anything outside that envelope
-gets a clean 4xx instead of undefined behavior.
+Only what the service needs is implemented: ``Content-Length`` bodies on
+requests (no chunked uploads), no compression, no TLS.  Responses are
+either fixed-length (:class:`HttpResponse`) or a chunked-transfer NDJSON
+stream (:class:`NdjsonStream`, used by the live job-event endpoint); the
+connection stays reusable after a stream ends because chunked framing has
+an explicit terminator.  Anything outside that envelope gets a clean 4xx
+instead of undefined behavior.
 """
 
 from __future__ import annotations
@@ -97,6 +101,48 @@ class HttpResponse:
                      else "Connection: keep-alive")
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
         return head + self.body
+
+
+class NdjsonStream:
+    """A chunked-transfer NDJSON response: one JSON document per line.
+
+    Handlers return one of these instead of an :class:`HttpResponse` when
+    the body is produced incrementally (the live job-event feed).  The
+    connection loop writes the head, then one HTTP/1.1 chunk per line
+    from ``lines`` (an async generator of ``str``), then the zero-chunk
+    terminator — after which the connection is clean for the next
+    request.
+    """
+
+    content_type = "application/x-ndjson"
+
+    def __init__(self, lines, status: int = 200,
+                 headers: Optional[Dict[str, str]] = None):
+        self.lines = lines
+        self.status = status
+        self.headers = headers or {}
+        self.close = False
+
+    def render_head(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        out = [f"HTTP/1.1 {self.status} {reason}",
+               f"Content-Type: {self.content_type}",
+               "Transfer-Encoding: chunked",
+               "Cache-Control: no-store"]
+        for name, value in self.headers.items():
+            out.append(f"{name}: {value}")
+        out.append("Connection: close" if self.close
+                   else "Connection: keep-alive")
+        return ("\r\n".join(out) + "\r\n\r\n").encode("ascii")
+
+    @staticmethod
+    def encode_chunk(line: str) -> bytes:
+        data = line.encode("utf-8")
+        return f"{len(data):X}\r\n".encode("ascii") + data + b"\r\n"
+
+    @staticmethod
+    def terminator() -> bytes:
+        return b"0\r\n\r\n"
 
 
 def _parse_query(raw: str) -> Dict[str, str]:

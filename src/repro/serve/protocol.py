@@ -18,7 +18,7 @@ artifact-store key under which finished results are published.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.store import fingerprint_obj, fingerprint_text
 
@@ -81,6 +81,10 @@ class JobSpec:
     #: submission is failed instead of dispatched.  Not part of the
     #: fingerprint — it changes *whether* the job runs, never its result.
     deadline_s: Optional[float] = None
+    #: W3C ``traceparent`` carrying the server's submit-span context into
+    #: the worker.  Pure telemetry: excluded from the fingerprint so two
+    #: submissions with different trace ancestry still coalesce.
+    trace: Optional[str] = None
 
     _fingerprint: Optional[str] = field(default=None, repr=False,
                                         compare=False, init=False)
@@ -128,6 +132,8 @@ class JobSpec:
             if not isinstance(self.deadline_s, (int, float)) \
                     or self.deadline_s <= 0:
                 raise ProtocolError("'deadline_s' must be a positive number")
+        if self.trace is not None and not isinstance(self.trace, str):
+            raise ProtocolError("'trace' must be a traceparent string")
         return self
 
     # -- identity ----------------------------------------------------------
@@ -159,7 +165,7 @@ class JobSpec:
 
     _FIELDS = ("op", "source", "design", "top", "mut", "path", "mode",
                "frames", "backtrack_limit", "seed", "backend", "use_piers",
-               "strict", "deadline_s")
+               "strict", "deadline_s", "trace")
 
     def as_dict(self) -> Dict[str, Any]:
         return {name: getattr(self, name) for name in self._FIELDS}
@@ -177,6 +183,12 @@ class JobSpec:
         return cls(**payload)
 
 
+#: Progress events retained per job for ``GET /v1/jobs/<id>/events``.
+#: Sequence numbers are preserved when the window slides, so a streamer's
+#: ``since`` cursor stays valid even after truncation.
+MAX_JOB_EVENTS = 4096
+
+
 @dataclass
 class Job:
     """Server-side state of one submitted job."""
@@ -192,6 +204,26 @@ class Job:
     coalesced_count: int = 0
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = None
+    #: Trace identity: the stitched trace every span of this job joins.
+    trace_id: Optional[str] = None
+    trace_path: Optional[str] = None
+    #: Live telemetry: most recent progress payload, the bounded event
+    #: log behind ``/events``, and the wall_clock() of the last sign of
+    #: life from the worker (event or heartbeat).
+    progress: Optional[Dict[str, Any]] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    event_seq: int = 0
+    last_event_at: Optional[float] = None
+
+    def append_event(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Append to the event log under a server-owned sequence number."""
+        self.event_seq += 1
+        event = dict(payload)
+        event["seq"] = self.event_seq
+        self.events.append(event)
+        if len(self.events) > MAX_JOB_EVENTS:
+            del self.events[:len(self.events) - MAX_JOB_EVENTS]
+        return event
 
     def summary(self) -> Dict[str, Any]:
         """Listing row: everything but the (possibly large) result body."""
@@ -207,9 +239,12 @@ class Job:
             "served_from": self.served_from,
             "coalesced_count": self.coalesced_count,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
 
     def as_dict(self) -> Dict[str, Any]:
         payload = self.summary()
         payload["result"] = self.result
+        payload["progress"] = self.progress
+        payload["trace_path"] = self.trace_path
         return payload

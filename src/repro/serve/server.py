@@ -14,6 +14,18 @@ shared ``--jobs``/``REPRO_JOBS`` rule.  Request flow for ``POST /v1/jobs``:
    ``Retry-After`` estimate), the journal records it, a dispatcher hands
    it to the pool when a worker frees up.
 
+Telemetry flows end to end.  Each submission opens a ``serve.submit``
+span (parented under the client's ``traceparent`` header when present);
+its context rides into the worker via the spec, and the worker's span
+tree comes back in the job outcome, so every finished job leaves one
+stitched cross-process trace at ``<cache>/traces/<job_id>.jsonl``.
+While a job runs, workers push throttled progress events and liveness
+heartbeats over a ``multiprocessing`` queue; the server republishes them
+as a ``progress`` block on ``GET /v1/jobs/<id>`` and as a chunked-NDJSON
+long-poll stream on ``GET /v1/jobs/<id>/events``.  Jobs that overshoot
+the EWMA-derived duration threshold land in a slow-job log next to the
+traces.
+
 ``SIGTERM``/``SIGINT`` start a graceful drain: admission closes, running
 jobs get ``drain_timeout`` seconds to finish, the queued backlog persists
 in the JSONL journal (or is finished in-line when no journal is
@@ -25,25 +37,30 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import json
+import multiprocessing
+import os
 import signal
 import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, \
     ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro import __version__
 from repro.jobs import resolve_jobs
-from repro.obs import counter, gauge, get_logger, get_registry, histogram, \
+from repro.obs import Span, atomic_write_text, counter, epoch_seconds, \
+    gauge, get_logger, get_registry, histogram, parse_traceparent, \
     wall_clock
-from repro.store import MISS, get_store
+from repro.obs.trace import flatten_span_dict
+from repro.store import MISS, default_cache_dir, get_store
 from repro.serve.admission import CLOSED, AdmissionController, QueueFull
-from repro.serve.httpd import HttpError, HttpRequest, HttpResponse, Router, \
-    read_request
+from repro.serve.httpd import HttpError, HttpRequest, HttpResponse, \
+    NdjsonStream, Router, read_request
 from repro.serve.journal import JobJournal
 from repro.serve.protocol import DONE, FAILED, FROM_PIPELINE, FROM_STORE, \
     Job, JobSpec, ProtocolError, QUEUED, RUNNING
-from repro.serve.worker import execute_job
+from repro.serve.worker import execute_job, init_worker_progress
 
 _log = get_logger("serve")
 
@@ -63,6 +80,20 @@ class ServeConfig:
     drain_timeout: float = 30.0       # seconds running jobs get on drain
     job_timeout: Optional[float] = None  # per-job wall budget once running
     worker_mode: str = "process"      # process | thread
+    #: Progress telemetry: in-worker event throttle and heartbeat cadence.
+    progress_interval: float = 0.25
+    heartbeat_s: float = 5.0
+    #: Idle seconds before an ``/events`` stream emits a keep-alive line.
+    events_keepalive_s: float = 15.0
+    #: Where stitched per-job traces (and the slow-job log) land; defaults
+    #: to ``<cache>/traces`` next to the artifact store.
+    trace_dir: Optional[str] = None
+    #: A finished pipeline job is "slow" when its duration exceeds
+    #: ``slow_job_factor`` × the admission EWMA (floored at
+    #: ``slow_job_min_s``); slow jobs get a warning log line with their
+    #: trace path and phase breakdown, plus an entry in slow_jobs.jsonl.
+    slow_job_factor: float = 3.0
+    slow_job_min_s: float = 1.0
 
 
 class JobServer:
@@ -76,8 +107,12 @@ class JobServer:
         self.config = config
         self.workers = resolve_jobs(config.jobs)
         self.address: Optional[str] = None
+        self.trace_dir = config.trace_dir or os.path.join(
+            default_cache_dir(), "traces")
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, str] = {}  # fingerprint -> job id
+        self._submit_spans: Dict[str, Span] = {}  # job id -> open span
+        self._event_signals: Dict[str, asyncio.Event] = {}
         self._seq = 1
         self._running = 0
         self._draining = False
@@ -88,11 +123,16 @@ class JobServer:
             on_expired=self._on_queue_expired)
         self._executor: Optional[Executor] = None
         self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._progress_queue: Optional[Any] = None
+        self._progress_thread: Optional[threading.Thread] = None
         self._dispatchers = []
         self._router = Router()
         self._router.add("POST", "/v1/jobs", self._route_submit)
         self._router.add("GET", "/v1/jobs", self._route_list)
         self._router.add("GET", "/v1/jobs/{job_id}", self._route_job)
+        self._router.add("GET", "/v1/jobs/{job_id}/events",
+                         self._route_job_events)
         self._router.add("GET", "/healthz", self._route_health)
         self._router.add("GET", "/metrics", self._route_metrics)
 
@@ -100,12 +140,26 @@ class JobServer:
 
     async def start(self) -> str:
         """Bind, replay the journal, start dispatchers; returns base URL."""
+        self._loop = asyncio.get_event_loop()
+        # One queue serves every worker for the server's lifetime; it is
+        # handed over at pool-spawn time (the only moment a multiprocessing
+        # queue may legally cross the process boundary).
+        self._progress_queue = multiprocessing.SimpleQueue()
         if self.config.worker_mode == "process":
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=init_worker_progress,
+                initargs=(self._progress_queue,))
         else:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.workers,
-                thread_name_prefix="serve-worker")
+                thread_name_prefix="serve-worker",
+                initializer=init_worker_progress,
+                initargs=(self._progress_queue,))
+        self._progress_thread = threading.Thread(
+            target=self._drain_progress_queue, daemon=True,
+            name="serve-progress")
+        self._progress_thread.start()
         gauge("serve.workers", "worker pool size").set(self.workers)
         self._resume_from_journal()
         self._server = await asyncio.start_server(
@@ -120,7 +174,8 @@ class JobServer:
         _log.info("serve_started", address=self.address,
                   workers=self.workers, mode=self.config.worker_mode,
                   queue_depth=self.config.queue_depth,
-                  journal=self.config.journal_path or "")
+                  journal=self.config.journal_path or "",
+                  trace_dir=self.trace_dir)
         return self.address
 
     def install_signal_handlers(self) -> None:
@@ -140,6 +195,10 @@ class JobServer:
         # queued jobs and only wait for the ones already on a worker.
         # Without one, finishing the backlog is the only non-lossy option.
         self._admission.close(keep_backlog=not self._journal.enabled)
+        # Wake every /events streamer so it can terminate its response
+        # instead of holding the listener open past the drain.
+        for signal_ in self._event_signals.values():
+            signal_.set()
         self._drained.set()
 
     async def run_until_drained(self) -> int:
@@ -158,6 +217,13 @@ class JobServer:
         self._server.close()
         await self._server.wait_closed()
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._progress_queue is not None:
+            try:
+                self._progress_queue.put(None)  # reader-thread sentinel
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        if self._progress_thread is not None:
+            self._progress_thread.join(timeout=2.0)
         self._journal.close()
         _log.info("serve_stopped", jobs_total=len(self._jobs))
         return 0
@@ -183,6 +249,9 @@ class JobServer:
             job = Job(job_id=record["id"], spec=spec,
                       fingerprint=spec.fingerprint(),
                       submitted_at=wall_clock())
+            # Parent the resumed run under the journaled submit context so
+            # the job keeps one trace across the restart.
+            self._attach_submit_span(job, client_trace=spec.trace)
             self._jobs[job.job_id] = job
             self._inflight[job.fingerprint] = job.job_id
             # Resumed work predates this process's admission window, so
@@ -194,6 +263,52 @@ class JobServer:
     def _on_queue_expired(self, job: Job) -> None:
         self._inflight.pop(job.fingerprint, None)
         self._journal.append("failed", id=job.job_id, error=job.error)
+        self._publish_event(job, {"event": "failed", "error": job.error,
+                                  "t": round(epoch_seconds(
+                                      job.finished_at), 6)})
+        self._finalize_trace(job)
+
+    # -- progress channel --------------------------------------------------
+
+    def _drain_progress_queue(self) -> None:
+        """Reader thread: pump worker events onto the event loop."""
+        while True:
+            try:
+                item = self._progress_queue.get()
+            except (EOFError, OSError):
+                return
+            if item is None:
+                return
+            try:
+                job_id, payload = item
+            except (TypeError, ValueError):
+                continue
+            try:
+                self._loop.call_soon_threadsafe(
+                    self._on_progress, job_id, payload)
+            except RuntimeError:  # loop already closed
+                return
+
+    def _on_progress(self, job_id: str, payload: Any) -> None:
+        job = self._jobs.get(job_id)
+        if job is None or job.status in (DONE, FAILED) \
+                or not isinstance(payload, dict):
+            return
+        job.last_event_at = wall_clock()
+        if payload.get("event") == "heartbeat":
+            return  # liveness only; not part of the event log
+        if payload.get("event") == "progress":
+            job.progress = {k: v for k, v in payload.items()
+                            if k != "event"}
+            counter("serve.progress_events",
+                    "worker progress events received").inc()
+        self._publish_event(job, payload)
+
+    def _publish_event(self, job: Job, payload: Dict[str, Any]) -> None:
+        job.append_event(payload)
+        signal_ = self._event_signals.get(job.job_id)
+        if signal_ is not None:
+            signal_.set()
 
     # -- dispatch ----------------------------------------------------------
 
@@ -205,17 +320,26 @@ class JobServer:
                 return
             job.status = RUNNING
             job.started_at = wall_clock()
+            job.last_event_at = job.started_at
             self._running += 1
             gauge("serve.running", "jobs on a worker").set(self._running)
+            gauge("serve.workers_busy",
+                  "workers executing a job right now").set(self._running)
             histogram("serve.queue_wait_seconds").observe(
                 job.started_at - job.submitted_at)
             self._journal.append("started", id=job.job_id)
+            self._publish_event(job, {
+                "event": "started",
+                "t": round(epoch_seconds(job.started_at), 6)})
             fresh_registry = self.config.worker_mode == "process"
             try:
                 future = loop.run_in_executor(
                     self._executor, functools.partial(
                         execute_job, job.spec.as_dict(),
-                        fresh_registry=fresh_registry))
+                        fresh_registry=fresh_registry,
+                        job_id=job.job_id,
+                        progress_interval=self.config.progress_interval,
+                        heartbeat_s=self.config.heartbeat_s))
                 counter("serve.executed",
                         "jobs dispatched to the pipeline").inc()
                 if self.config.job_timeout is not None:
@@ -236,16 +360,20 @@ class JobServer:
             finally:
                 self._running -= 1
                 gauge("serve.running").set(self._running)
+                gauge("serve.workers_busy").set(self._running)
             if outcome["metrics"]:
                 get_registry().merge_snapshot(outcome["metrics"])
+            spans = outcome.get("spans") or []
             if outcome["ok"]:
                 self._finish(job, ok=True, result=outcome["result"],
-                             wall_s=outcome["wall_s"])
+                             wall_s=outcome["wall_s"], spans=spans)
             else:
-                self._finish(job, ok=False, error=outcome["error"])
+                self._finish(job, ok=False, error=outcome["error"],
+                             spans=spans)
 
     def _finish(self, job: Job, ok: bool, result=None, error=None,
-                wall_s: Optional[float] = None) -> None:
+                wall_s: Optional[float] = None,
+                spans: Optional[List[Dict[str, Any]]] = None) -> None:
         job.finished_at = wall_clock()
         if ok:
             job.status = DONE
@@ -265,10 +393,98 @@ class JobServer:
             job.finished_at - (job.started_at or job.submitted_at))
         histogram("serve.job_seconds",
                   "pipeline seconds per executed job").observe(duration)
+        slow_threshold = max(
+            self.config.slow_job_min_s,
+            self.config.slow_job_factor * self._admission.job_seconds_ewma)
         self._admission.observe_job_seconds(duration)
         if self._inflight.get(job.fingerprint) == job.job_id:
             del self._inflight[job.fingerprint]
+        terminal = {"event": "done" if ok else "failed",
+                    "t": round(epoch_seconds(job.finished_at), 6),
+                    "wall_s": round(duration, 6)}
+        if ok:
+            terminal["served_from"] = job.served_from
+        else:
+            terminal["error"] = error
+        self._finalize_trace(job, spans)
+        self._publish_event(job, terminal)
+        if duration > slow_threshold:
+            self._log_slow_job(job, duration, slow_threshold, spans)
         self._trim_finished()
+
+    # -- traces and slow jobs ----------------------------------------------
+
+    def _attach_submit_span(self, job: Job,
+                            client_trace: Optional[str] = None) -> None:
+        """Open the server-side root span and thread its context onward."""
+        submit = Span("serve.submit",
+                      {"op": job.spec.op, "job_id": job.job_id},
+                      context=parse_traceparent(client_trace))
+        job.trace_id = submit.trace_id
+        job.spec.trace = submit.context.to_traceparent()
+        self._submit_spans[job.job_id] = submit
+
+    def _finalize_trace(self, job: Job,
+                        spans: Optional[List[Dict[str, Any]]] = None
+                        ) -> None:
+        """Stitch server + worker spans into one trace file per job."""
+        submit = self._submit_spans.pop(job.job_id, None)
+        if submit is None:
+            return
+        submit.set("status", job.status)
+        if job.served_from is not None:
+            submit.set("served_from", job.served_from)
+        if job.started_at is not None:
+            submit.set("queue_wait_s",
+                       round(job.started_at - job.submitted_at, 6))
+        submit.finish()
+        lines = flatten_span_dict(submit.to_dict(), process="server")
+        for tree in spans or []:
+            if isinstance(tree, dict):
+                lines.extend(flatten_span_dict(tree, process="worker"))
+        path = os.path.join(self.trace_dir, f"{job.job_id}.jsonl")
+        try:
+            os.makedirs(self.trace_dir, exist_ok=True)
+            atomic_write_text(path, "".join(
+                json.dumps(line, separators=(",", ":"), sort_keys=True)
+                + "\n" for line in lines))
+        except OSError as exc:  # pragma: no cover - disk trouble
+            _log.warning("trace_write_failed", id=job.job_id,
+                         error=str(exc))
+            return
+        job.trace_path = path
+        counter("serve.traces_written").inc()
+
+    def _log_slow_job(self, job: Job, duration: float, threshold: float,
+                      spans: Optional[List[Dict[str, Any]]]) -> None:
+        """Record a job that overshot the EWMA-derived duration threshold."""
+        phases = {}
+        for tree in spans or []:
+            if isinstance(tree, dict):
+                for child in tree.get("children") or []:
+                    name = child.get("name", "?")
+                    phases[name] = round(
+                        phases.get(name, 0.0)
+                        + (child.get("wall_s") or 0.0), 3)
+        counter("serve.slow_jobs",
+                "jobs exceeding the EWMA slow threshold").inc()
+        _log.warning("slow_job", id=job.job_id, op=job.spec.op,
+                     wall_s=round(duration, 3),
+                     threshold_s=round(threshold, 3),
+                     trace=job.trace_path or "",
+                     phases=json.dumps(phases, sort_keys=True))
+        entry = {"id": job.job_id, "op": job.spec.op,
+                 "t": round(epoch_seconds(wall_clock()), 6),
+                 "wall_s": round(duration, 6),
+                 "threshold_s": round(threshold, 6),
+                 "trace": job.trace_path, "phases": phases}
+        try:
+            os.makedirs(self.trace_dir, exist_ok=True)
+            with open(os.path.join(self.trace_dir, "slow_jobs.jsonl"),
+                      "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        except OSError:  # pragma: no cover - disk trouble
+            pass
 
     def _trim_finished(self) -> None:
         if len(self._jobs) <= MAX_FINISHED_JOBS:
@@ -277,6 +493,7 @@ class JobServer:
                     if job.status in (DONE, FAILED)]
         for job_id in finished[:len(self._jobs) - MAX_FINISHED_JOBS]:
             del self._jobs[job_id]
+            self._event_signals.pop(job_id, None)
 
     # -- routes ------------------------------------------------------------
 
@@ -290,6 +507,7 @@ class JobServer:
             raise HttpError(400, str(exc)) from exc
         except TypeError as exc:
             raise HttpError(400, f"malformed request: {exc}") from exc
+        client_trace = request.headers.get("traceparent")
         fingerprint = spec.fingerprint()
         counter("serve.submitted", "job submissions accepted").inc()
 
@@ -300,13 +518,12 @@ class JobServer:
             job.coalesced_count += 1
             counter("serve.coalesced",
                     "submissions absorbed by an in-flight twin").inc()
-            return HttpResponse.from_json(
-                {"job": job.as_dict(), "coalesced": True}, status=200)
+            return self._submit_response(job, coalesced=True, status=200)
 
         # Warm path: a finished twin lives in the artifact store.
         stored = get_store().get("serve", {"request": fingerprint})
         if stored is not MISS:
-            job = self._new_job(spec, fingerprint)
+            job = self._new_job(spec, fingerprint, client_trace)
             now = wall_clock()
             job.status = DONE
             job.started_at = job.finished_at = now
@@ -319,15 +536,19 @@ class JobServer:
                                  spec=spec.as_dict())
             self._journal.append("done", id=job.job_id,
                                  served_from=FROM_STORE)
-            return HttpResponse.from_json(
-                {"job": job.as_dict(), "coalesced": False}, status=200)
+            self._finalize_trace(job)
+            self._publish_event(job, {"event": "done",
+                                      "served_from": FROM_STORE,
+                                      "t": round(epoch_seconds(now), 6)})
+            return self._submit_response(job, coalesced=False, status=200)
 
         # Cold path: admission control, then the queue.
-        job = self._new_job(spec, fingerprint)
+        job = self._new_job(spec, fingerprint, client_trace)
         try:
             self._admission.admit(job)
         except QueueFull as exc:
             del self._jobs[job.job_id]
+            self._submit_spans.pop(job.job_id, None)
             raise HttpError(
                 429,
                 f"queue full ({exc.depth} jobs); retry in "
@@ -336,16 +557,29 @@ class JobServer:
         self._inflight[fingerprint] = job.job_id
         self._journal.append("submitted", id=job.job_id,
                              fingerprint=fingerprint, spec=spec.as_dict())
-        return HttpResponse.from_json(
-            {"job": job.as_dict(), "coalesced": False}, status=202)
+        self._publish_event(job, {
+            "event": "submitted", "op": job.spec.op,
+            "t": round(epoch_seconds(job.submitted_at), 6)})
+        return self._submit_response(job, coalesced=False, status=202)
 
-    def _new_job(self, spec: JobSpec, fingerprint: str) -> Job:
+    def _new_job(self, spec: JobSpec, fingerprint: str,
+                 client_trace: Optional[str] = None) -> Job:
         job = Job(job_id=f"job-{self._seq}-{fingerprint[:8]}", spec=spec,
                   fingerprint=fingerprint, status=QUEUED,
                   submitted_at=wall_clock())
         self._seq += 1
+        self._attach_submit_span(job, client_trace)
         self._jobs[job.job_id] = job
         return job
+
+    def _submit_response(self, job: Job, coalesced: bool,
+                         status: int) -> HttpResponse:
+        headers = {}
+        if job.spec.trace:
+            headers["traceparent"] = job.spec.trace
+        return HttpResponse.from_json(
+            {"job": job.as_dict(), "coalesced": coalesced},
+            status=status, headers=headers)
 
     def _route_list(self, request: HttpRequest) -> HttpResponse:
         jobs = [job.summary() for job in self._jobs.values()]
@@ -365,6 +599,48 @@ class JobServer:
             raise HttpError(404, f"no such job {job_id!r}")
         return HttpResponse.from_json({"job": job.as_dict()})
 
+    def _route_job_events(self, request: HttpRequest,
+                          job_id: str) -> NdjsonStream:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, f"no such job {job_id!r}")
+        since_raw = request.query.get("since", "0")
+        try:
+            since = int(since_raw)
+        except ValueError as exc:
+            raise HttpError(
+                400, f"bad 'since' cursor {since_raw!r}") from exc
+        counter("serve.event_streams", "event-stream requests").inc()
+        return NdjsonStream(self._event_lines(job, since))
+
+    async def _event_lines(self, job: Job, since: int):
+        """Replay events past ``since``, then follow until terminal."""
+        signal_ = self._event_signals.setdefault(job.job_id,
+                                                 asyncio.Event())
+        cursor = since
+        while True:
+            for event in list(job.events):
+                if event["seq"] > cursor:
+                    cursor = event["seq"]
+                    yield json.dumps(event, separators=(",", ":"),
+                                     sort_keys=True) + "\n"
+            if job.status in (DONE, FAILED):
+                return
+            if self._draining:
+                yield json.dumps({"event": "draining"}) + "\n"
+                return
+            # No await between the scan above and this clear, so a wake-up
+            # cannot be lost: appends happen on this same loop thread.
+            signal_.clear()
+            try:
+                await asyncio.wait_for(
+                    signal_.wait(),
+                    timeout=self.config.events_keepalive_s)
+            except asyncio.TimeoutError:
+                yield json.dumps({
+                    "event": "keepalive",
+                    "t": round(epoch_seconds(wall_clock()), 6)}) + "\n"
+
     def _route_health(self, request: HttpRequest) -> HttpResponse:
         return HttpResponse.from_json({
             "status": "draining" if self._draining else "ok",
@@ -378,6 +654,14 @@ class JobServer:
         })
 
     def _route_metrics(self, request: HttpRequest) -> HttpResponse:
+        ages = [wall_clock() - job.last_event_at
+                for job in self._jobs.values()
+                if job.status == RUNNING and job.last_event_at is not None]
+        gauge("serve.heartbeat_age_seconds",
+              "seconds since the last worker event, max over running jobs"
+              ).set(round(max(ages), 3) if ages else 0.0)
+        gauge("serve.workers_busy",
+              "workers executing a job right now").set(self._running)
         return HttpResponse.from_text(
             get_registry().to_prometheus(),
             content_type="text/plain; version=0.0.4; charset=utf-8")
@@ -400,8 +684,12 @@ class JobServer:
                 response = self._dispatch_request(request)
                 if not request.keep_alive or self._draining:
                     response.close = True
-                writer.write(response.render())
-                await writer.drain()
+                if isinstance(response, NdjsonStream):
+                    if not await self._write_stream(writer, response):
+                        break
+                else:
+                    writer.write(response.render())
+                    await writer.drain()
                 if response.close:
                     break
         except (ConnectionError, asyncio.CancelledError):
@@ -413,7 +701,34 @@ class JobServer:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
-    def _dispatch_request(self, request: HttpRequest) -> HttpResponse:
+    async def _write_stream(self, writer: asyncio.StreamWriter,
+                            response: NdjsonStream) -> bool:
+        """Send a chunked NDJSON response; False if the connection must
+        close (generator failure — the terminator was never sent, so the
+        client sees the truncation instead of a silently-complete body)."""
+        writer.write(response.render_head())
+        await writer.drain()
+        try:
+            async for line in response.lines:
+                writer.write(NdjsonStream.encode_chunk(line))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception:
+            _log.exception("event_stream_failed")
+            return False
+        finally:
+            aclose = getattr(response.lines, "aclose", None)
+            if aclose is not None:
+                try:
+                    await aclose()
+                except Exception:  # pragma: no cover
+                    pass
+        writer.write(NdjsonStream.terminator())
+        await writer.drain()
+        return True
+
+    def _dispatch_request(self, request: HttpRequest):
         counter("serve.http_requests", "HTTP requests handled").inc()
         try:
             handler, params = self._router.match(request.method,

@@ -4,8 +4,15 @@
 ``ProcessPoolExecutor`` calls.  It takes a picklable spec dict, runs the
 requested pipeline operation, and returns a picklable outcome dict —
 success or failure, a JSON-able result body, the job's CPU/wall seconds,
-and a metrics-registry snapshot for the parent to fold back in (worker
-processes have their own process-wide registry).
+a metrics-registry snapshot for the parent to fold back in (worker
+processes have their own process-wide registry), and the worker's span
+tree so the server can stitch one cross-process trace per job.
+
+Telemetry crosses the fork boundary in both directions: the spec's
+``trace`` field carries the server's submit-span context in (worker spans
+parent under it), and a ``multiprocessing`` queue installed by
+:func:`init_worker_progress` at pool start carries throttled progress
+events and heartbeats back out while the job runs.
 
 Workers inherit ``REPRO_CACHE_DIR``/``REPRO_NO_CACHE``, so every
 operation warm-starts through the persistent artifact store exactly like
@@ -17,18 +24,32 @@ final ATPG report load from the store.
 from __future__ import annotations
 
 import traceback
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.atpg.engine import AtpgOptions
 from repro.core.extractor import ExtractionMode
 from repro.core.factor import Factor
-from repro.obs import get_registry, span
+from repro.obs import QueueProgressReporter, get_registry, get_tracer, \
+    parse_traceparent, set_reporter, span
 
 from repro.serve.protocol import JobSpec
 
+#: The worker→server progress pipe, installed once per worker process (or
+#: pool thread) by the executor's initializer.  ``None`` outside a pool.
+_PROGRESS_QUEUE: Optional[Any] = None
+
+
+def init_worker_progress(queue: Any) -> None:
+    """Pool initializer: stash the server's progress queue."""
+    global _PROGRESS_QUEUE
+    _PROGRESS_QUEUE = queue
+
 
 def execute_job(spec_dict: Dict[str, Any],
-                fresh_registry: bool = True) -> Dict[str, Any]:
+                fresh_registry: bool = True,
+                job_id: Optional[str] = None,
+                progress_interval: float = 0.25,
+                heartbeat_s: Optional[float] = 5.0) -> Dict[str, Any]:
     """Run one job to completion; never raises.
 
     ``fresh_registry`` resets the process-wide metrics registry first so
@@ -38,10 +59,21 @@ def execute_job(spec_dict: Dict[str, Any],
     """
     if fresh_registry:
         get_registry().reset()
+        get_tracer().reset()
+    reporter = None
+    if _PROGRESS_QUEUE is not None and job_id is not None:
+        reporter = QueueProgressReporter(
+            _PROGRESS_QUEUE, job_id, min_interval=progress_interval,
+            heartbeat_s=heartbeat_s).start()
+        set_reporter(reporter)
+    root = None
     try:
         spec = JobSpec.from_dict(spec_dict).validate()
-        with span("serve.execute", op=spec.op) as sp:
-            result = _OPERATIONS[spec.op](spec)
+        context = parse_traceparent(spec.trace)
+        with get_tracer().use_context(context):
+            with span("serve.execute", op=spec.op) as sp:
+                root = sp
+                result = _OPERATIONS[spec.op](spec)
         return {
             "ok": True,
             "result": result,
@@ -49,6 +81,7 @@ def execute_job(spec_dict: Dict[str, Any],
             "wall_s": sp.wall_seconds,
             "cpu_s": sp.cpu_seconds,
             "metrics": get_registry().snapshot() if fresh_registry else {},
+            "spans": [root.to_dict()],
         }
     except Exception as exc:
         return {
@@ -59,7 +92,12 @@ def execute_job(spec_dict: Dict[str, Any],
             "wall_s": 0.0,
             "cpu_s": 0.0,
             "metrics": get_registry().snapshot() if fresh_registry else {},
+            "spans": [root.to_dict()] if root is not None else [],
         }
+    finally:
+        if reporter is not None:
+            set_reporter(None)
+            reporter.stop()
 
 
 def _factor(spec: JobSpec) -> Factor:

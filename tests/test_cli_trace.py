@@ -1,0 +1,164 @@
+"""CLI surfaces of the observability stack: ``repro trace``, ``submit
+--watch`` and ``jobs --follow``, driven in-process against a
+ServerThread like test_cli_serve.py."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.serve import ServeConfig, ServerThread
+
+TINY = """
+module leaf(input a, input b, output y);
+  assign y = a & b;
+endmodule
+module topm(input a, input b, input c, output y);
+  wire t;
+  leaf u0(.a(a), .b(b), .y(t));
+  assign y = t | c;
+endmodule
+"""
+
+
+@pytest.fixture()
+def design_file(tmp_path):
+    path = tmp_path / "tiny.v"
+    path.write_text(TINY)
+    return str(path)
+
+
+@pytest.fixture()
+def server(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    thread = ServerThread(ServeConfig(port=0, worker_mode="thread",
+                                      jobs=1, progress_interval=0.0))
+    address = thread.start()
+    monkeypatch.setenv("REPRO_SERVER", address)
+    yield address
+    thread.stop()
+
+
+def _submitted_job_id(capsys, server):
+    listing = json.loads(_stdout(capsys, ["jobs", "--json"]))
+    return listing["jobs"][0]["id"]
+
+
+def _stdout(capsys, argv):
+    capsys.readouterr()
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestSubmitWatch:
+    def test_watch_streams_and_prints_outcome(self, design_file, server,
+                                              capsys):
+        rc = main(["submit", design_file, "--op", "atpg", "--top", "topm",
+                   "--mut", "leaf", "--frames", "1", "--watch"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "ATPG report for leaf" in captured.out
+        # The live progress line renders on stderr; the terminal event too.
+        assert "done" in captured.err
+
+
+class TestJobsFollow:
+    def test_follow_replays_ndjson_until_done(self, design_file, server,
+                                              capsys):
+        assert main(["submit", design_file, "--op", "atpg", "--top",
+                     "topm", "--mut", "leaf", "--frames", "1"]) == 0
+        job_id = _submitted_job_id(capsys, server)
+        out = _stdout(capsys, ["jobs", "--follow", job_id])
+        events = [json.loads(line) for line in out.splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "submitted"
+        assert kinds[-1] == "done"
+        assert "progress" in kinds
+
+    def test_follow_since_skips_early_events(self, design_file, server,
+                                             capsys):
+        assert main(["submit", design_file, "--op", "atpg", "--top",
+                     "topm", "--mut", "leaf", "--frames", "1"]) == 0
+        job_id = _submitted_job_id(capsys, server)
+        out = _stdout(capsys, ["jobs", "--follow", job_id,
+                               "--since", "2"])
+        events = [json.loads(line) for line in out.splitlines()]
+        assert all(e["seq"] > 2 for e in events)
+
+    def test_follow_unknown_job_errors(self, server, capsys):
+        assert main(["jobs", "--follow", "job-999-nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTraceShow:
+    def _trace_dir(self, tmp_path):
+        return str(tmp_path / "store" / "traces")
+
+    def test_show_by_job_id_renders_waterfall(self, design_file, server,
+                                              tmp_path, capsys):
+        assert main(["submit", design_file, "--op", "atpg", "--top",
+                     "topm", "--mut", "leaf", "--frames", "1"]) == 0
+        job_id = _submitted_job_id(capsys, server)
+        out = _stdout(capsys, ["trace", "show", job_id,
+                               "--trace-dir", self._trace_dir(tmp_path)])
+        assert "Waterfall" in out
+        assert "serve.submit" in out
+        assert "serve.execute" in out
+        assert "Top spans by wall time" in out
+
+    def test_show_by_file_path_and_json(self, design_file, server,
+                                        tmp_path, capsys):
+        assert main(["submit", design_file, "--op", "atpg", "--top",
+                     "topm", "--mut", "leaf", "--frames", "1"]) == 0
+        job_id = _submitted_job_id(capsys, server)
+        path = os.path.join(self._trace_dir(tmp_path), f"{job_id}.jsonl")
+        out = _stdout(capsys, ["trace", "show", path, "--json"])
+        spans = json.loads(out)
+        assert len({s["trace_id"] for s in spans}) == 1
+
+    def test_show_missing_trace_errors(self, tmp_path, capsys):
+        rc = main(["trace", "show", "job-1-nope",
+                   "--trace-dir", str(tmp_path / "empty")])
+        assert rc == 1
+        assert "no trace file" in capsys.readouterr().err
+
+
+class TestTraceSlow:
+    def test_no_entries(self, tmp_path, capsys):
+        out = _stdout(capsys, ["trace", "slow",
+                               "--trace-dir", str(tmp_path / "traces")])
+        assert "no slow jobs" in out
+
+    def test_entries_rendered_with_hottest_phase(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        entries = [
+            {"id": f"job-{i}", "op": "atpg", "t": 1000.0 + i,
+             "wall_s": 20.0 + i, "threshold_s": 15.0,
+             "trace": f"/traces/job-{i}.jsonl",
+             "phases": {"atpg": 18.0, "parse": 1.0}}
+            for i in range(3)
+        ]
+        with open(trace_dir / "slow_jobs.jsonl", "w") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry) + "\n")
+            handle.write('{"torn')  # crashed-writer tail must not break it
+        out = _stdout(capsys, ["trace", "slow",
+                               "--trace-dir", str(trace_dir),
+                               "--limit", "2"])
+        assert "job-1" in out and "job-2" in out
+        assert "job-0" not in out  # limited to the most recent 2
+        assert "atpg" in out
+
+    def test_slow_json_output(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        with open(trace_dir / "slow_jobs.jsonl", "w") as handle:
+            handle.write(json.dumps({"id": "job-1", "op": "atpg",
+                                     "wall_s": 9.0, "threshold_s": 5.0,
+                                     "trace": None, "phases": {}}) + "\n")
+        out = _stdout(capsys, ["trace", "slow", "--json",
+                               "--trace-dir", str(trace_dir)])
+        assert json.loads(out)[0]["id"] == "job-1"

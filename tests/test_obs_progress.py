@@ -1,0 +1,167 @@
+"""Progress reporting: throttling, thread-locality, the queue reporter
+and its heartbeat, and the pipeline hooks that feed it."""
+
+import multiprocessing as mp
+import time
+
+from repro.obs import (
+    CallbackProgressReporter,
+    QueueProgressReporter,
+    get_reporter,
+    progress,
+    reporting,
+    set_reporter,
+)
+
+
+class TestProgressHook:
+    def test_noop_without_reporter(self):
+        assert get_reporter() is None
+        progress("phase", n=1)  # must not raise
+
+    def test_reporting_installs_and_restores(self):
+        events = []
+        reporter = CallbackProgressReporter(events.append)
+        with reporting(reporter):
+            assert get_reporter() is reporter
+            progress("phase", force=True, n=1)
+        assert get_reporter() is None
+        assert len(events) == 1
+
+    def test_set_reporter_none_uninstalls(self):
+        reporter = CallbackProgressReporter(lambda p: None)
+        set_reporter(reporter)
+        assert get_reporter() is reporter
+        set_reporter(None)
+        assert get_reporter() is None
+
+
+class TestThrottling:
+    def test_same_phase_throttled(self):
+        events = []
+        reporter = CallbackProgressReporter(events.append,
+                                            min_interval=3600.0)
+        for i in range(10):
+            reporter.emit("loop", i=i)
+        assert len(events) == 1
+        assert events[0]["i"] == 0
+
+    def test_force_bypasses_throttle(self):
+        events = []
+        reporter = CallbackProgressReporter(events.append,
+                                            min_interval=3600.0)
+        reporter.emit("loop", i=0)
+        reporter.emit("loop", force=True, i=1)
+        assert [e["i"] for e in events] == [0, 1]
+
+    def test_phase_transition_always_emits(self):
+        events = []
+        reporter = CallbackProgressReporter(events.append,
+                                            min_interval=3600.0)
+        reporter.emit("a")
+        reporter.emit("b")
+        reporter.emit("a")
+        assert [e["phase"] for e in events] == ["a", "b", "a"]
+
+    def test_zero_interval_emits_everything(self):
+        events = []
+        reporter = CallbackProgressReporter(events.append, min_interval=0.0)
+        for i in range(5):
+            reporter.emit("loop", i=i)
+        assert len(events) == 5
+
+    def test_payload_shape_and_seq(self):
+        events = []
+        reporter = CallbackProgressReporter(events.append, min_interval=0.0)
+        reporter.emit("scan", found=3)
+        reporter.emit("scan", found=4)
+        assert events[0]["event"] == "progress"
+        assert events[0]["phase"] == "scan"
+        assert events[0]["found"] == 3
+        assert [e["seq"] for e in events] == [1, 2]
+        assert events[1]["t"] >= events[0]["t"]
+
+
+class TestQueueReporter:
+    def test_payloads_cross_a_real_mp_queue(self):
+        queue = mp.SimpleQueue()
+        reporter = QueueProgressReporter(queue, "job-1", min_interval=0.0,
+                                         heartbeat_s=None)
+        reporter.emit("phase", n=1)
+        reporter.emit("phase", n=2)
+        reporter.stop()
+        job_id, payload = queue.get()
+        assert job_id == "job-1"
+        assert payload["phase"] == "phase" and payload["n"] == 1
+        assert queue.get()[1]["n"] == 2
+        queue.close()
+
+    def test_broken_queue_disables_not_raises(self):
+        class Broken:
+            def put(self, item):
+                raise OSError("pipe closed")
+
+        reporter = QueueProgressReporter(Broken(), "job-1",
+                                         min_interval=0.0,
+                                         heartbeat_s=None)
+        reporter.emit("phase", n=1)  # must not raise
+        reporter.emit("phase", n=2)
+        assert reporter._broken
+
+    def test_heartbeat_fires_when_idle(self):
+        queue = mp.SimpleQueue()
+        reporter = QueueProgressReporter(queue, "job-1",
+                                         heartbeat_s=0.05).start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if not queue.empty():
+                    break
+                time.sleep(0.01)
+            job_id, payload = queue.get()
+        finally:
+            reporter.stop()
+            queue.close()
+        assert job_id == "job-1"
+        assert payload["event"] == "heartbeat"
+
+    def test_stop_joins_heartbeat_thread(self):
+        queue = mp.SimpleQueue()
+        reporter = QueueProgressReporter(queue, "job-1",
+                                         heartbeat_s=60.0).start()
+        assert reporter._thread is not None
+        reporter.stop()
+        assert reporter._thread is None
+        queue.close()
+
+
+class TestEngineHooks:
+    SOURCE = """
+    module top(input a, input b, output y);
+      wire n;
+      child u_c(.a(a), .b(b), .y(n));
+      assign y = ~n;
+    endmodule
+    module child(input a, input b, output y);
+      assign y = a & b;
+    endmodule
+    """
+
+    def test_atpg_run_reports_phases(self):
+        from repro.atpg.engine import AtpgOptions
+        from repro.core.factor import Factor
+
+        events = []
+        factor = Factor.from_verilog(self.SOURCE, top="top")
+        result = factor.analyze("child")
+        with reporting(CallbackProgressReporter(events.append,
+                                                min_interval=0.0)):
+            factor.generate_tests(result, AtpgOptions(max_frames=1))
+        phases = [e["phase"] for e in events]
+        assert phases[0] == "atpg.setup"
+        assert phases[-1] == "atpg.done"
+        assert "fault_sim" in phases
+        # Monotonic sequence numbers, as the /events contract requires.
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)

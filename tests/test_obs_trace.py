@@ -141,7 +141,7 @@ class TestExports:
         tracer = self._forest()
         text = json.dumps(tracer.to_dict())
         data = json.loads(text)
-        assert data["version"] == 1
+        assert data["version"] == 2
         (root,) = data["spans"]
         assert root["name"] == "root"
         assert root["attrs"] == {"kind": "test"}

@@ -1,0 +1,182 @@
+"""Distributed trace identity: W3C traceparent, IDs across forks,
+ambient context, and stitched-trace flattening/replay."""
+
+import concurrent.futures
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    epoch_seconds,
+    flatten_span_dict,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    read_trace_jsonl,
+    wall_clock,
+)
+
+VALID = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        tid = new_trace_id()
+        assert len(tid) == 32
+        assert int(tid, 16) != 0
+        assert tid == tid.lower()
+
+    def test_span_id_shape(self):
+        sid = new_span_id()
+        assert len(sid) == 16
+        assert int(sid, 16) != 0
+
+    def test_ids_unique_in_process(self):
+        ids = {new_span_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+
+def _span_ids_in_child(n):
+    return [new_span_id() for _ in range(n)]
+
+
+class TestForkDisjointness:
+    def test_forked_workers_never_share_span_ids(self):
+        """Two pool processes must draw from independent entropy.
+
+        A ``random``-module generator would fork with identical state and
+        both children would emit the same ID sequence; ``os.urandom``
+        cannot.  Regression for the span-ID collision bug.
+        """
+        with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(_span_ids_in_child, 200)
+                       for _ in range(2)]
+            first, second = [f.result(timeout=60) for f in futures]
+        assert len(set(first)) == 200
+        assert len(set(second)) == 200
+        assert not set(first) & set(second)
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        ctx = TraceContext.new()
+        parsed = parse_traceparent(ctx.to_traceparent())
+        assert parsed == ctx
+
+    def test_valid_header(self):
+        ctx = parse_traceparent(VALID)
+        assert ctx.trace_id == "0af7651916cd43dd8448eb211c80319c"
+        assert ctx.span_id == "b7ad6b7169203331"
+        assert ctx.sampled is True
+
+    def test_unsampled_flags(self):
+        ctx = parse_traceparent(VALID[:-2] + "00")
+        assert ctx is not None and ctx.sampled is False
+
+    def test_uppercase_normalized(self):
+        assert parse_traceparent(VALID.upper()) is not None
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "garbage",
+        "00-abc-def-01",                              # short ids
+        VALID.replace("00-", "ff-"),                  # forbidden version
+        VALID.replace("00-", "0-"),                   # short version
+        VALID.replace("00-", "zz-"),                  # non-hex version
+        "00-" + "z" * 32 + "-b7ad6b7169203331-01",    # non-hex trace id
+        "00-" + "0" * 32 + "-b7ad6b7169203331-01",    # all-zero trace id
+        VALID.replace("b7ad6b7169203331", "0" * 16),  # all-zero span id
+        VALID + "-extra",                             # v00 extra field
+        VALID[:-1],                                   # short flags
+    ])
+    def test_invalid_headers_absent(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_future_version_lenient(self):
+        assert parse_traceparent(VALID.replace("00-", "42-")
+                                 + "-future-data") is not None
+
+
+class TestSpanContext:
+    def test_span_without_context_roots_new_trace(self):
+        span = Span("root")
+        assert span.parent_id is None
+        assert len(span.trace_id) == 32
+
+    def test_span_with_context_inherits(self):
+        ctx = TraceContext.new()
+        span = Span("child", context=ctx)
+        assert span.trace_id == ctx.trace_id
+        assert span.parent_id == ctx.span_id
+        assert span.span_id != ctx.span_id
+
+    def test_tracer_use_context_parents_roots(self):
+        tracer = Tracer()
+        ctx = TraceContext.new()
+        with tracer.use_context(ctx):
+            with tracer.span("served") as served:
+                with tracer.span("inner") as inner:
+                    pass
+        assert served.trace_id == ctx.trace_id
+        assert served.parent_id == ctx.span_id
+        assert inner.trace_id == ctx.trace_id
+        assert inner.parent_id == served.span_id
+
+    def test_tracer_without_context_is_local_root(self):
+        tracer = Tracer()
+        with tracer.span("local") as span:
+            pass
+        assert span.parent_id is None
+
+    def test_current_context_points_at_open_span(self):
+        tracer = Tracer()
+        assert tracer.current_context() is None
+        with tracer.span("x") as x:
+            ctx = tracer.current_context()
+            assert ctx.trace_id == x.trace_id
+            assert ctx.span_id == x.span_id
+
+
+class TestEpochAnchor:
+    def test_epoch_seconds_close_to_time_time(self):
+        import time
+
+        now = epoch_seconds(wall_clock())
+        assert abs(now - time.time()) < 1.0
+
+
+class TestStitching:
+    def _tree(self):
+        ctx = TraceContext.new()
+        root = Span("serve.execute", context=ctx)
+        child = Span("atpg", context=root.context)
+        child.finish()
+        root.children.append(child)
+        root.finish()
+        return ctx, root
+
+    def test_flatten_links_and_process_label(self):
+        ctx, root = self._tree()
+        lines = flatten_span_dict(root.to_dict(), "worker")
+        assert [l["name"] for l in lines] == ["serve.execute", "atpg"]
+        assert all(l["process"] == "worker" for l in lines)
+        assert all(l["trace_id"] == ctx.trace_id for l in lines)
+        assert lines[0]["parent"] == ctx.span_id  # remote parent kept
+        assert lines[1]["parent"] == root.span_id
+
+    def test_read_trace_jsonl_tolerates_torn_tail(self, tmp_path):
+        _, root = self._tree()
+        lines = flatten_span_dict(root.to_dict(), "worker")
+        path = tmp_path / "trace.jsonl"
+        text = "".join(json.dumps(l) + "\n" for l in lines)
+        path.write_text(text + '{"trace_id": "abc", "trunc')
+        spans = read_trace_jsonl(str(path))
+        assert len(spans) == 2
+        assert [s["name"] for s in spans] == ["serve.execute", "atpg"]
+
+    def test_read_trace_jsonl_missing_file(self, tmp_path):
+        assert read_trace_jsonl(str(tmp_path / "absent.jsonl")) == []

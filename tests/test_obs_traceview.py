@@ -1,0 +1,80 @@
+"""Waterfall/top-spans rendering over stitched trace lines."""
+
+from repro.obs.traceview import (
+    BAR_WIDTH,
+    span_children,
+    top_spans,
+    trace_summary,
+    waterfall_rows,
+)
+
+
+def _span(id_, parent, name, start, wall, process="worker", cpu=None):
+    return {"trace_id": "t" * 32, "id": id_, "parent": parent,
+            "name": name, "process": process, "start_unix": start,
+            "wall_s": wall, "cpu_s": wall if cpu is None else cpu,
+            "attrs": {}}
+
+
+def _sample():
+    return [
+        _span("aaaa", None, "serve.submit", 100.0, 1.0, process="server"),
+        _span("bbbb", "aaaa", "serve.execute", 100.1, 0.8),
+        _span("cccc", "bbbb", "parse", 100.1, 0.2),
+        _span("dddd", "bbbb", "atpg", 100.4, 0.5),
+    ]
+
+
+class TestSpanChildren:
+    def test_groups_by_parent_in_start_order(self):
+        children = span_children(_sample())
+        assert [s["name"] for s in children[None]] == ["serve.submit"]
+        assert [s["name"] for s in children["bbbb"]] == ["parse", "atpg"]
+
+    def test_unknown_parent_becomes_root(self):
+        spans = [_span("aaaa", "ffff", "orphan", 1.0, 0.5)]
+        children = span_children(spans)
+        assert [s["name"] for s in children[None]] == ["orphan"]
+
+
+class TestWaterfall:
+    def test_rows_preorder_with_indent(self):
+        rows = waterfall_rows(_sample())
+        assert [r["span"] for r in rows] == [
+            "serve.submit", "  serve.execute", "    parse", "    atpg"]
+        assert rows[0]["proc"] == "server"
+
+    def test_bars_scaled_to_total(self):
+        rows = waterfall_rows(_sample())
+        for row in rows:
+            assert len(row["timeline"]) == BAR_WIDTH
+            assert "#" in row["timeline"]
+        # The root covers the whole trace -> a full-width bar.
+        assert rows[0]["timeline"].strip() == "#" * BAR_WIDTH
+        # Later spans start later in the bar.
+        assert rows[3]["timeline"].index("#") > \
+            rows[2]["timeline"].index("#")
+
+    def test_empty_input(self):
+        assert waterfall_rows([]) == []
+
+    def test_zero_duration_trace(self):
+        rows = waterfall_rows([_span("aaaa", None, "instant", 5.0, 0.0)])
+        assert len(rows) == 1
+        assert rows[0]["timeline"] == "#" * BAR_WIDTH
+
+
+class TestTopSpans:
+    def test_ranked_by_wall_and_limited(self):
+        rows = top_spans(_sample(), limit=2)
+        assert [r["span"] for r in rows] == ["serve.submit",
+                                            "serve.execute"]
+
+
+class TestSummary:
+    def test_counts_and_total(self):
+        summary = trace_summary(_sample())
+        assert summary["spans"] == 4
+        assert summary["trace_ids"] == ["t" * 32]
+        assert summary["processes"] == ["server", "worker"]
+        assert summary["total_wall_s"] == 1.0

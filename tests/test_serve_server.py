@@ -56,13 +56,14 @@ class BlockingWorker:
         self.calls = []
         self._lock = threading.Lock()
 
-    def __call__(self, spec_dict, fresh_registry=True):
+    def __call__(self, spec_dict, fresh_registry=True, **kwargs):
         with self._lock:
             self.calls.append(spec_dict)
         self.started.release()
         assert self.release.wait(timeout=60), "test never released worker"
         return {"ok": True, "result": {"echo": spec_dict["op"]},
-                "error": None, "wall_s": 0.01, "cpu_s": 0.01, "metrics": {}}
+                "error": None, "wall_s": 0.01, "cpu_s": 0.01, "metrics": {},
+                "spans": []}
 
 
 class TestEndpoints:
