@@ -1,0 +1,88 @@
+// Connectivity demo: one small design exercising every root-cause reason
+// the "repro explain" query and the W101/W102/W103 traces can report.
+//
+//   python -m repro lint examples/conn_demo.v --top conn_demo
+//   python -m repro explain examples/conn_demo.v --top conn_demo ghost
+//   python -m repro explain examples/conn_demo.v --top conn_demo stuck
+//   python -m repro explain examples/conn_demo.v --top conn_demo masked
+//   python -m repro explain examples/conn_demo.v --top conn_demo half
+//
+// Unlike lint_demo.v, this design elaborates into a loop-free netlist, so
+// blocked findings at the chip interface carry simulator-verified witness
+// vector pairs.  The comments name the reason code each construct yields.
+
+module conn_demo(
+  input clk,
+  input sel_probe,           // W102 / unused: never read -> vector pair
+  input [1:0] data_in,
+  output orphan_out,         // W101 / no_definition: never driven
+  output sum_out,
+  output state_out,
+  output mux_out,
+  output [3:0] half_out
+);
+  // truncated_slice: only bits [1:0] of half are ever driven; [3:2]
+  // cannot be justified to any value.
+  wire [3:0] half;
+  assign half[1:0] = data_in;
+  assign half_out = half;
+
+  // dead_branch: every definition of ghost sits under a constant-false
+  // condition, so it can never be justified.
+  reg ghost;
+  always @(*) begin
+    if (1'b0)
+      ghost = data_in[0];
+  end
+
+  // unreachable_dff_state: the register's load guard is constant false;
+  // the state it would need to reach state_out never occurs.
+  reg stuck;
+  always @(posedge clk) begin
+    if (1'b0)
+      stuck <= data_in[1];
+  end
+  assign state_out = stuck;
+
+  // masked_mux: masked is only read in the dead arm of a mux whose
+  // select is pinned at constant 1 — its value is masked off.
+  wire masked;
+  assign masked = data_in[0] ^ data_in[1];
+  assign mux_out = 1'b1 ? data_in[0] : masked;
+
+  // constant_cone (W103): the child's 'en' input is wired to a cone that
+  // terminates only in a hard-coded constant.
+  wire tied;
+  assign tied = 1'b1;
+  conn_leaf u_leaf (
+    .clk(clk),
+    .d(data_in[0]),
+    .en(tied),
+    .q(sum_out)
+  );
+
+  // W102 in a child module (buried endpoint: no vector pair from here).
+  conn_sink u_sink (
+    .dead_end(data_in[1])
+  );
+endmodule
+
+module conn_leaf(
+  input clk,
+  input d,
+  input en,
+  output q
+);
+  reg r;
+  always @(posedge clk) begin
+    if (en)
+      r <= d;
+  end
+  assign q = r;
+endmodule
+
+// dead_end arrives from the parent but is never read: W102 / unused.
+module conn_sink(
+  input dead_end
+);
+endmodule

@@ -19,6 +19,9 @@ Subcommands:
 - ``atpg``         generate tests for the MUT inside the transformed module,
 - ``lint``         rule-based static analysis (text/JSON/SARIF output);
                    exit 0 clean, 1 warnings with ``--strict``, 2 errors,
+- ``explain``      root-cause connectivity query for one net or port:
+                   ordered hop trace to the first blocking statement plus
+                   a simulator-verified witness (see docs/root-cause.md),
 - ``profile``      full pipeline run with a per-phase time/metric breakdown,
 - ``stats``        netlist statistics for the whole design (or one module),
 - ``piers``        list PI/PO-accessible registers,
@@ -193,10 +196,38 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="override a rule's severity, e.g. W003=error "
                              "(repeatable)")
     p_lint.add_argument("--waive", action="append", default=[],
-                        metavar="RULE[:MODULE[:SIGNAL]]",
-                        help="waive matching findings (repeatable)")
+                        metavar="RULE[:MODULE[:SIGNAL]][@YYYY-MM-DD]",
+                        help="waive matching findings (repeatable; an "
+                             "@date suffix expires the waiver — expired "
+                             "waivers re-surface as warnings)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="root-cause connectivity trace for one net or port "
+             "(why can't it be justified / propagated?)",
+    )
+    add_common(p_explain, needs_mut=False)
+    p_explain.add_argument("target", metavar="TARGET",
+                           help="signal to explain, as SIGNAL (in the top "
+                                "module) or MODULE.SIGNAL")
+    p_explain.add_argument("--direction",
+                           choices=["auto", "justification", "propagation"],
+                           default="auto",
+                           help="which chain walk to run (default: auto — "
+                                "by port direction, else both)")
+    p_explain.add_argument("--witness",
+                           action=argparse.BooleanOptionalAction,
+                           default=True,
+                           help="attempt a witness vector pair / ATPG "
+                                "redundancy proof for blocked traces "
+                                "(default: --witness)")
+    p_explain.add_argument("--seed", type=int, default=2002,
+                           help="seed for witness base vectors "
+                                "(default 2002)")
+    p_explain.add_argument("--json", action="store_true", dest="as_json",
+                           help="print the trace (and witness) as JSON")
 
     p_profile = sub.add_parser(
         "profile",
@@ -292,8 +323,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="submit a bundled design instead of files")
     p_submit.add_argument("--op", default="atpg",
                           choices=["analyze", "testability", "atpg",
-                                   "lint"],
+                                   "lint", "explain"],
                           help="pipeline operation (default: atpg)")
+    p_submit.add_argument("--target", metavar="SIGNAL",
+                          help="explain jobs: the net/port to explain "
+                               "(SIGNAL or MODULE.SIGNAL)")
     p_submit.add_argument("--top", help="top module")
     p_submit.add_argument("--mut", help="module under test")
     p_submit.add_argument("--path", help="MUT instance path")
@@ -418,12 +452,14 @@ def _lint_config_from_args(args) -> "LintConfig":
         overrides[rule_id] = level
     waivers = []
     for item in getattr(args, "waive", []):
-        parts = item.split(":")
+        spec, _, expires = item.partition("@")
+        parts = spec.split(":")
         waivers.append(Waiver(
             rule_id=parts[0],
             module=parts[1] if len(parts) > 1 and parts[1] else None,
             signal=parts[2] if len(parts) > 2 and parts[2] else None,
             reason="--waive",
+            expires=expires or None,
         ))
     return LintConfig(
         disabled=set(getattr(args, "disable", [])),
@@ -499,9 +535,26 @@ def _cmd_lint(args) -> int:
     return _lint_exit_code(result, args.strict)
 
 
+def _cmd_explain(args) -> int:
+    from repro.lint.explain import explain_query, render_explain_text
+
+    design, _files = _load_lint_design(args)
+    payload = explain_query(design, args.target,
+                            direction=args.direction,
+                            with_witness=args.witness,
+                            seed=args.seed)
+    if args.as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_explain_text(payload))
+    return 0
+
+
 def _lint_gate(args, factor: Factor) -> int:
     """Opt-in pre-flight lint for analyze/atpg: errors abort (exit 2)."""
     from repro.lint import run_lint
+
+    from repro.lint.formats import render_finding
 
     result = run_lint(factor.design)
     if not result.errors:
@@ -510,7 +563,8 @@ def _lint_gate(args, factor: Factor) -> int:
     print(f"lint gate failed: {len(result.errors)} error(s)",
           file=sys.stderr)
     for diag in result.errors:
-        print("  " + diag.render(), file=sys.stderr)
+        for line in render_finding(diag):
+            print("  " + line, file=sys.stderr)
     return 2
 
 
@@ -805,6 +859,7 @@ def _cmd_submit(args) -> int:
         return 1
     spec = {
         "op": args.op,
+        "target": args.target,
         "design": args.design,
         "source": _submit_source(args) if args.files else None,
         "top": args.top,
@@ -870,7 +925,7 @@ def _print_job_outcome(job: Dict[str, object]) -> None:
                              if k in ("name", "faults", "detected", "cov%",
                                       "eff%", "tgen_s", "total_s", "tests",
                                       "vectors")}]))
-    elif op in ("testability", "lint"):
+    elif op in ("testability", "lint", "explain"):
         print(result.get("summary", ""))
     elif op == "analyze":
         print(f"MUT {result.get('mut')} at {result.get('mut_region')}: "
@@ -1127,6 +1182,7 @@ _COMMANDS = {
     "testability": _cmd_testability,
     "atpg": _cmd_atpg,
     "lint": _cmd_lint,
+    "explain": _cmd_explain,
     "profile": _cmd_profile,
     "stats": _cmd_stats,
     "piers": _cmd_piers,

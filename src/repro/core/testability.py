@@ -21,7 +21,7 @@ report and this MUT-scoped testability report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.extractor import (
     EmptyChainTrace,
@@ -101,10 +101,11 @@ class TestabilityReport:
         return "\n".join(lines)
 
 
-def _empty_chain_warning(trace: EmptyChainTrace) -> Warning_:
+def _empty_chain_warning(trace: EmptyChainTrace,
+                         chaindb: Optional[ChainDB] = None) -> Warning_:
     """Map an extraction empty-chain trace through the shared lint core."""
     diag = empty_chain_diagnostic(trace.kind, trace.module, trace.signal,
-                                  trail=trace.trail)
+                                  trail=trace.trail, chaindb=chaindb)
     return Warning_(
         kind=trace.kind,
         module=diag.module,
@@ -123,7 +124,7 @@ def analyze_testability(design: Design, extraction: ExtractionResult
     warnings: List[Warning_] = []
 
     for trace in extraction.empty_chains:
-        warnings.append(_empty_chain_warning(trace))
+        warnings.append(_empty_chain_warning(trace, chaindb=chaindb))
 
     # Hard-coded analysis on the MUT's input connections, via the shared
     # constant-cone core (lint rule W103 runs the same traversal).

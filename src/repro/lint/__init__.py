@@ -13,7 +13,12 @@ extensible lint engine:
   shared with :mod:`repro.core.testability`,
 - :mod:`repro.lint.rules_ast` / ``rules_chain`` / ``rules_netlist`` — the
   shipped rules (AST shape, du/ud chains, elaborated netlist),
-- :mod:`repro.lint.formats` — text, JSON and SARIF 2.1.0 emitters.
+- :mod:`repro.lint.rootcause` — root-cause connectivity traces: the walk
+  from a blocked endpoint to the first statement where the path breaks,
+- :mod:`repro.lint.witness`   — Wit-HW-style witness vectors (simulator
+  vector pairs / ATPG redundancy proofs) demonstrating the blockage,
+- :mod:`repro.lint.formats` — text, JSON and SARIF 2.1.0 emitters
+  (traces surface as SARIF ``codeFlows``/``threadFlows``).
 
 Typical use::
 
@@ -41,7 +46,12 @@ from repro.lint.core import (
     run_lint,
 )
 from repro.lint.cone import ConeVerdict, ConstantConeAnalyzer, hard_coded_inputs
-from repro.lint.formats import render_json, render_sarif, render_text
+from repro.lint.formats import render_json, render_sarif, render_text, \
+    validate_sarif
+from repro.lint.rootcause import RootCauseAnalyzer, RootCauseHop, \
+    RootCauseTrace
+from repro.lint.witness import generate_vector_pair_witness, \
+    replay_witness, witness_for_trace
 
 # Importing the rule modules registers every shipped rule with the default
 # registry (decorator side effect).
@@ -69,4 +79,11 @@ __all__ = [
     "render_json",
     "render_sarif",
     "render_text",
+    "validate_sarif",
+    "RootCauseAnalyzer",
+    "RootCauseHop",
+    "RootCauseTrace",
+    "generate_vector_pair_witness",
+    "replay_witness",
+    "witness_for_trace",
 ]

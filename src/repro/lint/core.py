@@ -10,6 +10,7 @@ and waivers before returning a :class:`LintResult`.
 
 from __future__ import annotations
 
+import datetime
 from dataclasses import dataclass, field, replace
 from typing import (
     Callable,
@@ -46,12 +47,24 @@ Severity = str
 
 @dataclass(frozen=True)
 class TraceStep:
-    """One hop of a diagnostic's supporting du/ud trace."""
+    """One hop of a diagnostic's supporting du/ud or root-cause trace.
+
+    ``construct`` names the RTL construct the hop crosses (``cont_assign``,
+    ``if``, ``instance``, ``ternary``, ``dff``, …) and ``reason`` says why
+    the walk passed through or stopped here; both are empty on legacy
+    trail-style hops, where ``note`` carries the annotation instead.
+    """
 
     module: str
     signal: str
     line: int = 0
     note: str = ""
+    construct: str = ""
+    reason: str = ""
+
+    def text(self) -> str:
+        """The hop's annotation, preferring the root-cause reason."""
+        return self.reason or self.note or f"{self.module}.{self.signal}"
 
     def as_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -59,6 +72,10 @@ class TraceStep:
         }
         if self.note:
             out["note"] = self.note
+        if self.construct:
+            out["construct"] = self.construct
+        if self.reason:
+            out["reason"] = self.reason
         return out
 
 
@@ -75,6 +92,11 @@ class Diagnostic:
     line: int = 0
     file: str = ""
     trace: Tuple[TraceStep, ...] = ()
+    #: Reason code of the trace's breaking hop (see rootcause.REASONS).
+    root_cause: str = ""
+    #: Witness demonstrating the blockage (see :mod:`repro.lint.witness`):
+    #: a simulator-verified vector pair or an ATPG redundancy proof.
+    witness: Optional[Dict[str, object]] = None
 
     @property
     def is_error(self) -> bool:
@@ -110,17 +132,36 @@ class Diagnostic:
         }
         if self.trace:
             out["trace"] = [step.as_dict() for step in self.trace]
+        if self.root_cause:
+            out["root_cause"] = self.root_cause
+        if self.witness is not None:
+            out["witness"] = self.witness
         return out
 
 
 @dataclass(frozen=True)
 class Waiver:
-    """Suppress matching diagnostics; ``None`` fields match anything."""
+    """Suppress matching diagnostics; ``None`` fields match anything.
+
+    ``expires`` (``YYYY-MM-DD``) puts a shelf life on the suppression:
+    past that date the waiver stops hiding findings and they re-surface
+    as warnings, so stale waivers cannot silence real regressions forever.
+    """
 
     rule_id: str
     module: Optional[str] = None
     signal: Optional[str] = None
     reason: str = ""
+    expires: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.expires is not None:
+            try:
+                datetime.date.fromisoformat(self.expires)
+            except ValueError:
+                raise LintError(
+                    f"bad waiver expiry {self.expires!r}; "
+                    "expected YYYY-MM-DD") from None
 
     def matches(self, diag: Diagnostic) -> bool:
         if self.rule_id != diag.rule_id:
@@ -130,6 +171,12 @@ class Waiver:
         if self.signal is not None and self.signal != diag.signal:
             return False
         return True
+
+    def is_expired(self, today: Optional[datetime.date] = None) -> bool:
+        if self.expires is None:
+            return False
+        now = today if today is not None else datetime.date.today()
+        return now > datetime.date.fromisoformat(self.expires)
 
 
 @dataclass
@@ -272,6 +319,7 @@ class LintContext:
         self._chaindb: Optional[ChainDB] = None
         self._netlist: object = None
         self._netlist_built = False
+        self._rootcause: object = None
         self.netlist_error: Optional[Exception] = None
 
     def file_of(self, module_name: str) -> str:
@@ -302,6 +350,24 @@ class LintContext:
                 self.netlist_error = err
                 self._netlist = None
         return self._netlist
+
+    @property
+    def netlist_built(self) -> bool:
+        """Whether :meth:`netlist` has been forced yet (category gating)."""
+        return self._netlist_built
+
+    def rootcause(self):
+        """Shared :class:`repro.lint.rootcause.RootCauseAnalyzer`.
+
+        Lazy and chain-level only — building it never triggers
+        elaboration, so chain-rule-only runs stay elaboration-free.
+        """
+        if self._rootcause is None:
+            from repro.lint.rootcause import RootCauseAnalyzer
+
+            self._rootcause = RootCauseAnalyzer(
+                self.design, self.chaindb, self.modules)
+        return self._rootcause
 
     def const_env(self, module: ast.Module) -> Dict[str, int]:
         """Module parameters that evaluate to integer constants."""
@@ -360,12 +426,65 @@ def _sort_key(diag: Diagnostic) -> Tuple:
     return (diag.file, diag.module, diag.line, diag.rule_id, diag.signal)
 
 
+#: Rules whose findings get root-cause/witness enrichment, mapped to the
+#: walk direction their blockage corresponds to.
+_ROOTCAUSE_RULES = {"W101": "justification", "W102": "propagation"}
+
+#: Witness ATPG fallback is skipped above this gate count: a redundancy
+#: proof on a large design is real ATPG work, not a lint-time side note.
+_WITNESS_ATPG_GATE_LIMIT = 4000
+
+
+def _attach_witnesses(ctx: LintContext, cfg: LintConfig, reg: RuleRegistry,
+                      kept: List[Diagnostic]) -> List[Diagnostic]:
+    """Attach simulator/ATPG witnesses to blocked-connectivity findings.
+
+    Elaboration stays category-gated: the netlist is only (lazily) built
+    when at least one ``synth``-category rule is enabled, so a
+    chain-rules-only run (``--enable W101``) never pays for synthesis —
+    its findings carry traces but no witnesses.
+    """
+    candidates = [d for d in kept if d.rule_id in _ROOTCAUSE_RULES
+                  and d.root_cause]
+    if not candidates:
+        return kept
+    if not any(rule_.category == "synth" and cfg.is_enabled(rule_.rule_id)
+               for rule_ in reg.rules()):
+        return kept
+    netlist = ctx.netlist()
+    if netlist is None:
+        return kept
+    from repro.lint.witness import witness_for_trace
+
+    analyzer = ctx.rootcause()
+    allow_atpg = len(netlist.gates) <= _WITNESS_ATPG_GATE_LIMIT
+    out: List[Diagnostic] = []
+    for diag in kept:
+        direction = _ROOTCAUSE_RULES.get(diag.rule_id)
+        if direction is None or not diag.root_cause:
+            out.append(diag)
+            continue
+        if direction == "justification":
+            trace = analyzer.explain_justification(diag.module, diag.signal)
+        else:
+            trace = analyzer.explain_propagation(diag.module, diag.signal)
+        witness = witness_for_trace(netlist, trace, ctx.design.top,
+                                    allow_atpg=allow_atpg)
+        if witness is not None:
+            diag = replace(diag, witness=witness)
+            counter("lint.witnesses").inc()
+        out.append(diag)
+    return out
+
+
 def run_lint(design: Design, config: Optional[LintConfig] = None,
              registry: Optional[RuleRegistry] = None,
-             files: Optional[Mapping[str, str]] = None) -> LintResult:
+             files: Optional[Mapping[str, str]] = None,
+             today: Optional["datetime.date"] = None) -> LintResult:
     """Run every enabled rule over ``design`` and collect diagnostics.
 
-    ``files`` maps module name -> source file path for location reporting.
+    ``files`` maps module name -> source file path for location reporting;
+    ``today`` overrides the waiver-expiry clock (tests).
     """
     cfg = config or LintConfig()
     reg = registry if registry is not None else _DEFAULT_REGISTRY
@@ -378,6 +497,7 @@ def run_lint(design: Design, config: Optional[LintConfig] = None,
     kept: List[Diagnostic] = []
     waived: List[Tuple[Diagnostic, Waiver]] = []
     rules_run = 0
+    expired_waivers = 0
     with span("lint", modules=len(ctx.modules)) as sp:
         for rule_ in reg.rules():
             if not cfg.is_enabled(rule_.rule_id):
@@ -393,10 +513,23 @@ def run_lint(design: Design, config: Optional[LintConfig] = None,
                     file=diag.file or ctx.file_of(diag.module),
                 )
                 waiver = cfg.waiver_for(diag)
-                if waiver is not None:
+                if waiver is not None and waiver.is_expired(today):
+                    # Expired suppression: the finding re-surfaces as (at
+                    # least) a warning so it cannot silently rot away.
+                    expired_waivers += 1
+                    resurfaced = "warning" if diag.severity == "info" \
+                        else diag.severity
+                    diag = replace(
+                        diag, severity=resurfaced,
+                        message=(f"{diag.message} "
+                                 f"[waiver expired {waiver.expires}]"),
+                    )
+                    kept.append(diag)
+                elif waiver is not None:
                     waived.append((diag, waiver))
                 else:
                     kept.append(diag)
+        kept = _attach_witnesses(ctx, cfg, reg, kept)
         kept.sort(key=_sort_key)
         sp.set("findings", len(kept))
         sp.set("rules", rules_run)
@@ -409,6 +542,8 @@ def run_lint(design: Design, config: Optional[LintConfig] = None,
     counter("lint.warnings").inc(counts["warning"])
     counter("lint.infos").inc(counts["info"])
     counter("lint.waived").inc(counts["waived"])
+    if expired_waivers:
+        counter("lint.waivers_expired").inc(expired_waivers)
     for rule_id, n in result.by_rule().items():
         counter(f"lint.rule.{rule_id}").inc(n)
     _log.info("lint_done", findings=len(kept), **counts)

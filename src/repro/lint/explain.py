@@ -1,0 +1,123 @@
+"""The ``repro explain`` query: one target, one root-cause answer.
+
+Shared by the CLI subcommand and the serve tier's ``explain`` operation so
+both produce the same JSON shape: the resolved endpoint, the ordered
+root-cause trace, and (for blocked traces) the best available witness —
+a simulator-verified vector pair when the endpoint sits at the chip
+interface, an ATPG redundancy proof otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hierarchy.design import Design
+from repro.lint.core import LintError
+from repro.lint.rootcause import RootCauseAnalyzer, RootCauseTrace
+
+#: ATPG fallback ceiling (gates); mirrors the run_lint witness pass.
+_ATPG_GATE_LIMIT = 4000
+
+
+def resolve_target(design: Design, target: str) -> tuple:
+    """``MODULE.SIGNAL`` or bare ``SIGNAL`` (top module) -> (module, signal).
+
+    Raises :class:`LintError` when the module or signal does not exist.
+    """
+    module_name = design.top
+    signal = target
+    if "." in target:
+        head, rest = target.split(".", 1)
+        if head in design.module_names():
+            module_name, signal = head, rest
+    if module_name not in design.module_names():
+        raise LintError(f"no module {module_name!r} in design")
+    module = design.module(module_name)
+    known = {p.name for p in module.ports} | {n.name for n in module.nets} \
+        | {p.name for p in module.params}
+    if signal not in known:
+        chains = design.chaindb().chains(module_name)
+        if not chains.ud_chain(signal) and not chains.du_chain(signal):
+            raise LintError(
+                f"no signal {signal!r} in module {module_name!r}")
+    return module_name, signal
+
+
+def _trace_for(analyzer: RootCauseAnalyzer, module_name: str, signal: str,
+               direction: str) -> RootCauseTrace:
+    if direction == "justification":
+        return analyzer.explain_justification(module_name, signal)
+    if direction == "propagation":
+        return analyzer.explain_propagation(module_name, signal)
+    return analyzer.explain(module_name, signal)
+
+
+def explain_query(design: Design, target: str, direction: str = "auto",
+                  with_witness: bool = True, seed: int = 2002,
+                  ) -> Dict[str, object]:
+    """Run one explain query and return the JSON-able result payload."""
+    module_name, signal = resolve_target(design, target)
+    analyzer = RootCauseAnalyzer(design)
+    trace = _trace_for(analyzer, module_name, signal, direction)
+
+    witness: Optional[Dict[str, object]] = None
+    if with_witness and trace.blocked:
+        netlist = _elaborate(design)
+        if netlist is not None:
+            from repro.lint.witness import witness_for_trace
+
+            allow_atpg = len(netlist.gates) <= _ATPG_GATE_LIMIT
+            witness = witness_for_trace(netlist, trace, design.top,
+                                        seed=seed, allow_atpg=allow_atpg)
+
+    if trace.blocked:
+        summary = (f"{module_name}.{signal}: {trace.kind} blocked — "
+                   f"root cause {trace.root_cause} "
+                   f"({len(trace.hops)} hops)")
+    else:
+        summary = (f"{module_name}.{signal}: {trace.kind} path to the "
+                   "chip interface exists — not blocked")
+    return {
+        "op": "explain",
+        "target": target,
+        "module": module_name,
+        "signal": signal,
+        "blocked": trace.blocked,
+        "root_cause": trace.root_cause,
+        "trace": trace.as_dict(),
+        "witness": witness,
+        "summary": summary,
+    }
+
+
+def _elaborate(design: Design):
+    from repro.synth.elaborate import SynthesisError, synthesize
+    from repro.synth.netlist import NetlistError
+
+    try:
+        return synthesize(design, do_optimize=False)
+    except (SynthesisError, NetlistError, ValueError, RecursionError):
+        return None
+
+
+def render_explain_text(payload: Dict[str, object]) -> str:
+    """Human-readable form of an explain payload (hops + witness line)."""
+    from repro.lint.formats import _witness_line
+
+    lines = [str(payload.get("summary", ""))]
+    trace = payload.get("trace") or {}
+    for i, hop in enumerate(trace.get("hops", [])):
+        where = f"{hop.get('module')}"
+        if hop.get("line"):
+            where += f":{hop['line']}"
+        construct = f" [{hop['construct']}]" if hop.get("construct") else ""
+        lines.append(f"  #{i} {where}{construct} {hop.get('signal')}: "
+                     f"{hop.get('reason')}")
+    pinned = trace.get("pinned") or {}
+    if pinned:
+        pins = ", ".join(f"{k}={v}" for k, v in sorted(pinned.items()))
+        lines.append(f"  pinned: {pins}")
+    witness = payload.get("witness")
+    if witness:
+        lines.append("  " + _witness_line(witness))
+    return "\n".join(lines)

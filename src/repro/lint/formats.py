@@ -22,13 +22,48 @@ TOOL_NAME = "repro-lint"
 _SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
 
 
+def _witness_line(witness: Dict[str, object]) -> str:
+    """One-line witness summary for the text format."""
+    if witness.get("kind") == "vector_pair":
+        verified = "simulator-verified" if witness.get("verified") \
+            else "unverified"
+        pinned = witness.get("pinned") or {}
+        pin_txt = ", ".join(f"{k}={v}" for k, v in sorted(pinned.items()))
+        extra = f"; pinned {pin_txt}" if pin_txt else ""
+        return (f"witness: {verified} vector pair toggling "
+                f"'{witness.get('signal')}' with no observable "
+                f"difference{extra}")
+    if witness.get("kind") == "atpg_redundant":
+        implied = witness.get("implications") or {}
+        return (f"witness: ATPG proves {witness.get('fault')} redundant "
+                f"({len(implied)} implied assignments)")
+    return f"witness: {witness.get('kind')}"
+
+
+def render_finding(diag: Diagnostic) -> List[str]:
+    """A finding plus its indented root-cause hops and witness line."""
+    lines = [diag.render()]
+    for i, step in enumerate(diag.trace):
+        where = f"{step.module}" + (f":{step.line}" if step.line else "")
+        construct = f" [{step.construct}]" if step.construct else ""
+        lines.append(f"  #{i} {where}{construct} {step.signal}: "
+                     f"{step.text()}")
+    if diag.witness is not None:
+        lines.append("  " + _witness_line(diag.witness))
+    return lines
+
+
 def render_text(result: LintResult, verbose: bool = False) -> str:
-    """Classic compiler-style one-line-per-finding listing."""
-    lines = [diag.render() for diag in result.diagnostics]
+    """Compiler-style listing: one line per finding, indented trace hops
+    underneath findings that carry a root-cause trace."""
+    lines: List[str] = []
+    for diag in result.diagnostics:
+        lines.extend(render_finding(diag))
     if verbose:
         for diag, waiver in result.waived:
             reason = f" ({waiver.reason})" if waiver.reason else ""
-            lines.append(f"{diag.render()} [waived{reason}]")
+            expiry = f" until {waiver.expires}" if waiver.expires else ""
+            lines.append(f"{diag.render()} [waived{reason}{expiry}]")
     lines.append(result.summary())
     return "\n".join(lines)
 
@@ -94,12 +129,45 @@ def _sarif_result(diag: Diagnostic) -> Dict[str, object]:
                     **({"region": {"startLine": step.line}}
                        if step.line > 0 else {}),
                 },
-                "message": {
-                    "text": step.note or f"{step.module}.{step.signal}",
-                },
+                "message": {"text": step.text()},
             }
             for step in diag.trace
         ]
+    if diag.trace and diag.root_cause:
+        # Root-cause traces are ordered execution paths, which SARIF
+        # models as one codeFlow with one threadFlow (§3.36/§3.37).
+        # Legacy one-hop trails stay relatedLocations only.
+        result["codeFlows"] = [{
+            "threadFlows": [{
+                "locations": [
+                    {
+                        "location": {
+                            "physicalLocation": {
+                                "artifactLocation": {
+                                    "uri": diag.file
+                                    or f"{step.module or 'design'}.v",
+                                },
+                                **({"region": {"startLine": step.line}}
+                                   if step.line > 0 else {}),
+                            },
+                            "message": {"text": step.text()},
+                            **({"logicalLocations": [{
+                                "name": f"{step.module}.{step.signal}",
+                                "kind": step.construct or "member",
+                            }]} if step.module or step.signal else {}),
+                        },
+                    }
+                    for step in diag.trace
+                ],
+            }],
+        }]
+    properties: Dict[str, object] = {}
+    if diag.root_cause:
+        properties["rootCause"] = diag.root_cause
+    if diag.witness is not None:
+        properties["witness"] = diag.witness
+    if properties:
+        result["properties"] = properties
     return result
 
 
@@ -145,3 +213,91 @@ FORMATS = {
     "json": render_json,
     "sarif": render_sarif,
 }
+
+
+def validate_sarif(log: Dict[str, object]) -> List[str]:
+    """Structural validation of a SARIF log against the 2.1.0 subset we
+    emit (runs, results, locations, codeFlows/threadFlows).
+
+    Returns a list of problems, empty when the log conforms.  This is the
+    checker the ``lint-explain-smoke`` CI job runs; it is hand-rolled
+    because the full JSON-schema validator is not a runtime dependency.
+    """
+    problems: List[str] = []
+
+    def need(obj, key, types, where):
+        if not isinstance(obj, dict) or key not in obj:
+            problems.append(f"{where}: missing required '{key}'")
+            return None
+        value = obj[key]
+        if not isinstance(value, types):
+            problems.append(f"{where}.{key}: expected "
+                            f"{getattr(types, '__name__', types)}")
+            return None
+        return value
+
+    if need(log, "version", str, "$") != SARIF_VERSION:
+        problems.append(f"$.version: expected {SARIF_VERSION!r}")
+    runs = need(log, "runs", list, "$") or []
+    for ri, run in enumerate(runs):
+        where = f"$.runs[{ri}]"
+        tool = need(run, "tool", dict, where)
+        if tool is not None:
+            driver = need(tool, "driver", dict, f"{where}.tool")
+            if driver is not None:
+                need(driver, "name", str, f"{where}.tool.driver")
+        results = need(run, "results", list, where) or []
+        for si, res in enumerate(results):
+            rwhere = f"{where}.results[{si}]"
+            need(res, "ruleId", str, rwhere)
+            message = need(res, "message", dict, rwhere)
+            if message is not None:
+                need(message, "text", str, f"{rwhere}.message")
+            if res.get("level") not in (None, "error", "warning", "note",
+                                        "none"):
+                problems.append(f"{rwhere}.level: bad value "
+                                f"{res.get('level')!r}")
+            for li, loc in enumerate(res.get("locations") or []):
+                _validate_sarif_location(loc, f"{rwhere}.locations[{li}]",
+                                         problems, need)
+            for fi, flow in enumerate(res.get("codeFlows") or []):
+                fwhere = f"{rwhere}.codeFlows[{fi}]"
+                threads = need(flow, "threadFlows", list, fwhere) or []
+                if not threads:
+                    problems.append(f"{fwhere}.threadFlows: must not be "
+                                    "empty")
+                for ti, thread in enumerate(threads):
+                    twhere = f"{fwhere}.threadFlows[{ti}]"
+                    locations = need(thread, "locations", list,
+                                     twhere) or []
+                    if not locations:
+                        problems.append(f"{twhere}.locations: must not "
+                                        "be empty")
+                    for li, tfl in enumerate(locations):
+                        lwhere = f"{twhere}.locations[{li}]"
+                        inner = need(tfl, "location", dict, lwhere)
+                        if inner is not None:
+                            _validate_sarif_location(
+                                inner, f"{lwhere}.location", problems,
+                                need)
+    return problems
+
+
+def _validate_sarif_location(loc, where: str, problems: List[str],
+                             need) -> None:
+    physical = loc.get("physicalLocation") if isinstance(loc, dict) \
+        else None
+    if physical is None:
+        problems.append(f"{where}: missing 'physicalLocation'")
+        return
+    artifact = need(physical, "artifactLocation", dict,
+                    f"{where}.physicalLocation")
+    if artifact is not None:
+        need(artifact, "uri", str,
+             f"{where}.physicalLocation.artifactLocation")
+    region = physical.get("region")
+    if region is not None:
+        start = region.get("startLine")
+        if not isinstance(start, int) or start < 1:
+            problems.append(f"{where}.physicalLocation.region.startLine: "
+                            "must be a positive integer")

@@ -1,0 +1,883 @@
+"""Root-cause connectivity analysis: *why* is a path dead?
+
+FACTOR's Section-4.2 flags (and the W101/W102/W103 lint rules built on
+them) stop at the boolean fact — "empty du/ud chain on port X".  This
+module walks the du/ud chain graph backward (justification) or forward
+(propagation) from the blocked endpoint to the *first* statement where the
+path breaks, in the style of ConnChecker's graph-based root-cause traces,
+and classifies the break:
+
+- ``no_definition``          — the signal is never assigned anywhere,
+- ``unused``                 — the signal is never read anywhere,
+- ``constant_cone``          — every justification path ends in constants,
+- ``dead_branch``            — the only definitions sit under a condition
+  that constant-evaluates false (or a case label that can never match),
+- ``masked_mux``             — a mux whose select is pinned to a constant
+  masks the only live arm,
+- ``unreachable_dff_state``  — a register's load guard is provably
+  constant, so the state it would need can never be reached,
+- ``truncated_slice``        — a vector is only ever partially assigned;
+  the remaining bits are undriven,
+- ``unconnected_port``       — the port is left dangling at every
+  instantiation boundary.
+
+The result is an ordered list of :class:`RootCauseHop` — (source line,
+construct, reason) — from the endpoint down to the breaking statement,
+ready to render as text hops, JSON ``trace`` entries or SARIF
+``codeFlows``.  Witness-vector generation for these traces lives in
+:mod:`repro.lint.witness`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.hierarchy.chains import ChainDB, Site
+from repro.hierarchy.connectivity import instance_port_map, \
+    signal_instance_sources
+from repro.hierarchy.design import Design
+from repro.lint.width import const_eval
+from repro.verilog import ast
+
+#: Reason codes a trace may terminate with (the root-cause vocabulary).
+REASONS = (
+    "no_definition",
+    "unused",
+    "constant_cone",
+    "dead_branch",
+    "masked_mux",
+    "unreachable_dff_state",
+    "truncated_slice",
+    "unconnected_port",
+)
+
+#: Hop budget: traces longer than this are cut with a final "…" hop.
+MAX_HOPS = 24
+
+
+@dataclass(frozen=True)
+class RootCauseHop:
+    """One step of a root-cause trace: where, through what, and why."""
+
+    module: str
+    signal: str
+    line: int
+    construct: str  # output_port | input_port | cont_assign | proc_assign
+    #               | gate | instance | if | case | ternary | dff | slice
+    #               | module | net | parameter
+    reason: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "module": self.module,
+            "signal": self.signal,
+            "line": self.line,
+            "construct": self.construct,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class RootCauseTrace:
+    """Outcome of explaining one endpoint.
+
+    ``kind`` names the walk direction (``justification`` backward toward
+    the chip interface, ``propagation`` forward toward it); ``blocked``
+    says whether a break was found; ``root_cause`` carries the reason code
+    of the breaking hop when blocked.  ``pinned`` records signals the
+    trace proves are held at a masking/constant value — witness generation
+    reads the actual simulated values back out of the netlist for these.
+    """
+
+    kind: str
+    endpoint_module: str
+    endpoint_signal: str
+    blocked: bool = False
+    root_cause: str = ""
+    hops: List[RootCauseHop] = field(default_factory=list)
+    pinned: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "module": self.endpoint_module,
+            "signal": self.endpoint_signal,
+            "blocked": self.blocked,
+            "root_cause": self.root_cause,
+            "hops": [hop.as_dict() for hop in self.hops],
+        }
+        if self.pinned:
+            out["pinned"] = dict(sorted(self.pinned.items()))
+        return out
+
+
+def hops_as_trace(hops) -> tuple:
+    """Root-cause hops as :class:`repro.lint.core.TraceStep` tuples."""
+    from repro.lint.core import TraceStep
+
+    return tuple(
+        TraceStep(module=hop.module, signal=hop.signal, line=hop.line,
+                  construct=hop.construct, reason=hop.reason)
+        for hop in hops
+    )
+
+
+def decl_line(module: ast.Module, signal: str) -> int:
+    """Best declaration line for a signal: port, then net, then module."""
+    for port in module.ports:
+        if port.name == signal:
+            return port.line
+    for net in module.nets:
+        if net.name == signal:
+            return net.line
+    for param in module.params:
+        if param.name == signal:
+            return param.line
+    return module.line
+
+
+def site_line(chains, signal: str) -> int:
+    """Representative source line for a signal out of its chain sites.
+
+    Prefers a real definition site over the port pseudo-site, falling back
+    to the first use — this is what anchors W101/W102 trace hops to the
+    statement that matters rather than line 0.
+    """
+    best = 0
+    for site in chains.ud_chain(signal):
+        if site.line and site.kind not in ("input_port", "output_port"):
+            return site.line
+        best = best or site.line
+    for site in chains.du_chain(signal):
+        if site.line and site.kind not in ("input_port", "output_port"):
+            return site.line
+        best = best or site.line
+    return best
+
+
+def _stmt_contains(root: Optional[ast.Stmt], target: object) -> bool:
+    if root is None:
+        return False
+    return any(stmt is target for stmt in ast.walk_stmts(root))
+
+
+class RootCauseAnalyzer:
+    """Walks du/ud chains to the first break point and classifies it."""
+
+    def __init__(self, design: Design, chaindb: Optional[ChainDB] = None,
+                 modules: Optional[Dict[str, ast.Module]] = None,
+                 max_depth: int = 24):
+        self.design = design
+        self.chaindb = chaindb if chaindb is not None else design.chaindb()
+        self.modules = modules if modules is not None else {
+            name: design.module(name) for name in design.module_names()
+        }
+        self.max_depth = max_depth
+        self._just_cache: Dict[Tuple[str, str], Optional[
+            Tuple[str, Tuple[RootCauseHop, ...]]]] = {}
+        self._prop_cache: Dict[Tuple[str, str], Optional[
+            Tuple[str, Tuple[RootCauseHop, ...]]]] = {}
+
+    # -- public entry points -----------------------------------------------
+
+    def explain(self, module_name: str, signal: str) -> RootCauseTrace:
+        """Auto-directed explain: ports follow their direction; internal
+        nets are checked backward first, then forward."""
+        module = self._module(module_name)
+        directions = {p.name: p.direction for p in module.ports}
+        direction = directions.get(signal)
+        if direction == "output":
+            return self.explain_justification(module_name, signal)
+        if direction == "input":
+            return self.explain_propagation(module_name, signal)
+        back = self.explain_justification(module_name, signal)
+        if back.blocked:
+            return back
+        forward = self.explain_propagation(module_name, signal)
+        return forward if forward.blocked else back
+
+    def explain_justification(self, module_name: str,
+                              signal: str) -> RootCauseTrace:
+        """Backward walk: can the signal be set from the chip interface?"""
+        module = self._module(module_name)
+        trace = RootCauseTrace(
+            kind="justification",
+            endpoint_module=module_name, endpoint_signal=signal,
+        )
+        endpoint = RootCauseHop(
+            module=module_name, signal=signal,
+            line=decl_line(module, signal),
+            construct=self._endpoint_construct(module, signal),
+            reason="justification endpoint (walking use-def chains "
+                   "backward toward the chip interface)",
+        )
+        blocked = self._just_signal(module_name, signal, self.max_depth,
+                                    set(), trace.pinned)
+        trace.hops.append(endpoint)
+        if blocked is not None:
+            code, hops = blocked
+            trace.blocked = True
+            trace.root_cause = code
+            trace.hops.extend(hops[:MAX_HOPS])
+        else:
+            trace.hops.append(RootCauseHop(
+                module=module_name, signal=signal,
+                line=endpoint.line, construct="net",
+                reason="a free justification path to the chip interface "
+                       "exists — not blocked",
+            ))
+        return trace
+
+    def explain_propagation(self, module_name: str,
+                            signal: str) -> RootCauseTrace:
+        """Forward walk: can the signal's value reach the chip interface?"""
+        module = self._module(module_name)
+        trace = RootCauseTrace(
+            kind="propagation",
+            endpoint_module=module_name, endpoint_signal=signal,
+        )
+        endpoint = RootCauseHop(
+            module=module_name, signal=signal,
+            line=decl_line(module, signal),
+            construct=self._endpoint_construct(module, signal),
+            reason="propagation endpoint (walking def-use chains forward "
+                   "toward the chip interface)",
+        )
+        blocked = self._prop_signal(module_name, signal, self.max_depth,
+                                    set(), trace.pinned)
+        trace.hops.append(endpoint)
+        if blocked is not None:
+            code, hops = blocked
+            trace.blocked = True
+            trace.root_cause = code
+            trace.hops.extend(hops[:MAX_HOPS])
+        else:
+            trace.hops.append(RootCauseHop(
+                module=module_name, signal=signal,
+                line=endpoint.line, construct="net",
+                reason="a free propagation path to the chip interface "
+                       "exists — not blocked",
+            ))
+        return trace
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _module(self, name: str) -> ast.Module:
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise KeyError(f"no module {name!r} in design") from None
+
+    def _endpoint_construct(self, module: ast.Module, signal: str) -> str:
+        for port in module.ports:
+            if port.name == signal:
+                return f"{port.direction}_port"
+        return "net"
+
+    def _env(self, module: ast.Module) -> Dict[str, int]:
+        env: Dict[str, int] = {}
+        for param in module.params:
+            value = const_eval(param.value, env)
+            if value is not None:
+                env[param.name] = value
+        return env
+
+    def _declared_width(self, module: ast.Module,
+                        signal: str) -> Optional[Tuple[int, int]]:
+        """(msb, lsb) of the declaration range, when constant."""
+        env = self._env(module)
+        rng = None
+        for port in module.ports:
+            if port.name == signal:
+                rng = port.range
+                break
+        else:
+            for net in module.nets:
+                if net.name == signal:
+                    rng = net.range
+                    break
+        if rng is None:
+            return None
+        msb = const_eval(rng.msb, env)
+        lsb = const_eval(rng.lsb, env)
+        if msb is None or lsb is None:
+            return None
+        return (max(msb, lsb), min(msb, lsb))
+
+    def _dead_enclosure(self, module: ast.Module, site: Site
+                        ) -> Optional[Tuple[object, str]]:
+        """The innermost enclosure that provably never executes this site.
+
+        Returns ``(enclosure_node, why)`` or None.  Detection is the same
+        constant folding rule W009 uses: an ``if`` condition that
+        const-evaluates, or a fully-constant ``case`` whose matching label
+        set excludes the selector value.
+        """
+        env = self._env(module)
+        for enc in reversed(site.enclosures):
+            if isinstance(enc, ast.If):
+                value = const_eval(enc.cond, env)
+                if value is None:
+                    continue
+                in_then = _stmt_contains(enc.then_stmt, site.node)
+                in_else = _stmt_contains(enc.else_stmt, site.node)
+                if value == 0 and in_then:
+                    return enc, "condition is constant false"
+                if value != 0 and in_else:
+                    return enc, "condition is constant true, so the else " \
+                                "branch never executes"
+            elif isinstance(enc, ast.Case):
+                sel = const_eval(enc.selector, env)
+                if sel is None:
+                    continue
+                for item in enc.items:
+                    if not _stmt_contains(item.stmt, site.node):
+                        continue
+                    if not item.labels:  # default arm: assume reachable
+                        break
+                    values = [const_eval(lab, env) for lab in item.labels]
+                    if all(v is not None for v in values) \
+                            and sel not in values:
+                        return enc, (f"selector is constant {sel}, which "
+                                     "matches none of this arm's labels")
+                    break
+        return None
+
+    def _dead_site_hop(self, module_name: str, signal: str,
+                       site: Site) -> Optional[Tuple[str, RootCauseHop]]:
+        """Classify a chain site sitting in provably-dead control flow."""
+        module = self._module(module_name)
+        dead = self._dead_enclosure(module, site)
+        if dead is None:
+            return None
+        enc, why = dead
+        construct = "if" if isinstance(enc, ast.If) else "case"
+        line = getattr(enc, "line", site.line) or site.line
+        if site.always is not None and site.always.is_sequential:
+            return "unreachable_dff_state", RootCauseHop(
+                module=module_name, signal=signal, line=line,
+                construct="dff",
+                reason=(f"register load guarded by a dead {construct}: "
+                        f"{why}; the state is unreachable"),
+            )
+        return "dead_branch", RootCauseHop(
+            module=module_name, signal=signal, line=line,
+            construct=construct,
+            reason=f"definition sits in a dead branch: {why}",
+        )
+
+    def _truncated_slice(self, module_name: str, signal: str,
+                         defs: List[Site]) -> Optional[RootCauseHop]:
+        """Bits of a declared vector that no definition ever covers."""
+        module = self._module(module_name)
+        declared = self._declared_width(module, signal)
+        if declared is None:
+            return None
+        hi, lo = declared
+        if hi == lo:
+            return None
+        env = self._env(module)
+        covered: Set[int] = set()
+        anchor = 0
+        for site in defs:
+            node = site.node
+            if site.kind in ("input_port",):
+                return None  # input ports are fully driven by the parent
+            targets: List[ast.Expr] = []
+            if isinstance(node, (ast.ContAssign, ast.AssignStmt)):
+                targets = [node.target]
+            elif isinstance(node, (ast.GateInstance, ast.Instance)):
+                return None  # structural drive: assume full width
+            for target in targets:
+                parts = target.parts if isinstance(target, ast.Concat) \
+                    else [target]
+                for part in parts:
+                    if isinstance(part, ast.Ident) and part.name == signal:
+                        return None  # whole-vector assignment
+                    if isinstance(part, ast.BitSelect) \
+                            and part.name == signal:
+                        idx = const_eval(part.index, env)
+                        if idx is None:
+                            return None
+                        covered.add(idx)
+                        anchor = anchor or site.line
+                    elif isinstance(part, ast.PartSelect) \
+                            and part.name == signal:
+                        msb = const_eval(part.msb, env)
+                        lsb = const_eval(part.lsb, env)
+                        if msb is None or lsb is None:
+                            return None
+                        covered.update(range(min(msb, lsb),
+                                             max(msb, lsb) + 1))
+                        anchor = anchor or site.line
+        missing = [b for b in range(lo, hi + 1) if b not in covered]
+        if not missing or not covered:
+            return None
+        lo_m, hi_m = min(missing), max(missing)
+        span = f"[{hi_m}]" if hi_m == lo_m else f"[{hi_m}:{lo_m}]"
+        return RootCauseHop(
+            module=module_name, signal=signal,
+            line=anchor or decl_line(module, signal), construct="slice",
+            reason=(f"width-truncated definition: bits {span} of "
+                    f"'{signal}[{hi}:{lo}]' are never driven"),
+        )
+
+    # -- backward (justification) walk -------------------------------------
+
+    def _just_signal(self, module_name: str, signal: str, depth: int,
+                     visiting: Set[Tuple[str, str]],
+                     pinned: Dict[str, int]
+                     ) -> Optional[Tuple[str, Tuple[RootCauseHop, ...]]]:
+        """None when a free justification path exists; else the reason
+        code plus the hop chain down to the first breaking statement."""
+        key = (module_name, signal)
+        if key in self._just_cache:
+            return self._just_cache[key]
+        if depth <= 0 or key in visiting:
+            return None  # conservative: assume a path exists
+        visiting.add(key)
+        try:
+            result = self._just_signal_inner(module_name, signal, depth,
+                                             visiting, pinned)
+        finally:
+            visiting.discard(key)
+        self._just_cache[key] = result
+        return result
+
+    def _just_signal_inner(self, module_name: str, signal: str, depth: int,
+                           visiting: Set[Tuple[str, str]],
+                           pinned: Dict[str, int]
+                           ) -> Optional[Tuple[str, Tuple[RootCauseHop, ...]]]:
+        module = self._module(module_name)
+        env = self._env(module)
+        if signal in env:
+            hop = RootCauseHop(
+                module=module_name, signal=signal,
+                line=decl_line(module, signal), construct="parameter",
+                reason=f"'{signal}' is a parameter fixed at {env[signal]}",
+            )
+            pinned.setdefault(signal, env[signal])
+            return "constant_cone", (hop,)
+        chains = self.chaindb.chains(module_name)
+        defs = chains.ud_chain(signal)
+        if not defs:
+            hop = RootCauseHop(
+                module=module_name, signal=signal,
+                line=decl_line(module, signal), construct="module",
+                reason=(f"'{signal}' is never assigned anywhere in module "
+                        f"'{module_name}' — the use-def chain is empty"),
+            )
+            return "no_definition", (hop,)
+
+        truncated = self._truncated_slice(module_name, signal, defs)
+        if truncated is not None:
+            return "truncated_slice", (truncated,)
+
+        first_block: Optional[Tuple[str, Tuple[RootCauseHop, ...]]] = None
+        for site in defs:
+            verdict = self._just_site(module_name, signal, site, depth,
+                                      visiting, pinned)
+            if verdict is None:
+                return None  # this definition reaches the interface
+            if first_block is None:
+                first_block = verdict
+        return first_block
+
+    def _just_site(self, module_name: str, signal: str, site: Site,
+                   depth: int, visiting: Set[Tuple[str, str]],
+                   pinned: Dict[str, int]
+                   ) -> Optional[Tuple[str, Tuple[RootCauseHop, ...]]]:
+        module = self._module(module_name)
+        env = self._env(module)
+
+        if site.kind == "input_port":
+            return self._just_input_port(module_name, signal, depth,
+                                         visiting, pinned)
+
+        dead = self._dead_site_hop(module_name, signal, site)
+        if dead is not None:
+            code, hop = dead
+            return code, (hop,)
+
+        if site.kind == "instance":
+            hop = RootCauseHop(
+                module=module_name, signal=signal, line=site.line,
+                construct="instance",
+                reason=f"driven by a child instance output at line "
+                       f"{site.line}",
+            )
+            blocked_all: Optional[Tuple[str, Tuple[RootCauseHop, ...]]] = None
+            sources = signal_instance_sources(module, signal, self.modules)
+            if not sources:
+                return None  # unknown child: assume drivable
+            for src_inst, port in sources:
+                sub = self._just_signal(src_inst.module_name, port,
+                                        depth - 1, visiting, pinned)
+                if sub is None:
+                    return None
+                if blocked_all is None:
+                    blocked_all = (sub[0], (hop,) + sub[1])
+            return blocked_all
+
+        if site.kind in ("cont_assign", "proc_assign"):
+            node = site.node
+            rhs = node.rhs if isinstance(
+                node, (ast.ContAssign, ast.AssignStmt)) else None
+            construct = site.kind
+            if rhs is None:
+                return None
+            value = const_eval(rhs, env)
+            if value is not None:
+                hop = RootCauseHop(
+                    module=module_name, signal=signal, line=site.line,
+                    construct=construct,
+                    reason=f"assigned the constant {value} — the cone "
+                           "terminates in a hard-coded value",
+                )
+                pinned.setdefault(signal, 1 if value else 0)
+                return "constant_cone", (hop,)
+            if isinstance(rhs, ast.Ternary):
+                sel = const_eval(rhs.cond, env)
+                if sel is not None:
+                    live = rhs.if_true if sel else rhs.if_false
+                    arm = "true" if sel else "false"
+                    hop = RootCauseHop(
+                        module=module_name, signal=signal,
+                        line=rhs.line or site.line, construct="ternary",
+                        reason=(f"mux select is pinned to the constant "
+                                f"{sel}: only the {arm} arm can ever "
+                                "drive this signal"),
+                    )
+                    live_sigs = sorted(live.signals())
+                    if not live_sigs:
+                        return "masked_mux", (hop,)
+                    sub = self._just_many(module_name, live_sigs, depth - 1,
+                                          visiting, pinned)
+                    if sub is None:
+                        return None
+                    return "masked_mux", (hop,) + sub[1]
+            data = sorted(rhs.signals())
+            if not data:
+                return None
+            hop = RootCauseHop(
+                module=module_name, signal=signal, line=site.line,
+                construct=construct,
+                reason=f"defined here from {{{', '.join(data[:6])}}}",
+            )
+            sub = self._just_many(module_name, data, depth - 1, visiting,
+                                  pinned)
+            if sub is None:
+                return None
+            return sub[0], (hop,) + sub[1]
+
+        if site.kind == "gate":
+            data = sorted(site.rhs_signals())
+            if not data:
+                return None
+            hop = RootCauseHop(
+                module=module_name, signal=signal, line=site.line,
+                construct="gate",
+                reason=f"driven by a primitive gate reading "
+                       f"{{{', '.join(data[:6])}}}",
+            )
+            sub = self._just_many(module_name, data, depth - 1, visiting,
+                                  pinned)
+            if sub is None:
+                return None
+            return sub[0], (hop,) + sub[1]
+
+        return None  # output_port or unknown: not a real definition
+
+    def _just_many(self, module_name: str, signals: List[str], depth: int,
+                   visiting: Set[Tuple[str, str]], pinned: Dict[str, int]
+                   ) -> Optional[Tuple[str, Tuple[RootCauseHop, ...]]]:
+        """Blocked only when *every* source signal is blocked."""
+        first: Optional[Tuple[str, Tuple[RootCauseHop, ...]]] = None
+        for sig in signals:
+            sub = self._just_signal(module_name, sig, depth, visiting,
+                                    pinned)
+            if sub is None:
+                return None
+            if first is None:
+                first = sub
+        return first
+
+    def _just_input_port(self, module_name: str, signal: str, depth: int,
+                         visiting: Set[Tuple[str, str]],
+                         pinned: Dict[str, int]
+                         ) -> Optional[Tuple[str, Tuple[RootCauseHop, ...]]]:
+        module = self._module(module_name)
+        if module_name == self.design.top:
+            return None  # primary input: justified directly
+        parents = self.design.parents(module_name)
+        if not parents:
+            return None  # unreferenced module: treated as a root
+        first: Optional[Tuple[str, Tuple[RootCauseHop, ...]]] = None
+        for parent_name, inst_name in parents:
+            inst = self.design.instance_in(parent_name, inst_name)
+            expr = instance_port_map(module, inst).get(signal)
+            hop = RootCauseHop(
+                module=parent_name, signal=signal,
+                line=getattr(inst, "line", 0), construct="instance",
+                reason=(f"crossing into parent '{parent_name}' through "
+                        f"instance '{inst_name}'"),
+            )
+            if expr is None:
+                broken = RootCauseHop(
+                    module=parent_name, signal=signal,
+                    line=getattr(inst, "line", 0), construct="instance",
+                    reason=(f"input '{signal}' is left unconnected by "
+                            f"instance '{inst_name}'"),
+                )
+                if first is None:
+                    first = ("unconnected_port", (hop, broken))
+                continue
+            value = const_eval(expr, self._env(self._module(parent_name)))
+            if value is not None:
+                broken = RootCauseHop(
+                    module=parent_name, signal=signal,
+                    line=expr.line or getattr(inst, "line", 0),
+                    construct="instance",
+                    reason=(f"input '{signal}' is tied to the constant "
+                            f"{value} at instance '{inst_name}'"),
+                )
+                pinned.setdefault(signal, 1 if value else 0)
+                if first is None:
+                    first = ("constant_cone", (hop, broken))
+                continue
+            sub = self._just_many(parent_name, sorted(expr.signals()),
+                                  depth - 1, visiting, pinned)
+            if sub is None:
+                return None
+            if first is None:
+                first = (sub[0], (hop,) + sub[1])
+        return first
+
+    # -- forward (propagation) walk ----------------------------------------
+
+    def _prop_signal(self, module_name: str, signal: str, depth: int,
+                     visiting: Set[Tuple[str, str]],
+                     pinned: Dict[str, int]
+                     ) -> Optional[Tuple[str, Tuple[RootCauseHop, ...]]]:
+        key = (module_name, signal)
+        if key in self._prop_cache:
+            return self._prop_cache[key]
+        if depth <= 0 or key in visiting:
+            return None
+        visiting.add(key)
+        try:
+            result = self._prop_signal_inner(module_name, signal, depth,
+                                             visiting, pinned)
+        finally:
+            visiting.discard(key)
+        self._prop_cache[key] = result
+        return result
+
+    def _prop_signal_inner(self, module_name: str, signal: str, depth: int,
+                           visiting: Set[Tuple[str, str]],
+                           pinned: Dict[str, int]
+                           ) -> Optional[Tuple[str, Tuple[RootCauseHop, ...]]]:
+        module = self._module(module_name)
+        chains = self.chaindb.chains(module_name)
+        uses = chains.du_chain(signal)
+        if not uses:
+            hop = RootCauseHop(
+                module=module_name, signal=signal,
+                line=decl_line(module, signal), construct="module",
+                reason=(f"'{signal}' is never read anywhere in module "
+                        f"'{module_name}' — the def-use chain is empty"),
+            )
+            return "unused", (hop,)
+        first: Optional[Tuple[str, Tuple[RootCauseHop, ...]]] = None
+        for site in uses:
+            verdict = self._prop_site(module_name, signal, site, depth,
+                                      visiting, pinned)
+            if verdict is None:
+                return None  # one live path to the interface is enough
+            if first is None:
+                first = verdict
+        return first
+
+    def _prop_site(self, module_name: str, signal: str, site: Site,
+                   depth: int, visiting: Set[Tuple[str, str]],
+                   pinned: Dict[str, int]
+                   ) -> Optional[Tuple[str, Tuple[RootCauseHop, ...]]]:
+        module = self._module(module_name)
+        env = self._env(module)
+
+        if site.kind == "output_port":
+            return self._prop_output_port(module_name, signal, site, depth,
+                                          visiting, pinned)
+
+        dead = self._dead_site_hop(module_name, signal, site)
+        if dead is not None:
+            code, hop = dead
+            return code, (hop,)
+
+        if site.kind == "instance":
+            inst = site.node
+            child = self.modules.get(getattr(inst, "module_name", ""))
+            if child is None:
+                return None  # unknown child: assume it propagates
+            hop = RootCauseHop(
+                module=module_name, signal=signal, line=site.line,
+                construct="instance",
+                reason=(f"feeds instance '{inst.inst_name}' of "
+                        f"'{child.name}'"),
+            )
+            pmap = instance_port_map(child, inst)
+            dirs = self.chaindb.port_directions(child.name)
+            first: Optional[Tuple[str, Tuple[RootCauseHop, ...]]] = None
+            fed_any = False
+            for port_name, expr in pmap.items():
+                if expr is None or dirs.get(port_name) != "input":
+                    continue
+                if signal not in expr.signals():
+                    continue
+                fed_any = True
+                sub = self._prop_signal(child.name, port_name, depth - 1,
+                                        visiting, pinned)
+                if sub is None:
+                    return None
+                if first is None:
+                    first = (sub[0], (hop,) + sub[1])
+            if not fed_any:
+                return None  # only lhs-index use etc.: treat as live
+            return first
+
+        if site.kind in ("cont_assign", "proc_assign", "gate"):
+            node = site.node
+            if isinstance(node, ast.Always):
+                return None  # clock/reset sensitivity: drives everything
+            rhs = node.rhs if isinstance(
+                node, (ast.ContAssign, ast.AssignStmt)) else None
+            if rhs is not None:
+                masked = self._masked_use(module_name, signal, site, rhs,
+                                          env, pinned)
+                if masked is not None:
+                    return masked
+            targets = sorted(site.defined_signals())
+            if not targets:
+                return None
+            hop = RootCauseHop(
+                module=module_name, signal=signal, line=site.line,
+                construct=site.kind,
+                reason=f"read here into {{{', '.join(targets[:6])}}}",
+            )
+            first: Optional[Tuple[str, Tuple[RootCauseHop, ...]]] = None
+            for target in targets:
+                sub = self._prop_signal(module_name, target, depth - 1,
+                                        visiting, pinned)
+                if sub is None:
+                    return None
+                if first is None:
+                    first = (sub[0], (hop,) + sub[1])
+            return first
+
+        return None
+
+    def _masked_use(self, module_name: str, signal: str, site: Site,
+                    rhs: ast.Expr, env: Dict[str, int],
+                    pinned: Dict[str, int]
+                    ) -> Optional[Tuple[str, Tuple[RootCauseHop, ...]]]:
+        """A use that a constant select/side-input provably masks off."""
+        if isinstance(rhs, ast.Ternary):
+            sel = const_eval(rhs.cond, env)
+            if sel is not None:
+                dead_arm = rhs.if_false if sel else rhs.if_true
+                live_arm = rhs.if_true if sel else rhs.if_false
+                if signal in dead_arm.signals() \
+                        and signal not in live_arm.signals() \
+                        and signal not in rhs.cond.signals():
+                    for sig in sorted(rhs.cond.signals()):
+                        pinned.setdefault(sig, 1 if sel else 0)
+                    hop = RootCauseHop(
+                        module=module_name, signal=signal,
+                        line=rhs.line or site.line, construct="ternary",
+                        reason=(f"only read in the {'false' if sel else 'true'} "
+                                f"arm of a mux whose select is pinned to "
+                                f"the constant {sel} — the value is "
+                                "masked off"),
+                    )
+                    return "masked_mux", (hop,)
+        if isinstance(rhs, ast.Binary) and rhs.op in ("&", "&&", "|", "||"):
+            for side, other in ((rhs.left, rhs.right),
+                                (rhs.right, rhs.left)):
+                if signal not in side.signals() \
+                        or signal in other.signals():
+                    continue
+                value = const_eval(other, env)
+                if value is None and isinstance(other, ast.Ident):
+                    # Not a literal, but the side input may still be held
+                    # by a constant justification cone (assign zero = 1'b0).
+                    scratch: Dict[str, int] = {}
+                    sub = self._just_signal(module_name, other.name,
+                                            self.max_depth, set(), scratch)
+                    if sub is not None and sub[0] == "constant_cone":
+                        value = scratch.get(other.name)
+                if value is None:
+                    continue
+                masking = (value == 0) if rhs.op in ("&", "&&") \
+                    else (value != 0)
+                if not masking:
+                    continue
+                for sig in sorted(other.signals()):
+                    pinned.setdefault(sig, 1 if value else 0)
+                hop = RootCauseHop(
+                    module=module_name, signal=signal,
+                    line=rhs.line or site.line, construct="gate",
+                    reason=(f"the controlling side-input of '{rhs.op}' is "
+                            f"pinned at its masking value {value} — the "
+                            "signal cannot pass this gate"),
+                )
+                return "masked_mux", (hop,)
+        return None
+
+    def _prop_output_port(self, module_name: str, signal: str, site: Site,
+                          depth: int, visiting: Set[Tuple[str, str]],
+                          pinned: Dict[str, int]
+                          ) -> Optional[Tuple[str, Tuple[RootCauseHop, ...]]]:
+        module = self._module(module_name)
+        if module_name == self.design.top:
+            return None  # primary output: observed directly
+        parents = self.design.parents(module_name)
+        if not parents:
+            return None
+        first: Optional[Tuple[str, Tuple[RootCauseHop, ...]]] = None
+        for parent_name, inst_name in parents:
+            inst = self.design.instance_in(parent_name, inst_name)
+            expr = instance_port_map(module, inst).get(signal)
+            hop = RootCauseHop(
+                module=parent_name, signal=signal,
+                line=getattr(inst, "line", 0), construct="instance",
+                reason=(f"crossing out to parent '{parent_name}' through "
+                        f"instance '{inst_name}'"),
+            )
+            if expr is None:
+                broken = RootCauseHop(
+                    module=parent_name, signal=signal,
+                    line=getattr(inst, "line", 0), construct="instance",
+                    reason=(f"output '{signal}' is left unconnected by "
+                            f"instance '{inst_name}'"),
+                )
+                if first is None:
+                    first = ("unconnected_port", (hop, broken))
+                continue
+            blocked_parent: Optional[
+                Tuple[str, Tuple[RootCauseHop, ...]]] = None
+            sinks = sorted(ast.lhs_base_names(expr))
+            if not sinks:
+                if first is None:
+                    first = ("unconnected_port", (hop,))
+                continue
+            for sink in sinks:
+                sub = self._prop_signal(parent_name, sink, depth - 1,
+                                        visiting, pinned)
+                if sub is None:
+                    return None
+                if blocked_parent is None:
+                    blocked_parent = (sub[0], (hop,) + sub[1])
+            if first is None:
+                first = blocked_parent
+        return first

@@ -7,15 +7,21 @@ constants means the port can never be justified to arbitrary values.
 
 The message text and classification live here so that
 :func:`repro.core.testability.analyze_testability` and ``repro lint``
-describe the same situation the same way.
+describe the same situation the same way.  Each W101/W102 finding carries
+a root-cause trace (:mod:`repro.lint.rootcause`) down to the first
+statement where the path breaks; witnesses are attached afterwards by the
+``run_lint`` driver when elaboration is in scope.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterator, Optional, Tuple
 
+from repro.hierarchy.chains import ChainDB
 from repro.lint.cone import ConstantConeAnalyzer, hard_coded_inputs
 from repro.lint.core import Diagnostic, LintContext, TraceStep, rule
+from repro.lint.rootcause import hops_as_trace, site_line
 
 # Shared Section-4.2 empty-chain vocabulary: kind -> (rule id, message).
 EMPTY_CHAIN_KINDS = {
@@ -35,14 +41,30 @@ def empty_chain_diagnostic(
     kind: str, module: str, signal: str,
     trail: Tuple[Tuple[str, str], ...] = (),
     line: int = 0,
+    chaindb: Optional[ChainDB] = None,
 ) -> Diagnostic:
-    """The canonical diagnostic for an empty du/ud chain finding."""
+    """The canonical diagnostic for an empty du/ud chain finding.
+
+    When a ``chaindb`` is supplied, every trail hop is anchored at a real
+    source line — the nearest definition (or use) site of that signal in
+    its module — instead of the line-0 placeholder.
+    """
     rule_id, message = EMPTY_CHAIN_KINDS[kind]
     severity = "error" if kind == "no_driver" else "warning"
+
+    def hop_line(mod: str, sig: str) -> int:
+        if chaindb is None:
+            return 0
+        try:
+            return site_line(chaindb.chains(mod), sig)
+        except KeyError:
+            return 0
+
     return Diagnostic(
         rule_id=rule_id, severity=severity, category="testability",
         module=module, signal=signal, line=line, message=message,
-        trace=tuple(TraceStep(module=mod, signal=sig)
+        trace=tuple(TraceStep(module=mod, signal=sig,
+                              line=hop_line(mod, sig))
                     for mod, sig in trail),
     )
 
@@ -59,7 +81,13 @@ def check_undriven_output_ports(ctx: LintContext) -> Iterator[Diagnostic]:
         for port in module.outputs():
             if not chains.ud_chain(port.name):
                 diag = empty_chain_diagnostic(
-                    "no_driver", name, port.name, line=port.line)
+                    "no_driver", name, port.name, line=port.line,
+                    chaindb=ctx.chaindb)
+                trace = ctx.rootcause().explain_justification(
+                    name, port.name)
+                if trace.blocked:
+                    diag = replace(diag, trace=hops_as_trace(trace.hops),
+                                   root_cause=trace.root_cause)
                 yield diag
 
 
@@ -75,8 +103,15 @@ def check_unused_input_ports(ctx: LintContext) -> Iterator[Diagnostic]:
         for port in module.inputs():
             uses = chains.du_chain(port.name)
             if not uses:
-                yield empty_chain_diagnostic(
-                    "no_propagation", name, port.name, line=port.line)
+                diag = empty_chain_diagnostic(
+                    "no_propagation", name, port.name, line=port.line,
+                    chaindb=ctx.chaindb)
+                trace = ctx.rootcause().explain_propagation(
+                    name, port.name)
+                if trace.blocked:
+                    diag = replace(diag, trace=hops_as_trace(trace.hops),
+                                   root_cause=trace.root_cause)
+                yield diag
 
 
 @rule("W103", severity="info", category="testability",
@@ -99,6 +134,19 @@ def check_constant_cone_inputs(ctx: LintContext) -> Iterator[Diagnostic]:
                     ctx.design, ctx.chaindb, ctx.modules)
             for hc in hard_coded_inputs(analyzer, name, child, inst):
                 sels = ", ".join(hc.selectors) if hc.selectors else "none"
+                endpoint = TraceStep(
+                    module=name, signal=f"{inst.inst_name}.{hc.port}",
+                    line=hc.line, construct="instance",
+                    reason=(f"justification endpoint: input {hc.port!r} "
+                            f"of '{child.name}'"),
+                )
+                sites = tuple(
+                    TraceStep(module=mod, signal=sig, line=line,
+                              note="constant source",
+                              construct="cont_assign",
+                              reason="justification cone terminates in a "
+                                     "hard-coded constant here")
+                    for mod, sig, line in hc.constant_sites[:8])
                 yield Diagnostic(
                     rule_id="W103", severity="info", category="testability",
                     module=name,
@@ -107,8 +155,6 @@ def check_constant_cone_inputs(ctx: LintContext) -> Iterator[Diagnostic]:
                     message=(
                         f"input {hc.port!r} of {child.name} is driven only "
                         f"from hard-coded values (selectors: [{sels}])"),
-                    trace=tuple(
-                        TraceStep(module=mod, signal=sig, line=line,
-                                  note="constant source")
-                        for mod, sig, line in hc.constant_sites[:8]),
+                    trace=(endpoint,) + sites,
+                    root_cause="constant_cone",
                 )

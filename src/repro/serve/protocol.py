@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Optional
 from repro.store import fingerprint_obj, fingerprint_text
 
 #: Operations a job may request, in the order the docs present them.
-OPERATIONS = ("analyze", "testability", "atpg", "lint")
+OPERATIONS = ("analyze", "testability", "atpg", "lint", "explain")
 
 #: Bundled designs resolvable by name instead of uploading source text.
 BUNDLED_DESIGNS = ("arm2", "filterchip")
@@ -77,6 +77,9 @@ class JobSpec:
     backend: Optional[str] = None
     use_piers: bool = True
     strict: bool = False  # lint only: warnings fail the job
+    #: explain only: the net/port to trace (``SIGNAL`` or
+    #: ``MODULE.SIGNAL``).
+    target: Optional[str] = None
     #: Admission budget in seconds: a job still queued this long after
     #: submission is failed instead of dispatched.  Not part of the
     #: fingerprint — it changes *whether* the job runs, never its result.
@@ -115,6 +118,10 @@ class JobSpec:
             raise ProtocolError("'source' must be non-empty Verilog text")
         if self.op in ("analyze", "testability", "atpg") and not self.mut:
             raise ProtocolError(f"op {self.op!r} requires 'mut'")
+        if self.op == "explain" and not self.target:
+            raise ProtocolError("op 'explain' requires 'target'")
+        if self.target is not None and not isinstance(self.target, str):
+            raise ProtocolError("'target' must be a string")
         if self.mode not in ("compose", "conventional"):
             raise ProtocolError(
                 f"bad mode {self.mode!r}; expected compose|conventional")
@@ -158,6 +165,7 @@ class JobSpec:
                 "backend": self.backend,
                 "use_piers": self.use_piers,
                 "strict": self.strict,
+                "target": self.target,
             })
         return self._fingerprint
 
@@ -165,7 +173,7 @@ class JobSpec:
 
     _FIELDS = ("op", "source", "design", "top", "mut", "path", "mode",
                "frames", "backtrack_limit", "seed", "backend", "use_piers",
-               "strict", "deadline_s", "trace")
+               "strict", "target", "deadline_s", "trace")
 
     def as_dict(self) -> Dict[str, Any]:
         return {name: getattr(self, name) for name in self._FIELDS}

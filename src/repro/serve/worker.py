@@ -185,9 +185,19 @@ def _op_lint(spec: JobSpec) -> Dict[str, Any]:
     }
 
 
+def _op_explain(spec: JobSpec) -> Dict[str, Any]:
+    from repro.hierarchy.design import Design
+    from repro.lint.explain import explain_query
+    from repro.verilog.parser import parse_source
+
+    design = Design(parse_source(spec.source), top=spec.top)
+    return explain_query(design, spec.target, seed=spec.seed)
+
+
 _OPERATIONS = {
     "analyze": _op_analyze,
     "testability": _op_testability,
     "atpg": _op_atpg,
     "lint": _op_lint,
+    "explain": _op_explain,
 }

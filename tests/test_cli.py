@@ -194,6 +194,66 @@ class TestLint:
         assert "wrote sarif report" in capsys.readouterr().out
 
 
+class TestExplain:
+    def test_text_trace_for_blocked_signal(self, lint_file, capsys):
+        rc = main(["explain", lint_file(ERRORS), "y"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "not blocked" in out
+
+    def test_json_payload_for_undriven_output(self, lint_file, capsys):
+        import json
+
+        rc = main(["explain", lint_file(ERRORS), "z", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["blocked"] is True
+        assert payload["root_cause"] == "no_definition"
+        assert len(payload["trace"]["hops"]) >= 2
+        assert payload["witness"]["kind"] == "vector_pair"
+
+    def test_no_witness_flag_skips_witness(self, lint_file, capsys):
+        import json
+
+        rc = main(["explain", lint_file(ERRORS), "z", "--json",
+                   "--no-witness"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["witness"] is None
+
+    def test_unknown_target_exits_one(self, lint_file, capsys):
+        rc = main(["explain", lint_file(ERRORS), "nope"])
+        assert rc == 1
+        assert "no signal" in capsys.readouterr().err
+
+    def test_module_scoped_target(self, lint_file, capsys):
+        path = lint_file(CLEAN + ERRORS)
+        rc = main(["explain", path, "--top", "clean", "buggy.z"])
+        assert rc == 0
+        assert "no_definition" in capsys.readouterr().out
+
+
+class TestWaiverExpiry:
+    def test_expired_waiver_resurfaces(self, lint_file, capsys):
+        rc = main(["lint", lint_file(WARN_ONLY), "--strict",
+                   "--waive", "W003:warny:dead@2000-01-01"])
+        assert rc == 1  # resurfaced as a warning under --strict
+        out = capsys.readouterr().out
+        assert "[waiver expired 2000-01-01]" in out
+
+    def test_future_waiver_still_suppresses(self, lint_file, capsys):
+        rc = main(["lint", lint_file(WARN_ONLY), "--strict",
+                   "--waive", "W003:warny:dead@2999-12-31"])
+        assert rc == 0
+        assert "1 waived" in capsys.readouterr().out
+
+    def test_bad_expiry_exits_one(self, lint_file, capsys):
+        rc = main(["lint", lint_file(WARN_ONLY),
+                   "--waive", "W003@soon"])
+        assert rc == 1
+        assert "expiry" in capsys.readouterr().err
+
+
 class TestLintGate:
     def test_analyze_gate_off_by_default(self, tmp_path, capsys):
         # An error-level lint finding in an unused module does not stop
@@ -215,6 +275,8 @@ class TestLintGate:
         err = capsys.readouterr().err
         assert "lint gate failed" in err
         assert "W101" in err
+        # Gate output carries the root-cause hops, not just the one-liner.
+        assert "justification endpoint" in err
 
     def test_atpg_gate_passes_clean_design(self, design_file, capsys):
         rc = main(["atpg", design_file, "--top", "arm", "--mut", "forward",

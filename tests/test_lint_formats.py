@@ -100,12 +100,22 @@ def result_for(src=BUGGY, **kw):
 
 
 class TestText:
-    def test_one_line_per_finding_plus_summary(self):
+    def test_one_block_per_finding_plus_summary(self):
         res = result_for()
         lines = render_text(res).splitlines()
-        assert len(lines) == len(res.diagnostics) + 1
+        expected = sum(1 + len(d.trace) + (1 if d.witness else 0)
+                       for d in res.diagnostics) + 1
+        assert len(lines) == expected
         assert lines[-1] == res.summary()
         assert any(line.startswith("m.v:m:") for line in lines)
+
+    def test_trace_hops_render_indented(self):
+        res = result_for()
+        lines = render_text(res).splitlines()
+        hops = [line for line in lines if line.startswith("  #")]
+        assert hops  # W101/W102 findings carry root-cause hops
+        assert any("justification endpoint" in line or
+                   "propagation endpoint" in line for line in hops)
 
 
 class TestJson:

@@ -1,0 +1,362 @@
+"""Root-cause connectivity analysis: reason classification, trace shape,
+lazy elaboration gating and waiver expiry."""
+
+import os
+
+import pytest
+
+from repro.hierarchy.design import Design
+from repro.lint import (
+    LintConfig,
+    LintError,
+    RootCauseAnalyzer,
+    Waiver,
+    run_lint,
+)
+from repro.lint.explain import explain_query, resolve_target
+from repro.lint.rules_chain import empty_chain_diagnostic
+from repro.verilog.parser import parse_source
+
+CONN_DEMO = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "examples", "conn_demo.v")
+
+
+def analyzer_for(src, top=None):
+    design = Design(parse_source(src), top=top)
+    return design, RootCauseAnalyzer(design)
+
+
+class TestReasonClassification:
+    def test_no_definition(self):
+        _, an = analyzer_for("""
+module m(input a, output y);
+endmodule
+""")
+        trace = an.explain_justification("m", "y")
+        assert trace.blocked
+        assert trace.root_cause == "no_definition"
+        assert len(trace.hops) >= 2
+
+    def test_unused(self):
+        _, an = analyzer_for("""
+module m(input a, input b, output y);
+  assign y = b;
+endmodule
+""")
+        trace = an.explain_propagation("m", "a")
+        assert trace.blocked
+        assert trace.root_cause == "unused"
+
+    def test_constant_cone_through_assign_chain(self):
+        _, an = analyzer_for("""
+module m(input a, output y);
+  wire k;
+  assign k = 1'b1;
+  assign y = k;
+endmodule
+""")
+        trace = an.explain_justification("m", "y")
+        assert trace.blocked
+        assert trace.root_cause == "constant_cone"
+        assert trace.pinned.get("k") == 1
+
+    def test_parameter_is_a_constant_cone(self):
+        _, an = analyzer_for("""
+module m(input a, output y);
+  parameter P = 3;
+  assign y = P;
+endmodule
+""")
+        trace = an.explain_justification("m", "y")
+        assert trace.blocked
+        assert trace.root_cause == "constant_cone"
+        # Asking about the parameter itself names the parameter construct.
+        ptrace = an.explain_justification("m", "P")
+        assert ptrace.root_cause == "constant_cone"
+        assert any(h.construct == "parameter" for h in ptrace.hops)
+
+    def test_dead_branch(self):
+        _, an = analyzer_for("""
+module m(input a, output y);
+  reg g;
+  always @(*) begin
+    if (1'b0)
+      g = a;
+  end
+  assign y = g;
+endmodule
+""")
+        trace = an.explain_justification("m", "g")
+        assert trace.blocked
+        assert trace.root_cause == "dead_branch"
+        assert any(h.construct == "if" for h in trace.hops)
+
+    def test_unreachable_dff_state(self):
+        _, an = analyzer_for("""
+module m(input clk, input d, output y);
+  reg r;
+  always @(posedge clk) begin
+    if (1'b0)
+      r <= d;
+  end
+  assign y = r;
+endmodule
+""")
+        trace = an.explain_justification("m", "r")
+        assert trace.blocked
+        assert trace.root_cause == "unreachable_dff_state"
+        assert any(h.construct == "dff" for h in trace.hops)
+
+    def test_masked_mux_dead_arm_read(self):
+        _, an = analyzer_for("""
+module m(input a, input b, output y);
+  wire w;
+  assign w = a ^ b;
+  assign y = 1'b1 ? a : w;
+endmodule
+""")
+        trace = an.explain_propagation("m", "w")
+        assert trace.blocked
+        assert trace.root_cause == "masked_mux"
+
+    def test_masked_mux_controlling_side_input(self):
+        _, an = analyzer_for("""
+module m(input a, output y);
+  wire zero;
+  assign zero = 1'b0;
+  assign y = a & zero;
+endmodule
+""")
+        trace = an.explain_propagation("m", "a")
+        assert trace.blocked
+        assert trace.root_cause == "masked_mux"
+        assert trace.pinned.get("zero") == 0
+
+    def test_truncated_slice(self):
+        _, an = analyzer_for("""
+module m(input [1:0] d, output [3:0] y);
+  wire [3:0] h;
+  assign h[1:0] = d;
+  assign y = h;
+endmodule
+""")
+        trace = an.explain_justification("m", "h")
+        assert trace.blocked
+        assert trace.root_cause == "truncated_slice"
+        assert any("[3:2]" in h.reason for h in trace.hops)
+
+    def test_unconnected_port(self):
+        _, an = analyzer_for("""
+module leaf(input d, output q);
+  assign q = d;
+endmodule
+module m(input a, output y);
+  leaf u0(.q(y));
+endmodule
+""", top="m")
+        trace = an.explain_justification("leaf", "d")
+        assert trace.blocked
+        assert trace.root_cause == "unconnected_port"
+
+    def test_free_path_is_not_blocked(self):
+        _, an = analyzer_for("""
+module m(input a, output y);
+  assign y = ~a;
+endmodule
+""")
+        for trace in (an.explain_justification("m", "y"),
+                      an.explain_propagation("m", "a")):
+            assert not trace.blocked
+            assert trace.root_cause == ""
+            assert any("not blocked" in h.reason for h in trace.hops)
+
+    def test_auto_direction_follows_port_direction(self):
+        _, an = analyzer_for("""
+module m(input a, input b, output y);
+  assign y = b;
+endmodule
+""")
+        assert an.explain("m", "a").kind == "propagation"
+        assert an.explain("m", "y").kind == "justification"
+
+
+class TestTraceLineAnchoring:
+    """Satellite: W101/W102 trail hops carry real chain-DB lines."""
+
+    SRC = """
+module leaf(input d, output q);
+  wire t;
+  assign t = d;
+  assign q = t;
+endmodule
+"""
+
+    def test_trail_hops_get_chain_lines(self):
+        design = Design(parse_source(self.SRC))
+        diag = empty_chain_diagnostic(
+            "no_driver", "leaf", "q", trail=(("leaf", "t"),),
+            chaindb=design.chaindb())
+        assert diag.trace
+        assert all(step.line > 0 for step in diag.trace)
+
+    def test_trail_hops_without_chaindb_stay_zero(self):
+        diag = empty_chain_diagnostic(
+            "no_driver", "leaf", "q", trail=(("leaf", "t"),))
+        assert all(step.line == 0 for step in diag.trace)
+
+
+class TestLazyElaboration:
+    """Satellite: chain-rules-only runs never build the netlist."""
+
+    SRC = """
+module m(input a, input unused, output y, output undriven);
+  assign y = a;
+endmodule
+"""
+
+    def test_chain_only_run_skips_synthesis(self, monkeypatch):
+        import repro.synth.elaborate as elaborate
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("elaboration must not run")
+
+        monkeypatch.setattr(elaborate, "synthesize", boom)
+        design = Design(parse_source(self.SRC))
+        result = run_lint(design,
+                          LintConfig(enabled={"W101", "W102"}))
+        assert {d.rule_id for d in result.diagnostics} == {"W101", "W102"}
+        # Traces are attached even without elaboration; witnesses are not.
+        assert all(d.trace for d in result.diagnostics)
+        assert all(d.witness is None for d in result.diagnostics)
+
+    def test_full_run_attaches_witnesses(self):
+        design = Design(parse_source(self.SRC))
+        result = run_lint(design)
+        by_rule = {d.rule_id: d for d in result.diagnostics}
+        assert by_rule["W101"].witness is not None
+        assert by_rule["W102"].witness is not None
+
+
+class TestWaiverExpiry:
+    SRC = """
+module m(input a, input unused, output y);
+  assign y = a;
+endmodule
+"""
+
+    def _run(self, expires, today):
+        import datetime
+
+        design = Design(parse_source(self.SRC))
+        cfg = LintConfig(waivers=[Waiver(rule_id="W102", expires=expires)])
+        return run_lint(design, cfg,
+                        today=datetime.date.fromisoformat(today))
+
+    def test_active_waiver_suppresses(self):
+        result = self._run("2099-01-01", "2026-01-01")
+        assert not any(d.rule_id == "W102" for d in result.diagnostics)
+        assert any(d.rule_id == "W102" for d, _ in result.waived)
+
+    def test_expired_waiver_resurfaces_as_warning(self):
+        result = self._run("2020-01-01", "2026-01-01")
+        resurfaced = [d for d in result.diagnostics if d.rule_id == "W102"]
+        assert len(resurfaced) == 1
+        assert resurfaced[0].severity == "warning"
+        assert "[waiver expired 2020-01-01]" in resurfaced[0].message
+        assert not result.waived
+
+    def test_expiry_boundary_day_still_active(self):
+        result = self._run("2026-01-01", "2026-01-01")
+        assert not any(d.rule_id == "W102" for d in result.diagnostics)
+
+    def test_bad_expiry_date_rejected(self):
+        with pytest.raises(LintError, match="expiry"):
+            Waiver(rule_id="W102", expires="not-a-date")
+
+
+class TestExplainQuery:
+    def test_resolve_module_scoped_target(self):
+        design = Design(parse_source("""
+module leaf(input d); endmodule
+module m(input a, output y);
+  leaf u0(.d(a));
+  assign y = a;
+endmodule
+"""), top="m")
+        assert resolve_target(design, "leaf.d") == ("leaf", "d")
+        assert resolve_target(design, "y") == ("m", "y")
+
+    def test_unknown_signal_rejected(self):
+        design = Design(parse_source(
+            "module m(input a, output y); assign y = a; endmodule"))
+        with pytest.raises(LintError, match="no signal"):
+            explain_query(design, "nope")
+
+    def test_payload_shape(self):
+        design = Design(parse_source(
+            "module m(input a, input dead, output y); "
+            "assign y = a; endmodule"))
+        payload = explain_query(design, "dead")
+        assert payload["op"] == "explain"
+        assert payload["blocked"] is True
+        assert payload["root_cause"] == "unused"
+        assert len(payload["trace"]["hops"]) >= 2
+        assert payload["witness"]["kind"] == "vector_pair"
+        assert payload["witness"]["verified"] is True
+
+
+class TestConnDemoAcceptance:
+    """ISSUE acceptance on the shipped connectivity demo."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        with open(CONN_DEMO, "r", encoding="utf-8") as handle:
+            design = Design(parse_source(handle.read()), top="conn_demo")
+        return run_lint(design)
+
+    def test_every_empty_chain_finding_has_deep_trace(self, result):
+        findings = [d for d in result.diagnostics
+                    if d.rule_id in ("W101", "W102")]
+        assert findings
+        for diag in findings:
+            assert len(diag.trace) >= 2, diag.render()
+            assert all(step.line > 0 for step in diag.trace), diag.render()
+            assert diag.root_cause
+
+    def test_simulator_verified_witness_present(self, result):
+        verified = [d for d in result.diagnostics
+                    if d.witness is not None
+                    and d.witness.get("kind") == "vector_pair"
+                    and d.witness.get("verified")]
+        assert verified
+
+    def test_atpg_redundancy_witness_on_buried_endpoint(self, result):
+        atpg = [d for d in result.diagnostics
+                if d.witness is not None
+                and d.witness.get("kind") == "atpg_redundant"]
+        assert atpg
+
+    def test_four_distinct_reasons_reachable_by_explain(self):
+        with open(CONN_DEMO, "r", encoding="utf-8") as handle:
+            design = Design(parse_source(handle.read()), top="conn_demo")
+        reasons = set()
+        for target in ("ghost", "stuck", "masked", "half",
+                       "orphan_out", "sel_probe"):
+            payload = explain_query(design, target, with_witness=False)
+            if payload["blocked"]:
+                reasons.add(payload["root_cause"])
+        assert len(reasons) >= 4, sorted(reasons)
+
+    def test_sarif_code_flows_round_trip(self, result):
+        import json
+
+        from repro.lint import render_sarif, validate_sarif
+
+        log = json.loads(render_sarif(result))
+        assert validate_sarif(log) == []
+        flows = [r for run in log["runs"] for r in run["results"]
+                 if r.get("codeFlows")]
+        assert flows
+        for res in flows:
+            locations = res["codeFlows"][0]["threadFlows"][0]["locations"]
+            assert len(locations) >= 2

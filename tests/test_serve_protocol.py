@@ -23,8 +23,19 @@ def _spec(**overrides) -> JobSpec:
 class TestValidate:
     def test_accepts_every_operation(self):
         for op in OPERATIONS:
-            spec = _spec(op=op, mut="t")
+            spec = _spec(op=op, mut="t", target="y")
             assert spec.op == op
+
+    def test_explain_requires_target(self):
+        with pytest.raises(ProtocolError, match="target"):
+            _spec(op="explain")
+        spec = _spec(op="explain", target="y")
+        assert spec.target == "y"
+
+    def test_target_enters_fingerprint(self):
+        base = _spec(op="explain", target="y")
+        other = _spec(op="explain", target="a")
+        assert base.fingerprint() != other.fingerprint()
 
     def test_rejects_unknown_op(self):
         with pytest.raises(ProtocolError, match="unknown op"):

@@ -41,6 +41,13 @@ def start_server(**overrides):
     return thread, client
 
 
+DEAD_NET = """
+module m(input a, input dead, output y);
+  assign y = ~a;
+endmodule
+"""
+
+
 def lint_spec(**overrides):
     spec = {"op": "lint", "source": TINY, "top": "topm"}
     spec.update(overrides)
@@ -144,6 +151,34 @@ class TestPipelineRoundTrip:
             job = client.wait(response["job"]["id"], timeout=120)
             assert job["status"] == "done", job["error"]
             assert job["result"]["mut_gates"] >= 1
+        finally:
+            thread.stop()
+
+    def test_explain_then_store_served_resubmit(self, fresh_store):
+        spec = {"op": "explain", "source": DEAD_NET, "top": "m",
+                "target": "dead"}
+        thread, client = start_server()
+        try:
+            response = client.submit(spec)
+            job = client.wait(response["job"]["id"], timeout=60)
+            assert job["status"] == "done", job["error"]
+            result = job["result"]
+            assert result["blocked"] is True
+            assert result["root_cause"] == "unused"
+            assert len(result["trace"]["hops"]) >= 2
+            assert result["witness"]["kind"] == "vector_pair"
+            assert result["witness"]["verified"] is True
+
+            again = client.submit(spec)
+            assert again["job"]["status"] == "done"
+            assert again["job"]["served_from"] == "store"
+            assert again["job"]["result"] == result
+
+            # A different target is a different fingerprint: no warm hit.
+            other = client.submit(dict(spec, target="a"))
+            fresh = client.wait(other["job"]["id"], timeout=60)
+            assert fresh["served_from"] == "pipeline"
+            assert fresh["result"]["blocked"] is False
         finally:
             thread.stop()
 
