@@ -521,6 +521,29 @@ class _ConeBlock:
         return out
 
 
+def site_rank_map(netlist: Netlist) -> Dict[int, int]:
+    """DFS-topological rank of every gate output net.
+
+    The same ordering :class:`CompiledNetlist` caches as ``site_rank``,
+    computable without triggering code generation — fault-parallel shard
+    packing uses it under either simulation backend.  Nets without a rank
+    (primary inputs) sort first in :func:`cone_pack_order`.
+    """
+    return {g.output: i for i, g in enumerate(netlist.topological_order())}
+
+
+def cone_pack_order(faults: Sequence[Fault],
+                    rank: Mapping[int, int]) -> List[Fault]:
+    """Faults sorted so neighbours share fanout cones.
+
+    DFS visits each output cone contiguously, so consecutive faults in
+    this order have heavily overlapping cones: lane blocks stay cheap and
+    fault-parallel shards inherit the same locality.
+    """
+    return sorted(faults, key=lambda f: (rank.get(f.net, -1), f.net,
+                                         f.value))
+
+
 def compiled_detected_faults(
     cn: CompiledNetlist,
     vectors: Sequence[Mapping[int, int]],
@@ -542,9 +565,7 @@ def compiled_detected_faults(
 
     # Sorting by site position clusters faults with overlapping cones, which
     # keeps each block's union cone (and hence its work) small.
-    rank = cn.site_rank
-    ordered = sorted(faults, key=lambda f: (rank.get(f.net, -1), f.net,
-                                            f.value))
+    ordered = cone_pack_order(faults, cn.site_rank)
     block_size = lanes - 1
     blocks = [
         _ConeBlock(cn, ordered[i:i + block_size], observe_points,

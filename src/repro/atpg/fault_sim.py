@@ -12,11 +12,13 @@ simulator enforces.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Set, Tuple
+import os
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
-from repro.atpg.compiled import (compiled_detected_faults, get_compiled,
-                                 resolve_backend)
+from repro.atpg.compiled import (compiled_detected_faults, cone_pack_order,
+                                 get_compiled, resolve_backend,
+                                 site_rank_map)
 from repro.atpg.faults import Fault
 
 Vector = Mapping[int, int]  # PI net -> 0 or 1 (missing = X)
@@ -25,6 +27,58 @@ Vector = Mapping[int, int]  # PI net -> 0 or 1 (missing = X)
 # call sites that want a different width take a ``lanes`` parameter rather
 # than hard-coding their own number.
 DEFAULT_LANES = 512
+
+# Below these sizes a fork pool costs more than it saves (arm_alu's 1440
+# faults run parallel(j=4) at 0.61x serial): pool spin-up, per-worker
+# codegen warm-up and result pickling dominate the tiny simulation.  Both
+# the fault simulator and the ATPG engine consult :func:`should_parallelize`
+# so small designs silently stay serial; the ``REPRO_PARALLEL_MIN_*``
+# environment knobs let tests and smoke jobs lower the floor.
+MIN_PARALLEL_FAULTS = 2000
+MIN_PARALLEL_GATES = 1000
+
+# Forked workers only help when they can run on *different* cores.  On a
+# single-core host (or a cgroup pinned to one CPU) the pool timeshares one
+# core: every speculated fault still costs its full CPU time, plus fork,
+# context-switch and pickling overhead — strictly slower than serial.
+MIN_PARALLEL_CORES = 2
+
+
+def _env_threshold(name: str, default: int) -> int:
+    try:
+        return int(os.environ[name])
+    except (KeyError, ValueError):
+        return default
+
+
+def available_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def should_parallelize(jobs: int, num_faults: int, num_gates: int) -> bool:
+    """Is a fork worker pool worth it for this workload?
+
+    False when only one worker is available, when the platform cannot
+    fork (workers inherit netlists and compiled code by address-space
+    copy, not pickling), when the host has only one usable core (a pool
+    would timeshare it and lose), or when the workload sits below the
+    small-design thresholds where pool overhead exceeds the work.
+    """
+    if jobs <= 1 or not hasattr(os, "fork"):
+        return False
+    min_cores = _env_threshold("REPRO_PARALLEL_MIN_CORES",
+                               MIN_PARALLEL_CORES)
+    if available_cores() < min_cores:
+        return False
+    min_faults = _env_threshold("REPRO_PARALLEL_MIN_FAULTS",
+                                MIN_PARALLEL_FAULTS)
+    min_gates = _env_threshold("REPRO_PARALLEL_MIN_GATES",
+                               MIN_PARALLEL_GATES)
+    return num_faults >= min_faults and num_gates >= min_gates
 
 
 class FaultSimulator:
@@ -212,3 +266,90 @@ class FaultSimulator:
             if detected_mask & (1 << lane):
                 out.add(fault)
         return out
+
+
+# -- fork-parallel fault simulation -------------------------------------------
+#
+# One netlist, one vector sequence, a fault list too big for one core:
+# chunk the cone-packed fault list across a fork pool of FaultSimulators.
+# Lanes never interact, so the union of the chunk detections is exactly the
+# serial detected set.  Workers inherit the netlist (and any compiled code
+# already built in the parent) through fork's address-space copy — nothing
+# is pickled on the way in, only the detected Fault lists on the way out.
+
+_POOL_STATE: Dict[str, object] = {}
+
+
+def _pool_init(netlist: Netlist, vectors: Sequence[Vector],
+               initial_state: Optional[Mapping[int, int]],
+               extra_observables: Optional[Sequence[int]],
+               lanes: int, backend: Optional[str]) -> None:
+    _POOL_STATE.update(
+        netlist=netlist, vectors=vectors, initial_state=initial_state,
+        extra_observables=extra_observables, lanes=lanes, backend=backend,
+    )
+
+
+def _pool_detect(chunk: Sequence[Fault]) -> List[Fault]:
+    from repro.obs import set_reporter
+
+    set_reporter(None)  # a forked reporter would write the parent's pipe
+    sim = FaultSimulator(_POOL_STATE["netlist"],
+                         lanes=_POOL_STATE["lanes"],
+                         backend=_POOL_STATE["backend"])
+    return sorted(sim.detected_faults(
+        _POOL_STATE["vectors"], chunk,
+        initial_state=_POOL_STATE["initial_state"],
+        extra_observables=_POOL_STATE["extra_observables"],
+    ))
+
+
+def parallel_detected_faults(
+    netlist: Netlist,
+    vectors: Sequence[Vector],
+    faults: Sequence[Fault],
+    jobs: Optional[int] = None,
+    lanes: int = DEFAULT_LANES,
+    initial_state: Optional[Mapping[int, int]] = None,
+    extra_observables: Optional[Sequence[int]] = None,
+    backend: Optional[str] = None,
+) -> Set[Fault]:
+    """Detected set for ``faults``, fanned out over a fork pool.
+
+    Bit-identical to ``FaultSimulator.detected_faults`` at any worker
+    count.  Small workloads (see :func:`should_parallelize`) run serial
+    in-process — callers never pay the pool tax on arm_alu-sized designs.
+    """
+    from repro.jobs import resolve_jobs
+    from repro.obs import counter, span
+
+    workers = resolve_jobs(jobs)
+    if not should_parallelize(workers, len(faults), len(netlist.gates)):
+        counter("fault_sim.parallel.serial_fallbacks").inc()
+        return FaultSimulator(netlist, lanes=lanes,
+                              backend=backend).detected_faults(
+            vectors, faults, initial_state=initial_state,
+            extra_observables=extra_observables)
+
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    ordered = cone_pack_order(faults, site_rank_map(netlist))
+    chunk = (len(ordered) + workers - 1) // workers
+    chunks = [ordered[lo:lo + chunk] for lo in range(0, len(ordered), chunk)]
+    _pool_init(netlist, vectors, initial_state, extra_observables, lanes,
+               backend)
+    counter("fault_sim.parallel.runs").inc()
+    counter("fault_sim.parallel.workers").inc(len(chunks))
+    detected: Set[Fault] = set()
+    try:
+        context = multiprocessing.get_context("fork")
+        with span("fault_sim.parallel", workers=len(chunks),
+                  faults=len(faults)):
+            with ProcessPoolExecutor(max_workers=len(chunks),
+                                     mp_context=context) as pool:
+                for part in pool.map(_pool_detect, chunks):
+                    detected.update(part)
+    finally:
+        _POOL_STATE.clear()
+    return detected

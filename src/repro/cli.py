@@ -70,6 +70,7 @@ from repro.jobs import (
     Terminated,
     install_sigterm_handler,
     resolve_jobs,
+    resolve_jobs_opt,
 )
 from repro.obs import (
     Span,
@@ -149,9 +150,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "or REPRO_SIM_BACKEND)")
         if with_jobs:
             p.add_argument("--jobs", type=int,
-                           help="worker processes for multi-MUT fan-out "
-                                "(default: REPRO_JOBS or all cores; "
-                                "<= 0 means all cores)")
+                           help="worker processes: multi-MUT runs fan out "
+                                "whole reports, a single MUT parallelizes "
+                                "PODEM across the fault list with "
+                                "bit-identical results (default: "
+                                "REPRO_JOBS, else serial for one MUT / "
+                                "all cores for many; <= 0 means all "
+                                "cores)")
 
     def add_lint_gate(p):
         p.add_argument("--lint", action=argparse.BooleanOptionalAction,
@@ -235,7 +240,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "time/metric breakdown",
     )
     add_common(p_profile)
-    add_atpg_options(p_profile)
+    add_atpg_options(p_profile, with_jobs=True)
 
     p_stats = sub.add_parser("stats", help="netlist statistics")
     add_common(p_stats, needs_mut=False)
@@ -342,6 +347,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--seed", type=int, default=2002)
     p_submit.add_argument("--backend",
                           choices=["compiled", "interpreted"])
+    p_submit.add_argument("--jobs", type=int,
+                          help="atpg jobs: PODEM workers inside the job "
+                               "(default: serial; 0 means all of the "
+                               "server's cores; results are identical "
+                               "at any value)")
     p_submit.add_argument("--no-piers", action="store_true")
     p_submit.add_argument("--strict", action="store_true",
                           help="lint jobs: warnings fail the job")
@@ -432,11 +442,14 @@ def _factor_for(args) -> Factor:
 
 
 def _atpg_options(args) -> AtpgOptions:
+    # Intra-run PODEM parallelism is opt-in (--jobs / REPRO_JOBS); a bare
+    # single-MUT run stays serial.  Results are identical either way.
     return AtpgOptions(
         max_frames=args.frames,
         backtrack_limit=args.backtrack_limit,
         seed=args.seed,
         fault_sim_backend=getattr(args, "backend", None),
+        jobs=resolve_jobs_opt(getattr(args, "jobs", None)),
     )
 
 
@@ -872,6 +885,7 @@ def _cmd_submit(args) -> int:
         "backend": args.backend,
         "use_piers": not args.no_piers,
         "strict": args.strict,
+        "jobs": args.jobs,
         "deadline_s": args.deadline,
     }
     client = ServeClient(args.server)

@@ -42,6 +42,20 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, jobs)
 
 
+def resolve_jobs_opt(jobs: Optional[int] = None) -> int:
+    """Worker count for surfaces where "nothing asked" means *serial*.
+
+    :func:`resolve_jobs` defaults to all cores because its call sites
+    (bench fan-out, the serve pool) exist to be parallel.  Intra-run ATPG
+    parallelism is opt-in instead: a bare ``repro atpg`` on one MUT stays
+    serial unless ``--jobs`` or ``REPRO_JOBS`` explicitly asks, at which
+    point the two are interpreted exactly as :func:`resolve_jobs` would.
+    """
+    if jobs is None and not os.environ.get("REPRO_JOBS"):
+        return 1
+    return resolve_jobs(jobs)
+
+
 class Terminated(Exception):
     """Raised in the main thread when the process receives SIGTERM."""
 

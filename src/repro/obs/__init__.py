@@ -51,6 +51,7 @@ from repro.obs.trace import (
     new_trace_id,
     parse_traceparent,
     span,
+    span_from_dict,
     wall_clock,
 )
 
@@ -87,5 +88,6 @@ __all__ = [
     "new_trace_id",
     "parse_traceparent",
     "span",
+    "span_from_dict",
     "wall_clock",
 ]

@@ -16,6 +16,7 @@ its own reporter.
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, Optional
@@ -60,6 +61,14 @@ class ProgressReporter:
     seconds; phase transitions and ``force=True`` events always go out.
     Subclasses implement :meth:`send`, which must never raise into the
     loop being instrumented.
+
+    Reporters are bound to the process that created them: a forked child
+    inherits the installed reporter (thread-locals survive fork), but its
+    copy of the underlying channel shares pipe state with the parent, so
+    emitting from the child risks interleaved writes or deadlock on an
+    inherited lock.  :meth:`emit` therefore drops events from any process
+    other than the creator — fault-parallel ATPG workers go silent
+    instead of corrupting the server's progress stream.
     """
 
     def __init__(self, min_interval: float = 0.25):
@@ -67,8 +76,11 @@ class ProgressReporter:
         self.seq = 0
         self._last_phase: Optional[str] = None
         self._last_emit = float("-inf")
+        self._pid = os.getpid()
 
     def emit(self, phase: str, force: bool = False, **fields: Any) -> None:
+        if os.getpid() != self._pid:
+            return
         now = wall_clock()
         if (not force and phase == self._last_phase
                 and now - self._last_emit < self.min_interval):

@@ -80,6 +80,12 @@ class JobSpec:
     #: explain only: the net/port to trace (``SIGNAL`` or
     #: ``MODULE.SIGNAL``).
     target: Optional[str] = None
+    #: PODEM worker processes *inside* the job (atpg only): ``None`` =
+    #: serial, ``0`` = all the worker's cores, ``N`` = N forked workers.
+    #: Excluded from the fingerprint — parallel results are bit-identical
+    #: to serial, so a --jobs submission coalesces with (and warm-starts
+    #: from) a serial one.
+    jobs: Optional[int] = None
     #: Admission budget in seconds: a job still queued this long after
     #: submission is failed instead of dispatched.  Not part of the
     #: fingerprint — it changes *whether* the job runs, never its result.
@@ -135,6 +141,9 @@ class JobSpec:
                 raise ProtocolError(f"{name!r} must be an integer")
         if self.frames < 1:
             raise ProtocolError("'frames' must be >= 1")
+        if self.jobs is not None:
+            if not isinstance(self.jobs, int) or isinstance(self.jobs, bool):
+                raise ProtocolError("'jobs' must be an integer")
         if self.deadline_s is not None:
             if not isinstance(self.deadline_s, (int, float)) \
                     or self.deadline_s <= 0:
@@ -173,7 +182,7 @@ class JobSpec:
 
     _FIELDS = ("op", "source", "design", "top", "mut", "path", "mode",
                "frames", "backtrack_limit", "seed", "backend", "use_piers",
-               "strict", "target", "deadline_s", "trace")
+               "strict", "target", "jobs", "deadline_s", "trace")
 
     def as_dict(self) -> Dict[str, Any]:
         return {name: getattr(self, name) for name in self._FIELDS}

@@ -152,6 +152,10 @@ def _op_atpg(spec: JobSpec) -> Dict[str, Any]:
         backtrack_limit=spec.backtrack_limit,
         seed=spec.seed,
         fault_sim_backend=spec.backend,
+        # None means "serial"; 0 and N pass straight through to the
+        # engine's intra-run fork pool.  Results are jobs-invariant, so
+        # this costs nothing in coalescing or store hits.
+        jobs=spec.jobs if spec.jobs is not None else 1,
     ))
     row = report.as_row()
     row.update({

@@ -352,6 +352,68 @@ class TestArm2EndToEnd:
         assert len(worker_spans) >= 3  # execute + pipeline phases
 
 
+#: Wide equality comparator: random vectors rarely hit a == b, so a few
+#: faults always survive to the deterministic PODEM phase and the event
+#: stream carries coverage values from both phases.
+EQCMP = """
+module eqcmp(input [7:0] a, input [7:0] b, output y);
+  assign y = (a == b);
+endmodule
+module eqtop(input [7:0] a, input [7:0] b, output y);
+  eqcmp u0(.a(a), .b(b), .y(y));
+endmodule
+"""
+
+
+class TestParallelJobStreaming:
+    def _force_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_FAULTS", "1")
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_GATES", "1")
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_CORES", "1")
+
+    def test_parallel_job_streams_increasing_coverage(self, fresh_store,
+                                                      monkeypatch):
+        """A --jobs submission must stream live coverage like a serial
+        one: at least three progress events carrying a monotonically
+        non-decreasing ``coverage`` percentage."""
+        self._force_parallel(monkeypatch)
+        thread, client = start_server(fresh_store)
+        try:
+            job = client.submit({"op": "atpg", "source": EQCMP,
+                                 "top": "eqtop", "mut": "eqcmp", "frames": 1,
+                                 "jobs": 2})["job"]
+            done = client.wait(job["id"], timeout=120)
+            events = list(client.events(job["id"]))
+        finally:
+            thread.stop()
+        assert done["status"] == "done"
+        coverage = [e["coverage"] for e in events
+                    if e.get("event") == "progress" and "coverage" in e]
+        assert len(coverage) >= 3
+        assert coverage == sorted(coverage)
+        assert coverage[-1] == round(done["result"]["coverage_percent"], 2)
+
+    def test_jobs_field_excluded_from_fingerprint(self, fresh_store,
+                                                  monkeypatch):
+        """Parallel results are bit-identical to serial, so a jobs=2
+        submission warm-starts a later serial submission from the store
+        (and vice versa)."""
+        self._force_parallel(monkeypatch)
+        thread, client = start_server(fresh_store)
+        try:
+            spec = {"op": "atpg", "source": EQCMP, "top": "eqtop",
+                    "mut": "eqcmp", "frames": 1}
+            first = client.submit(dict(spec, jobs=2))["job"]
+            a = client.wait(first["id"], timeout=120)
+            second = client.submit(spec)["job"]
+            b = client.wait(second["id"], timeout=120)
+        finally:
+            thread.stop()
+        assert a["fingerprint"] == b["fingerprint"]
+        assert b["served_from"] == "store"
+        assert b["result"] == a["result"]
+
+
 class TestGauges:
     def test_serve_gauges_exported(self, fresh_store):
         thread, client = start_server(fresh_store)
