@@ -1,0 +1,937 @@
+"""Arena-encoded netlist and word-parallel fault simulation.
+
+The object-graph :class:`~repro.synth.netlist.Netlist` is the wrong shape for
+the fault-simulation hot path: every evaluation walks ``Gate`` dataclasses,
+tuples and dicts.  This module flattens a netlist once into a
+:class:`NetlistArena` — a frozen struct-of-arrays encoding (gate opcodes,
+outputs and CSR fanin/fanout as ``array('i')`` rows, dense net ids, the
+levelized evaluation order baked into the row order, a DFS site-rank map for
+cone packing) — and runs fault simulation directly on it.
+
+The arena is plain picklable data: it is cached in the artifact store (stage
+``arena``) keyed by the netlist fingerprint, and fork/spawn workers can be
+handed the pickled arena instead of re-deriving per-process state from the
+netlist.
+
+Simulation model
+----------------
+
+Values are 3-valued (0/1/X), encoded as a (ones, zeros) pair of bit masks
+packed into plain Python ints — one bit lane per *fault* (the workload is a
+single dependent vector sequence, so the parallel axis is faults in wide
+machine words, not independent patterns; see ``docs/performance.md`` for why
+this differs from textbook PPSFP).  A call proceeds as:
+
+1. **Good-machine pass** — the shared fault-free simulation, one plane per
+   cycle, reusing the code-generated chunk functions of
+   :mod:`repro.atpg.compiled` (bit-identical by construction).  While
+   simulating, a per-net *ever-one* / *ever-zero* byte table is accumulated
+   with O(nets) big-int shifts per cycle.
+2. **Refinement filter** — a stuck-at-``v`` fault whose site never carries
+   the binary value ``1-v`` in the good machine is provably undetectable by
+   this sequence, so its lane is never simulated.  Proof sketch: by
+   induction over levelized order and cycles, every faulty-machine net value
+   *refines* the good value in the Kleene information order (injection
+   forces ``v`` where the good machine has ``v`` or ``X``; all gate
+   functions and the DFF latch are monotone in that order).  Detection
+   requires a binary-vs-binary difference at an observe point, which a
+   refinement cannot produce.
+3. **Cone-partitioned lane blocks** — surviving faults are sorted in cone
+   pack order and partitioned by a cost model; each block simulates only the
+   union fanout cone of its sites, with fault injection fused at the sites,
+   X-masks preserved end to end, detection against good-plane selector
+   masks, and early exit once every injected lane has detected.  Large
+   steady-state workloads run through per-block *generated* functions
+   (single-use fanouts fused into consumer expressions); small or one-shot
+   workloads (ATPG cross-simulation) run an interpreted block program with
+   the same semantics, skipping codegen cost.
+
+Detected sets are bit-identical to both the interpreted oracle and the
+compiled backend; ``tests/test_arena.py`` holds the differential suite.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections import OrderedDict
+from typing import (Dict, Iterable, List, Mapping, Optional, Sequence, Set,
+                    Tuple)
+from weakref import WeakKeyDictionary
+
+from repro.synth.netlist import Gate, GateType, Netlist
+from repro.atpg.faults import Fault
+
+Mask = Tuple[int, int]
+Vector = Mapping[int, int]
+
+# Integer opcodes for the struct-of-arrays gate rows.  DFFs live in their
+# own (dff_q, dff_d) rows, so only combinational types appear here.
+OP_AND, OP_OR, OP_NAND, OP_NOR, OP_XOR, OP_XNOR, OP_NOT, OP_BUF = range(8)
+
+_OP_OF = {
+    GateType.AND: OP_AND, GateType.OR: OP_OR, GateType.NAND: OP_NAND,
+    GateType.NOR: OP_NOR, GateType.XOR: OP_XOR, GateType.XNOR: OP_XNOR,
+    GateType.NOT: OP_NOT, GateType.BUF: OP_BUF,
+}
+_GT_OF = {op: gt for gt, op in _OP_OF.items()}
+
+# Below these workload sizes the ~0.5s/kgate block-codegen cost cannot
+# amortize (ATPG cross-simulates 1-2 vectors per generated test), so the
+# interpreted block program runs instead.  Env knobs let tests and smoke
+# jobs exercise the generated path on tiny designs.
+CODEGEN_MIN_FAULTS = 2000
+CODEGEN_MIN_VECTORS = 8
+
+# Fused single-use fanout expressions deeper than this are materialized
+# anyway, bounding generated expression nesting (CPython's compiler and
+# peephole stay fast).
+_FUSE_MAX_DEPTH = 12
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ[name])
+    except (KeyError, ValueError):
+        return default
+
+
+class NetlistArena:
+    """Frozen struct-of-arrays encoding of one netlist.
+
+    All rows are ``array('i')`` (or plain ints/strs), so instances pickle
+    compactly and cheaply — workers receive the arena instead of re-deriving
+    topological orders, levels and adjacency from the object graph.
+
+    Rows:
+
+    - ``gate_op`` / ``gate_out`` — combinational gates in levelized
+      topological order (evaluation order is the row order),
+    - ``fanin_off`` / ``fanin`` — CSR fanin per gate row,
+    - ``dff_q`` / ``dff_d`` — flip-flop Q and D nets,
+    - ``pis`` / ``pos`` — primary input / output nets,
+    - ``adj_off`` / ``adj`` — CSR *sequential* fanout per net (one step of
+      gate fanout, plus every D->Q flip-flop edge),
+    - ``site_rank`` — DFS-topological rank per net (-1 for nets that are
+      not gate outputs); :meth:`cone_pack_order` sorts fault sites by it so
+      neighbouring lanes share fanout cones.
+    """
+
+    def __init__(self, name: str, num_nets: int,
+                 gate_op: array, gate_out: array,
+                 fanin_off: array, fanin: array,
+                 dff_q: array, dff_d: array,
+                 pis: array, pos: array,
+                 adj_off: array, adj: array,
+                 site_rank: array,
+                 fingerprint: Tuple[int, int, int, int],
+                 digest: str):
+        self.name = name
+        self.num_nets = num_nets
+        self.gate_op = gate_op
+        self.gate_out = gate_out
+        self.fanin_off = fanin_off
+        self.fanin = fanin
+        self.dff_q = dff_q
+        self.dff_d = dff_d
+        self.pis = pis
+        self.pos = pos
+        self.adj_off = adj_off
+        self.adj = adj
+        self.site_rank = site_rank
+        self.fingerprint = fingerprint
+        self.digest = digest
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gate_out)
+
+    @classmethod
+    def from_netlist(cls, netlist: Netlist) -> "NetlistArena":
+        from repro.store import gates_fingerprint
+
+        topo = netlist.topological_order()
+        level = netlist.levels(topo)
+        order = sorted(topo, key=lambda g: level[g.output])
+        num_nets = netlist.num_nets
+
+        gate_op = array("i", (_OP_OF[g.type] for g in order))
+        gate_out = array("i", (g.output for g in order))
+        fanin_off = array("i", [0])
+        fanin = array("i")
+        for g in order:
+            fanin.extend(g.inputs)
+            fanin_off.append(len(fanin))
+
+        dffs = netlist.dffs()
+        dff_q = array("i", (d.output for d in dffs))
+        dff_d = array("i", (d.inputs[0] for d in dffs))
+
+        # CSR sequential fanout: two passes (count, fill) keep it allocation
+        # free beyond the two arrays.
+        counts = array("i", bytes(4 * (num_nets + 1)))
+        for g in netlist.gates:
+            for inp in g.inputs:
+                counts[inp] += 1
+        adj_off = array("i", bytes(4 * (num_nets + 1)))
+        total = 0
+        for n in range(num_nets):
+            adj_off[n] = total
+            total += counts[n]
+        adj_off[num_nets] = total
+        cursor = array("i", adj_off)
+        adj = array("i", bytes(4 * total))
+        for g in netlist.gates:
+            out = g.output
+            for inp in g.inputs:
+                adj[cursor[inp]] = out
+                cursor[inp] += 1
+
+        site_rank = array("i", [-1]) * num_nets
+        for i, g in enumerate(topo):
+            site_rank[g.output] = i
+
+        fingerprint = (num_nets, len(netlist.gates), len(netlist.pis),
+                       len(netlist.pos))
+        digest = gates_fingerprint(order, num_nets)
+        return cls(
+            name=netlist.name, num_nets=num_nets,
+            gate_op=gate_op, gate_out=gate_out,
+            fanin_off=fanin_off, fanin=fanin,
+            dff_q=dff_q, dff_d=dff_d,
+            pis=array("i", netlist.pis), pos=array("i", netlist.pos),
+            adj_off=adj_off, adj=adj, site_rank=site_rank,
+            fingerprint=fingerprint, digest=digest,
+        )
+
+    # -- derived views ------------------------------------------------------
+
+    def gate_inputs(self, gi: int) -> Tuple[int, ...]:
+        return tuple(self.fanin[self.fanin_off[gi]:self.fanin_off[gi + 1]])
+
+    def gates(self) -> List[Gate]:
+        """The levelized combinational gate row as ``Gate`` objects.
+
+        Used to share the good-machine codegen (and its marshal cache) with
+        :mod:`repro.atpg.compiled` — the reconstructed sequence is
+        element-wise identical to ``CompiledNetlist.order``.
+        """
+        return [
+            Gate(type=_GT_OF[self.gate_op[gi]], output=self.gate_out[gi],
+                 inputs=self.gate_inputs(gi))
+            for gi in range(len(self.gate_out))
+        ]
+
+    def cone_of(self, sites: Iterable[int]) -> Set[int]:
+        """Union sequential fanout cone of ``sites`` (multi-source BFS
+        over the CSR adjacency), including the sites themselves."""
+        adj, off = self.adj, self.adj_off
+        seen: Set[int] = set(sites)
+        stack = list(seen)
+        while stack:
+            net = stack.pop()
+            for k in range(off[net], off[net + 1]):
+                down = adj[k]
+                if down not in seen:
+                    seen.add(down)
+                    stack.append(down)
+        return seen
+
+    def cone_pack_order(self, faults: Sequence[Fault]) -> List[Fault]:
+        """Faults sorted so neighbouring lanes share fanout cones (PIs,
+        which have no rank, sort first)."""
+        rank = self.site_rank
+        nn = self.num_nets
+        return sorted(
+            faults,
+            key=lambda f: (rank[f.net] if f.net < nn else -1, f.net, f.value),
+        )
+
+
+_ARENAS: "WeakKeyDictionary[Netlist, NetlistArena]" = WeakKeyDictionary()
+
+
+def get_arena(netlist: Netlist) -> NetlistArena:
+    """The cached arena encoding of ``netlist``.
+
+    In-process instances are cached per netlist object (rebuilt when the
+    netlist grew — append-only mutation is the only kind this codebase
+    performs); across processes the pickled arena is memoized in the
+    artifact store under the ``arena`` stage, keyed by the netlist
+    fingerprint.
+    """
+    cached = _ARENAS.get(netlist)
+    current = (netlist.num_nets, len(netlist.gates), len(netlist.pis),
+               len(netlist.pos))
+    if cached is not None and cached.fingerprint == current:
+        return cached
+
+    from repro.store import get_store, netlist_fingerprint
+
+    store = get_store()
+    key = {"netlist": netlist_fingerprint(netlist)}
+    payload = store.get("arena", key)
+    arena: Optional[NetlistArena] = None
+    if (isinstance(payload, NetlistArena)
+            and payload.fingerprint == current):
+        arena = payload
+    if arena is None:
+        arena = NetlistArena.from_netlist(netlist)
+        store.put("arena", key, arena)
+    _ARENAS[netlist] = arena
+    return arena
+
+
+# -- word-parallel fault simulation -------------------------------------------
+
+# Cost model for the greedy block partition: estimated nanoseconds per
+# bitwise op at a given lane width (big-int ops grow sub-linearly until the
+# operands spill the cache).  Measured on the development host; the exact
+# numbers only steer *merging* — correctness never depends on the partition.
+_OPCOST = ((512, 105), (1024, 108), (2048, 112), (4096, 133),
+           (8192, 162), (16384, 222))
+
+
+def _opcost(lanes: int) -> int:
+    for cap, cost in _OPCOST:
+        if lanes <= cap:
+            return cost
+    return 350
+
+
+class ArenaFaultSim:
+    """Fault simulation over one :class:`NetlistArena`.
+
+    Holds every reusable artifact of repeated simulation against the same
+    arena: the good-machine chunk functions, the memoized good-plane pass,
+    built lane blocks and their per-good-pass cycle setups.  Get instances
+    through :func:`get_arena_sim` so all ``FaultSimulator`` facades over the
+    same arena share them.
+    """
+
+    def __init__(self, arena: NetlistArena):
+        self.arena = arena
+        self._chunks = None  # good-machine codegen, built lazily
+        # Good-plane memo: one entry, keyed both by object identity (the
+        # common case: a bench/ATPG loop re-simulating the same vector list
+        # object) and by value.  Strong refs are intentional — callers must
+        # not mutate a vector list in place between calls (no caller does;
+        # vectors are built fresh per sequence).
+        self._good_vectors: Optional[Sequence[Vector]] = None
+        self._good_istate: Optional[Mapping[int, int]] = None
+        self._good_key = None
+        self._good = None
+        self._good_token = 0
+        # Built codegen blocks keyed by (survivor lanes, observe points).
+        self._blocks: "OrderedDict[tuple, list]" = OrderedDict()
+
+    # -- good machine -------------------------------------------------------
+
+    def _ensure_chunks(self):
+        if self._chunks is None:
+            from repro.atpg.compiled import _codegen_chunks
+
+            # Reconstructing Gate rows and reusing the compiled backend's
+            # codegen guarantees a bit-identical good machine *and* shares
+            # its marshal cache (same gate fingerprint, same source).
+            self._chunks = _codegen_chunks(self.arena.gates(),
+                                           self.arena.name,
+                                           num_nets=self.arena.num_nets)
+        return self._chunks
+
+    def _good_pass(self, vectors: Sequence[Vector],
+                   initial_state: Optional[Mapping[int, int]]):
+        """Simulate the fault-free machine; returns
+        ``(planes, ever_one, ever_zero, token)``.
+
+        ``planes`` holds one flat ``[o0, z0, o1, z1, ...]`` snapshot per
+        cycle.  ``ever_one[n]`` / ``ever_zero[n]`` are truthy iff net ``n``
+        ever carried binary 1 / 0 — accumulated as one byte per net with two
+        big-int shift-ORs per cycle (cycle bits fill each byte in windows of
+        8, so ORs never carry across byte boundaries).
+        """
+        from repro.obs import counter
+
+        if vectors is self._good_vectors and initial_state is self._good_istate:
+            counter("fault_sim.arena.good_plane_hits").inc()
+            return self._good
+        key = (
+            tuple(tuple(sorted(vec.items())) for vec in vectors),
+            tuple(sorted(initial_state.items())) if initial_state else (),
+        )
+        if key == self._good_key:
+            counter("fault_sim.arena.good_plane_hits").inc()
+            self._good_vectors = vectors
+            self._good_istate = initial_state
+            return self._good
+
+        chunks = self._ensure_chunks()
+        arena = self.arena
+        nn = arena.num_nets
+        pis, dff_q, dff_d = arena.pis, arena.dff_q, arena.dff_d
+        state: Dict[int, Mask] = {q: (0, 0) for q in dff_q}
+        if initial_state:
+            for q, bit in initial_state.items():
+                state[q] = (1, 0) if bit else (0, 1)
+        values = [0] * (2 * nn)
+        values[1] = 1  # const0 zeros plane
+        values[2] = 1  # const1 ones plane
+        planes: List[List[int]] = []
+        ever_o = ever_z = acc_o = acc_z = 0
+        window = 0
+        for vec in vectors:
+            for pi in pis:
+                bit = vec.get(pi)
+                i = 2 * pi
+                if bit is None:
+                    values[i] = values[i + 1] = 0
+                elif bit:
+                    values[i] = 1
+                    values[i + 1] = 0
+                else:
+                    values[i] = 0
+                    values[i + 1] = 1
+            for k in range(len(dff_q)):
+                o, z = state[dff_q[k]]
+                i = 2 * dff_q[k]
+                values[i] = o
+                values[i + 1] = z
+            for chunk in chunks:
+                chunk(values, 1)
+            planes.append(values[:])
+            acc_o |= int.from_bytes(bytes(values[0::2]), "little") << window
+            acc_z |= int.from_bytes(bytes(values[1::2]), "little") << window
+            window += 1
+            if window == 8:
+                ever_o |= acc_o
+                ever_z |= acc_z
+                acc_o = acc_z = window = 0
+            for k in range(len(dff_q)):
+                i = 2 * dff_d[k]
+                state[dff_q[k]] = (values[i], values[i + 1])
+        ever_o |= acc_o
+        ever_z |= acc_z
+        self._good_token += 1
+        self._good = (
+            planes,
+            ever_o.to_bytes(nn + 1, "little"),
+            ever_z.to_bytes(nn + 1, "little"),
+            self._good_token,
+        )
+        self._good_vectors = vectors
+        self._good_istate = initial_state
+        self._good_key = key
+        return self._good
+
+    # -- block partition ----------------------------------------------------
+
+    def _partition(self, ordered: Sequence[Fault], base: int):
+        """Greedily merge cone-packed fault chunks while the cost model
+        says a merged block beats the pair (fewer redundant evaluations of
+        shared cone gates vs pricier wider-lane ops)."""
+        arena = self.arena
+        gate_out = arena.gate_out
+
+        def cone_gates(cone: Set[int]) -> int:
+            return sum(1 for out in gate_out if out in cone)
+
+        chunks = []
+        for i in range(0, len(ordered), base):
+            blk = list(ordered[i:i + base])
+            cone = arena.cone_of({f.net for f in blk})
+            chunks.append([blk, cone, cone_gates(cone)])
+
+        def cost(blk, ng):
+            sites = len({f.net for f in blk})
+            return (ng * 2.6 + sites * 3.0) * _opcost(len(blk))
+
+        changed = True
+        while changed:
+            changed = False
+            out = []
+            i = 0
+            while i < len(chunks):
+                if i + 1 < len(chunks):
+                    b1, c1, n1 = chunks[i]
+                    b2, c2, n2 = chunks[i + 1]
+                    cu = c1 | c2
+                    nu = cone_gates(cu)
+                    if cost(b1 + b2, nu) < cost(b1, n1) + cost(b2, n2):
+                        out.append([b1 + b2, cu, nu])
+                        i += 2
+                        changed = True
+                        continue
+                out.append(chunks[i])
+                i += 1
+            chunks = out
+        return chunks
+
+    # -- shared block shape --------------------------------------------------
+
+    def _block_shape(self, blk: Sequence[Fault], cone: Set[int],
+                     obs_set: frozenset):
+        """Everything both block executors need about one lane block:
+        injection-site lane masks, the cone's gate rows, flip-flops,
+        boundary nets (read by the cone but produced outside it — they
+        broadcast the shared good value) and observe points."""
+        arena = self.arena
+        gate_out, fanin, fanin_off = (arena.gate_out, arena.fanin,
+                                      arena.fanin_off)
+        site_lanes: Dict[int, Mask] = {}
+        for li, f in enumerate(blk):
+            m1, m0 = site_lanes.get(f.net, (0, 0))
+            if f.value == 1:
+                m1 |= 1 << li
+            else:
+                m0 |= 1 << li
+            site_lanes[f.net] = (m1, m0)
+        cone_gis = [gi for gi in range(len(gate_out)) if gate_out[gi] in cone]
+        dff_q, dff_d = arena.dff_q, arena.dff_d
+        cone_dks = [k for k in range(len(dff_q)) if dff_q[k] in cone]
+        innets: Set[int] = set()
+        for gi in cone_gis:
+            innets.update(fanin[fanin_off[gi]:fanin_off[gi + 1]])
+        for k in cone_dks:
+            innets.add(dff_d[k])
+        comb_out = {gate_out[gi] for gi in cone_gis}
+        qs = [dff_q[k] for k in cone_dks]
+        produced = comb_out | set(qs)
+        bound = sorted((innets | cone) - produced)
+        obs = sorted(obs_set & cone)
+        site_order = sorted(site_lanes)
+        return dict(
+            blk=list(blk), lanes=len(blk), site_lanes=site_lanes,
+            site_order=site_order, cone_gis=cone_gis, cone_dks=cone_dks,
+            comb_out=comb_out, qs=qs, bound=bound, obs=obs,
+        )
+
+    # -- generated block path ------------------------------------------------
+
+    def _build_codegen_block(self, blk: Sequence[Fault], cone: Set[int],
+                             obs_set: frozenset):
+        """Compile one lane block into a specialized function
+        ``_blk(CYCS, M, I, PRESENT) -> det``.
+
+        Every cone net is a local; per-cycle boundary broadcasts and
+        good-plane observation selectors arrive as one pre-built tuple per
+        cycle; injection masks arrive in ``M`` (three slots per site:
+        erase/force1/force0), so the same code serves any requested subset
+        of the block's lanes — a lane with empty masks simulates the good
+        machine and can never detect.  Gates whose output is used exactly
+        once inside the block (and is not a site, observe point, state or
+        boundary net, nor an XOR operand) are fused into their consumer's
+        expression, eliminating their store/load round trip.
+        """
+        arena = self.arena
+        gate_op, gate_out = arena.gate_op, arena.gate_out
+        fanin, fanin_off = arena.fanin, arena.fanin_off
+        dff_q, dff_d = arena.dff_q, arena.dff_d
+        shape = self._block_shape(blk, cone, obs_set)
+        site_lanes = shape["site_lanes"]
+        site_order = shape["site_order"]
+        sidx = {n: 3 * k for k, n in enumerate(site_order)}
+        cone_gis, cone_dks = shape["cone_gis"], shape["cone_dks"]
+        comb_out, qs = shape["comb_out"], shape["qs"]
+        bound, obs = shape["bound"], shape["obs"]
+
+        # Polarity class per site decides the injection template: sites with
+        # a single stuck value need 2 ops instead of 4.  The class reflects
+        # the *block's* lane list; per-call subset masks always fit it.
+        spol = {}
+        for n in site_order:
+            m1, m0 = site_lanes[n]
+            spol[n] = "both" if (m1 and m0) else ("one" if m1 else "zero")
+
+        def norm(op: int, ins: Tuple[int, ...]):
+            # Degenerate single-input n-ary gates reduce to BUF/NOT exactly
+            # as in the interpreted fold (identity elements).
+            if len(ins) == 1 and op not in (OP_NOT, OP_BUF):
+                return (OP_BUF if op in (OP_AND, OP_OR, OP_XOR)
+                        else OP_NOT), ins
+            return op, ins
+
+        gate_row = {}
+        uses: Dict[int, int] = {}
+        for gi in cone_gis:
+            ins = tuple(fanin[fanin_off[gi]:fanin_off[gi + 1]])
+            op, ins = norm(gate_op[gi], ins)
+            gate_row[gate_out[gi]] = (op, ins)
+            for i in ins:
+                uses[i] = uses.get(i, 0) + 1
+
+        keep: Set[int] = set(site_order) | set(obs) | set(qs) | set(bound)
+        for k in cone_dks:
+            keep.add(dff_d[k])
+        for op, ins in gate_row.values():
+            if op in (OP_XOR, OP_XNOR):
+                # XOR consumes both planes of each operand twice; fusing an
+                # operand would evaluate its expression repeatedly.
+                keep.update(ins)
+
+        fuse: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+        depth: Dict[int, int] = {}
+        for gi in cone_gis:
+            out = gate_out[gi]
+            op, ins = gate_row[out]
+            d = 1 + max((depth.get(i, 0) for i in ins), default=0)
+            if (out not in keep and uses.get(out, 0) == 1
+                    and d <= _FUSE_MAX_DEPTH
+                    and not (op in (OP_XOR, OP_XNOR) and len(ins) > 2)):
+                fuse[out] = (op, ins)
+                depth[out] = d
+            else:
+                depth[out] = 0
+
+        def ref(n: int, plane: int) -> str:
+            fused = fuse.get(n)
+            if fused is not None:
+                return "(" + expr(fused[0], fused[1], plane) + ")"
+            return f"o{n}" if plane == 0 else f"z{n}"
+
+        def expr(op: int, ins: Tuple[int, ...], plane: int) -> str:
+            if op == OP_BUF:
+                return ref(ins[0], plane)
+            if op == OP_NOT:
+                return ref(ins[0], 1 - plane)
+            if op == OP_AND:
+                return (" & " if plane == 0 else " | ").join(
+                    ref(i, plane) for i in ins)
+            if op == OP_NAND:
+                return (" | " if plane == 0 else " & ").join(
+                    ref(i, 1 - plane) for i in ins)
+            if op == OP_OR:
+                return (" | " if plane == 0 else " & ").join(
+                    ref(i, plane) for i in ins)
+            if op == OP_NOR:
+                return (" & " if plane == 0 else " | ").join(
+                    ref(i, 1 - plane) for i in ins)
+            # 2-input XOR/XNOR (n-ary folds are emitted as statements)
+            a, b = ins
+            if op == OP_XNOR:
+                plane = 1 - plane
+            if plane == 0:
+                return (f"({ref(a, 0)} & {ref(b, 1)}) | "
+                        f"({ref(a, 1)} & {ref(b, 0)})")
+            return (f"({ref(a, 0)} & {ref(b, 0)}) | "
+                    f"({ref(a, 1)} & {ref(b, 1)})")
+
+        def inject_stmts(out: int, on: str, zn: str) -> List[str]:
+            k = sidx[out]
+            pol = spol[out]
+            if pol == "both":
+                return [f"        o{out} = (({on}) & M[{k}]) | M[{k + 1}]",
+                        f"        z{out} = (({zn}) & M[{k}]) | M[{k + 2}]"]
+            if pol == "one":
+                return [f"        o{out} = ({on}) | M[{k + 1}]",
+                        f"        z{out} = ({zn}) & M[{k}]"]
+            return [f"        o{out} = ({on}) & M[{k}]",
+                    f"        z{out} = ({zn}) | M[{k + 2}]"]
+
+        src = ["def _blk(CYCS, M, I, PRESENT):", "    det = 0"]
+        for k, q in enumerate(qs):
+            src.append(f"    o{q} = I[{2 * k}]; z{q} = I[{2 * k + 1}]")
+        src.append("    for CYC in CYCS:")
+        names: List[str] = []
+        for n in bound:
+            names.append(f"o{n}")
+            names.append(f"z{n}")
+        for p in obs:
+            names.append(f"s1_{p}")
+            names.append(f"s0_{p}")
+        if names:
+            src.append(f"        ({', '.join(names)},) = CYC")
+        # Fill-level injection: sites that are not cone gate outputs (PIs,
+        # flip-flop Qs, boundary nets) get their masks applied after the
+        # source values land; gate-output sites inject inline below.
+        for n in site_order:
+            if n in comb_out:
+                continue
+            src.extend(inject_stmts(n, f"o{n}", f"z{n}"))
+        for gi in cone_gis:
+            out = gate_out[gi]
+            if out in fuse:
+                continue
+            op, ins = gate_row[out]
+            if op in (OP_XOR, OP_XNOR) and len(ins) > 2:
+                src.append(f"        _to = {ref(ins[0], 0)}; "
+                           f"_tz = {ref(ins[0], 1)}")
+                for i in ins[1:]:
+                    src.append(
+                        f"        _to, _tz = (_to & {ref(i, 1)}) | "
+                        f"(_tz & {ref(i, 0)}), (_to & {ref(i, 0)}) | "
+                        f"(_tz & {ref(i, 1)})")
+                on, zn = ("_to", "_tz") if op == OP_XOR else ("_tz", "_to")
+            else:
+                on = expr(op, ins, 0)
+                zn = expr(op, ins, 1)
+            if out in site_lanes:
+                src.extend(inject_stmts(out, on, zn))
+            else:
+                src.append(f"        o{out} = {on}")
+                src.append(f"        z{out} = {zn}")
+        # Detection against the good-plane selectors *before* the state
+        # latch: observation compares this cycle's settled values.
+        for p in obs:
+            src.append(f"        det |= (z{p} & s1_{p}) | (o{p} & s0_{p})")
+        if cone_dks:
+            # One tuple assignment latches every flip-flop simultaneously,
+            # so Q->D chains read pre-latch values (synchronous semantics).
+            lhs = ", ".join(f"o{dff_q[k]}, z{dff_q[k]}" for k in cone_dks)
+            rhs = ", ".join(f"o{dff_d[k]}, z{dff_d[k]}" for k in cone_dks)
+            src.append(f"        {lhs} = {rhs}")
+        src.append("        if det == PRESENT: break")
+        src.append("    return det")
+
+        namespace: Dict[str, object] = {}
+        exec(compile("\n".join(src), f"<arena:{arena.name}>", "exec"),
+             namespace)
+        shape["fn"] = namespace["_blk"]
+        shape["setups"] = OrderedDict()
+        # The injection mask vector is block-invariant: all of the block's
+        # lanes are always present (the block cache is keyed by the exact
+        # survivor tuple).
+        M: List[int] = []
+        for n in site_order:
+            m1, m0 = site_lanes[n]
+            M.extend((~(m1 | m0), m1, m0))
+        shape["M"] = M
+        return shape
+
+    def _run_codegen_block(self, b, planes, token: int,
+                           initial_state: Optional[Mapping[int, int]]):
+        """Execute one built block against the memoized good planes;
+        returns ``(det, present)`` lane masks."""
+        lanes = b["lanes"]
+        full = (1 << lanes) - 1
+        # Per-cycle boundary/selector tuples and the initial-state vector
+        # depend only on (block, good pass): broadcast masks reference the
+        # one shared ``full`` object, so a setup is cheap to hold and free
+        # to reuse across repeated simulations of the same sequence.
+        setups = b["setups"]
+        setup = setups.get(token)
+        if setup is None:
+            I: List[int] = []
+            for q in b["qs"]:
+                if initial_state and q in initial_state:
+                    I.extend((full, 0) if initial_state[q] else (0, full))
+                else:
+                    I.extend((0, 0))
+            cycs = []
+            for plane in planes:
+                cyc: List[int] = []
+                for n in b["bound"]:
+                    i = 2 * n
+                    cyc.append(full if plane[i] else 0)
+                    cyc.append(full if plane[i + 1] else 0)
+                for p in b["obs"]:
+                    i = 2 * p
+                    cyc.append(full if plane[i] else 0)
+                    cyc.append(full if plane[i + 1] else 0)
+                cycs.append(tuple(cyc))
+            setup = (cycs, I)
+            setups[token] = setup
+            while len(setups) > 2:
+                setups.popitem(last=False)
+        else:
+            setups.move_to_end(token)
+        cycs, I = setup
+        return b["fn"](cycs, b["M"], I, full), full
+
+    # -- interpreted block path ----------------------------------------------
+
+    def _run_interp_block(self, blk: Sequence[Fault], planes,
+                          initial_state: Optional[Mapping[int, int]],
+                          obs_set: frozenset):
+        """One-shot lane block without code generation: the same cone
+        restriction, injection, detection and early exit as the generated
+        path, interpreted over a flat value list.  Used for small or
+        unrepeated workloads (ATPG cross-simulation) where per-survivor-set
+        codegen could never amortize."""
+        arena = self.arena
+        cone = arena.cone_of({f.net for f in blk})
+        shape = self._block_shape(blk, cone, obs_set)
+        lanes = shape["lanes"]
+        full = (1 << lanes) - 1
+        site_lanes = shape["site_lanes"]
+        comb_out = shape["comb_out"]
+        fanin, fanin_off = arena.fanin, arena.fanin_off
+        gate_op, gate_out = arena.gate_op, arena.gate_out
+        dff_q, dff_d = arena.dff_q, arena.dff_d
+
+        fills = []
+        for n in shape["site_order"]:
+            if n in comb_out:
+                continue
+            m1, m0 = site_lanes[n]
+            fills.append((2 * n, ~(m1 | m0), m1, m0))
+        prog = []
+        for gi in shape["cone_gis"]:
+            out = gate_out[gi]
+            ins2 = tuple(2 * i for i in
+                         fanin[fanin_off[gi]:fanin_off[gi + 1]])
+            m1, m0 = site_lanes.get(out, (0, 0))
+            em = ~(m1 | m0) if (m1 or m0) else None
+            prog.append((gate_op[gi], 2 * out, ins2, em, m1, m0))
+        dffs = [(2 * dff_q[k], 2 * dff_d[k]) for k in shape["cone_dks"]]
+        bound2 = [2 * n for n in shape["bound"]]
+        obs2 = [2 * p for p in shape["obs"]]
+
+        v = [0] * (2 * arena.num_nets)
+        state: Dict[int, Mask] = {}
+        for q2, _d2 in dffs:
+            if initial_state and q2 // 2 in initial_state:
+                state[q2] = (full, 0) if initial_state[q2 // 2] else (0, full)
+            else:
+                state[q2] = (0, 0)
+        det = 0
+        for plane in planes:
+            for i in bound2:
+                v[i] = full if plane[i] else 0
+                v[i + 1] = full if plane[i + 1] else 0
+            for q2, _d2 in dffs:
+                o, z = state[q2]
+                v[q2] = o
+                v[q2 + 1] = z
+            for i, em, m1, m0 in fills:
+                v[i] = (v[i] & em) | m1
+                v[i + 1] = (v[i + 1] & em) | m0
+            for op, o2, ins2, em, m1, m0 in prog:
+                if op == OP_AND or op == OP_NAND:
+                    o, z = full, 0
+                    for i in ins2:
+                        o &= v[i]
+                        z |= v[i + 1]
+                    if op == OP_NAND:
+                        o, z = z, o
+                elif op == OP_OR or op == OP_NOR:
+                    o, z = 0, full
+                    for i in ins2:
+                        o |= v[i]
+                        z &= v[i + 1]
+                    if op == OP_NOR:
+                        o, z = z, o
+                elif op == OP_NOT:
+                    o = v[ins2[0] + 1]
+                    z = v[ins2[0]]
+                elif op == OP_BUF:
+                    o = v[ins2[0]]
+                    z = v[ins2[0] + 1]
+                else:  # XOR / XNOR n-ary fold
+                    o, z = 0, full
+                    for i in ins2:
+                        io, iz = v[i], v[i + 1]
+                        o, z = (o & iz) | (z & io), (o & io) | (z & iz)
+                    if op == OP_XNOR:
+                        o, z = z, o
+                if em is not None:
+                    o = (o & em) | m1
+                    z = (z & em) | m0
+                v[o2] = o
+                v[o2 + 1] = z
+            for i in obs2:
+                if plane[i]:
+                    det |= v[i + 1]
+                elif plane[i + 1]:
+                    det |= v[i]
+            state = {q2: (v[d2], v[d2 + 1]) for q2, d2 in dffs}
+            if det == full:
+                break
+        return det, full
+
+    # -- public entry --------------------------------------------------------
+
+    def detected_faults(
+        self,
+        vectors: Sequence[Vector],
+        faults: Sequence[Fault],
+        initial_state: Optional[Mapping[int, int]] = None,
+        extra_observables: Optional[Sequence[int]] = None,
+        lanes: int = 512,
+    ) -> Tuple[Set[Fault], int]:
+        """Detected subset of ``faults`` plus the number of lane blocks run.
+
+        Bit-identical to the interpreted and compiled backends for any mix
+        of X inputs, initial flip-flop state and extra observe points.
+        """
+        from repro.obs import counter
+
+        if not faults:
+            return set(), 0
+        planes, ever_o, ever_z, token = self._good_pass(vectors,
+                                                        initial_state)
+        arena = self.arena
+        obs_points: Set[int] = set(arena.pos)
+        if extra_observables:
+            obs_points.update(extra_observables)
+        obs_set = frozenset(obs_points)
+
+        surv = [f for f in faults
+                if (ever_z[f.net] if f.value == 1 else ever_o[f.net])]
+        counter("fault_sim.arena.filtered_undetectable").inc(
+            len(faults) - len(surv))
+        detected: Set[Fault] = set()
+        if not surv:
+            return detected, 0
+        ordered = arena.cone_pack_order(surv)
+
+        key = (tuple(ordered), tuple(sorted(obs_set)))
+        blocks = self._blocks.get(key)
+        use_codegen = blocks is not None or (
+            len(vectors) >= _env_int("REPRO_ARENA_CODEGEN_MIN_VECTORS",
+                                     CODEGEN_MIN_VECTORS)
+            and len(ordered) >= _env_int("REPRO_ARENA_CODEGEN_MIN_FAULTS",
+                                         CODEGEN_MIN_FAULTS))
+        results = []
+        if use_codegen:
+            if blocks is None:
+                counter("fault_sim.arena.codegen_builds").inc()
+                parts = self._partition(ordered, base=max(lanes, 64))
+                blocks = [
+                    self._build_codegen_block(blk, cone, obs_set)
+                    for blk, cone, _ng in parts
+                ]
+                self._blocks[key] = blocks
+                while len(self._blocks) > 8:
+                    self._blocks.popitem(last=False)
+            else:
+                counter("fault_sim.arena.block_cache_hits").inc()
+                self._blocks.move_to_end(key)
+            for b in blocks:
+                det, present = self._run_codegen_block(b, planes, token,
+                                                       initial_state)
+                results.append((b["blk"], det, present))
+        else:
+            counter("fault_sim.arena.fallback_calls").inc()
+            for start in range(0, len(ordered), lanes):
+                blk = ordered[start:start + lanes]
+                det, present = self._run_interp_block(blk, planes,
+                                                      initial_state, obs_set)
+                results.append((blk, det, present))
+
+        early = 0
+        filled = 0
+        for blk, det, present in results:
+            filled += bin(present).count("1")
+            if det == present:
+                early += 1
+            while det:
+                li = (det & -det).bit_length() - 1
+                detected.add(blk[li])
+                det &= det - 1
+        counter("fault_sim.arena.passes").inc(len(results))
+        counter("fault_sim.arena.lanes_filled").inc(filled)
+        counter("fault_sim.arena.early_exits").inc(early)
+        return detected, len(results)
+
+
+_SIMS: "WeakKeyDictionary[NetlistArena, ArenaFaultSim]" = WeakKeyDictionary()
+
+
+def get_arena_sim(arena: NetlistArena) -> ArenaFaultSim:
+    """The shared :class:`ArenaFaultSim` for an arena: every facade over
+    the same arena object reuses one good-plane memo and block cache."""
+    sim = _SIMS.get(arena)
+    if sim is None:
+        sim = ArenaFaultSim(arena)
+        _SIMS[arena] = sim
+    return sim

@@ -18,10 +18,11 @@ pass per cycle.  Fault-injection masks are fused into the per-instruction
 program, applied only at the sites a lane actually forces, and a block stops
 simulating as soon as every lane has detected.
 
-Backend selection: ``backend="compiled"`` (default) or ``"interpreted"``;
-the environment variable ``REPRO_SIM_BACKEND`` overrides the default.  The
-interpreted paths in :mod:`repro.atpg.simulator` / :mod:`repro.atpg.fault_sim`
-are kept unchanged as the reference oracle for differential testing.
+Backend selection: ``backend="arena"`` (default, see
+:mod:`repro.atpg.arena`), ``"compiled"`` or ``"interpreted"``; the
+environment variable ``REPRO_SIM_BACKEND`` overrides the default.  The
+compiled and interpreted paths are kept unchanged as differential oracles:
+all three backends produce bit-identical detected sets.
 """
 
 from __future__ import annotations
@@ -36,7 +37,7 @@ from repro.atpg.faults import Fault
 
 Mask = Tuple[int, int]
 
-BACKENDS = ("compiled", "interpreted")
+BACKENDS = ("arena", "compiled", "interpreted")
 
 # Gates per generated function: bounds CPython compile time per chunk while
 # keeping the per-call dispatch overhead negligible.
@@ -45,7 +46,7 @@ _CHUNK_GATES = 1500
 
 def default_backend() -> str:
     """Session-wide default backend (``REPRO_SIM_BACKEND`` to override)."""
-    return os.environ.get("REPRO_SIM_BACKEND", "compiled")
+    return os.environ.get("REPRO_SIM_BACKEND", "arena")
 
 
 def resolve_backend(backend: Optional[str]) -> str:

@@ -59,52 +59,79 @@ def available_cores() -> int:
         return os.cpu_count() or 1
 
 
-def should_parallelize(jobs: int, num_faults: int, num_gates: int) -> bool:
-    """Is a fork worker pool worth it for this workload?
+def parallelize_decision(jobs: int, num_faults: int,
+                         num_gates: int) -> Tuple[bool, Optional[str]]:
+    """Is a fork worker pool worth it for this workload, and if not, why?
 
-    False when only one worker is available, when the platform cannot
-    fork (workers inherit netlists and compiled code by address-space
-    copy, not pickling), when the host has only one usable core (a pool
-    would timeshare it and lose), or when the workload sits below the
-    small-design thresholds where pool overhead exceeds the work.
+    Returns ``(False, reason)`` when only one worker is available, when
+    the platform cannot fork (workers inherit netlists and compiled code
+    by address-space copy, not pickling), when the host has only one
+    usable core (a pool would timeshare it and lose), or when the
+    workload sits below the small-design thresholds where pool overhead
+    exceeds the work.  The reason string is what bench rows and telemetry
+    record so a serial fallback is never mistaken for a parallel run.
     """
-    if jobs <= 1 or not hasattr(os, "fork"):
-        return False
+    if jobs <= 1:
+        return False, "jobs<=1"
+    if not hasattr(os, "fork"):
+        return False, "platform-cannot-fork"
     min_cores = _env_threshold("REPRO_PARALLEL_MIN_CORES",
                                MIN_PARALLEL_CORES)
-    if available_cores() < min_cores:
-        return False
+    cores = available_cores()
+    if cores < min_cores:
+        return False, f"cores={cores}<min_cores={min_cores}"
     min_faults = _env_threshold("REPRO_PARALLEL_MIN_FAULTS",
                                 MIN_PARALLEL_FAULTS)
+    if num_faults < min_faults:
+        return False, f"faults={num_faults}<min_faults={min_faults}"
     min_gates = _env_threshold("REPRO_PARALLEL_MIN_GATES",
                                MIN_PARALLEL_GATES)
-    return num_faults >= min_faults and num_gates >= min_gates
+    if num_gates < min_gates:
+        return False, f"gates={num_gates}<min_gates={min_gates}"
+    return True, None
+
+
+def should_parallelize(jobs: int, num_faults: int, num_gates: int) -> bool:
+    """Boolean form of :func:`parallelize_decision`."""
+    return parallelize_decision(jobs, num_faults, num_gates)[0]
 
 
 class FaultSimulator:
     """Simulates vector sequences against a fault list, lane-parallel.
 
-    ``backend="compiled"`` (default) runs the cone-partitioned simulation of
-    :mod:`repro.atpg.compiled`: one shared good-machine pass per cycle, each
-    fault block evaluating only the union of its faults' fanout cones, with
-    early exit once every lane has detected.  ``backend="interpreted"``
-    walks the full flat gate list per block — slower, kept as the reference
-    oracle.  Detected-fault sets are identical between the two.
+    ``backend="arena"`` (default) runs the struct-of-arrays word-parallel
+    simulation of :mod:`repro.atpg.arena`: one memoized good-machine pass,
+    a provably-exact undetectability filter, and cone-partitioned lane
+    blocks (generated or interpreted depending on workload size).
+    ``backend="compiled"`` runs the cone-partitioned simulation of
+    :mod:`repro.atpg.compiled`; ``backend="interpreted"`` walks the full
+    flat gate list per block — slowest, kept as the reference oracle.
+    Detected-fault sets are bit-identical across all three.
+
+    ``arena`` optionally supplies a pre-built (possibly unpickled)
+    :class:`~repro.atpg.arena.NetlistArena` so workers skip re-deriving
+    topology from the netlist object graph.
     """
 
     def __init__(self, netlist: Netlist, lanes: int = DEFAULT_LANES,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None, arena=None):
         if lanes < 2:
             raise ValueError("need at least two lanes (good + one fault)")
         self.netlist = netlist
         self.lanes = lanes
         self.backend = resolve_backend(backend)
         self._dffs = netlist.dffs()
-        if self.backend == "compiled":
+        self._compiled = None
+        self._arena_sim = None
+        self._flat = []
+        if self.backend == "arena":
+            from repro.atpg.arena import get_arena, get_arena_sim
+
+            self._arena_sim = get_arena_sim(
+                arena if arena is not None else get_arena(netlist))
+        elif self.backend == "compiled":
             self._compiled = get_compiled(netlist)
-            self._flat = []
         else:
-            self._compiled = None
             # Pre-extract (type, output, inputs) for the hot loop.
             self._flat = [(g.type, g.output, g.inputs)
                           for g in netlist.topological_order()]
@@ -126,7 +153,12 @@ class FaultSimulator:
         """
         from repro.obs import counter, progress
 
-        if self._compiled is not None:
+        if self._arena_sim is not None:
+            detected, blocks = self._arena_sim.detected_faults(
+                vectors, faults, initial_state=initial_state,
+                extra_observables=extra_observables, lanes=self.lanes,
+            )
+        elif self._compiled is not None:
             detected, blocks = compiled_detected_faults(
                 self._compiled, vectors, faults, initial_state,
                 extra_observables, self.lanes,
@@ -283,10 +315,11 @@ _POOL_STATE: Dict[str, object] = {}
 def _pool_init(netlist: Netlist, vectors: Sequence[Vector],
                initial_state: Optional[Mapping[int, int]],
                extra_observables: Optional[Sequence[int]],
-               lanes: int, backend: Optional[str]) -> None:
+               lanes: int, backend: Optional[str], arena=None) -> None:
     _POOL_STATE.update(
         netlist=netlist, vectors=vectors, initial_state=initial_state,
         extra_observables=extra_observables, lanes=lanes, backend=backend,
+        arena=arena,
     )
 
 
@@ -296,7 +329,8 @@ def _pool_detect(chunk: Sequence[Fault]) -> List[Fault]:
     set_reporter(None)  # a forked reporter would write the parent's pipe
     sim = FaultSimulator(_POOL_STATE["netlist"],
                          lanes=_POOL_STATE["lanes"],
-                         backend=_POOL_STATE["backend"])
+                         backend=_POOL_STATE["backend"],
+                         arena=_POOL_STATE.get("arena"))
     return sorted(sim.detected_faults(
         _POOL_STATE["vectors"], chunk,
         initial_state=_POOL_STATE["initial_state"],
@@ -324,7 +358,9 @@ def parallel_detected_faults(
     from repro.obs import counter, span
 
     workers = resolve_jobs(jobs)
-    if not should_parallelize(workers, len(faults), len(netlist.gates)):
+    go, reason = parallelize_decision(workers, len(faults),
+                                      len(netlist.gates))
+    if not go:
         counter("fault_sim.parallel.serial_fallbacks").inc()
         return FaultSimulator(netlist, lanes=lanes,
                               backend=backend).detected_faults(
@@ -334,11 +370,20 @@ def parallel_detected_faults(
     import multiprocessing
     from concurrent.futures import ProcessPoolExecutor
 
+    # Build the arena once, pre-fork: every worker inherits the flat
+    # picklable encoding by address-space copy instead of re-deriving
+    # topological orders and adjacency from the netlist object graph.
+    arena = None
+    if resolve_backend(backend) == "arena":
+        from repro.atpg.arena import get_arena
+
+        arena = get_arena(netlist)
+
     ordered = cone_pack_order(faults, site_rank_map(netlist))
     chunk = (len(ordered) + workers - 1) // workers
     chunks = [ordered[lo:lo + chunk] for lo in range(0, len(ordered), chunk)]
     _pool_init(netlist, vectors, initial_state, extra_observables, lanes,
-               backend)
+               backend, arena)
     counter("fault_sim.parallel.runs").inc()
     counter("fault_sim.parallel.workers").inc(len(chunks))
     detected: Set[Fault] = set()

@@ -44,7 +44,8 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 from repro.obs import MetricsRegistry, Span, counter, gauge, get_registry, \
     histogram, progress, set_reporter, wall_clock
 from repro.obs.trace import TraceContext
-from repro.atpg.compiled import cone_pack_order, site_rank_map
+from repro.atpg.compiled import (cone_pack_order, resolve_backend,
+                                 site_rank_map)
 from repro.atpg.engine import PodemCommitState, SequentialAtpg
 from repro.atpg.faults import Fault
 
@@ -427,6 +428,13 @@ def run_parallel_podem(seq: SequentialAtpg, commit: PodemCommitState,
     # them copy-on-write instead of rebuilding per process.
     for frames in seq.options.schedule():
         seq.model(frames)
+    # Likewise the netlist arena: cross-simulation inside each worker runs
+    # on the arena backend by default, and the flat picklable encoding is
+    # cheap to inherit but wasteful to re-derive per fork.
+    if resolve_backend(seq.options.fault_sim_backend) == "arena":
+        from repro.atpg.arena import get_arena
+
+        get_arena(seq.netlist)
     coordinator = _Coordinator(seq, commit, jobs, parent_span)
     if not coordinator.shards:
         return

@@ -59,9 +59,10 @@ class LogicSimulator:
     sequence must be applied to initialise it, exactly the situation a
     sequential ATPG tool faces.
 
-    ``backend`` selects the evaluation strategy: ``"compiled"`` (default)
-    runs code generated per netlist by :mod:`repro.atpg.compiled`,
-    ``"interpreted"`` walks the gate list — both produce identical values.
+    ``backend`` selects the evaluation strategy: ``"arena"`` (default) and
+    ``"compiled"`` both run code generated per netlist by
+    :mod:`repro.atpg.compiled` (the arena's good machine *is* that code),
+    ``"interpreted"`` walks the gate list — all produce identical values.
     """
 
     def __init__(self, netlist: Netlist, width: int = 1,
@@ -71,7 +72,7 @@ class LogicSimulator:
         self.full = (1 << width) - 1
         self.backend = resolve_backend(backend)
         self._dffs = netlist.dffs()
-        if self.backend == "compiled":
+        if self.backend in ("arena", "compiled"):
             self._compiled = get_compiled(netlist)
             self._order = self._compiled.order
         else:

@@ -26,8 +26,9 @@ Subcommands:
 - ``stats``        netlist statistics for the whole design (or one module),
 - ``piers``        list PI/PO-accessible registers,
 - ``bench``        differential simulation-backend benchmarks (interpreted
-                   vs compiled fault simulation plus an ATPG equivalence
-                   check); writes ``BENCH_*.json``, exits 1 on mismatch,
+                   vs compiled vs arena fault simulation plus an ATPG
+                   equivalence check); writes ``BENCH_*.json``, exits 1 on
+                   mismatch,
 - ``serve``        resident ATPG job server (queueing, admission control,
                    request coalescing, graceful drain; see docs/serving.md),
 - ``submit``       submit a job to a running server and (by default) wait;
@@ -145,8 +146,9 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-piers", action="store_true",
                        help="disable PIER pseudo PI/PO")
         p.add_argument("--seed", type=int, default=2002)
-        p.add_argument("--backend", choices=["compiled", "interpreted"],
-                       help="fault-simulation backend (default: compiled, "
+        p.add_argument("--backend",
+                       choices=["arena", "compiled", "interpreted"],
+                       help="fault-simulation backend (default: arena, "
                             "or REPRO_SIM_BACKEND)")
         if with_jobs:
             p.add_argument("--jobs", type=int,
@@ -346,7 +348,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--backtrack-limit", type=int, default=300)
     p_submit.add_argument("--seed", type=int, default=2002)
     p_submit.add_argument("--backend",
-                          choices=["compiled", "interpreted"])
+                          choices=["arena", "compiled", "interpreted"])
     p_submit.add_argument("--jobs", type=int,
                           help="atpg jobs: PODEM workers inside the job "
                                "(default: serial; 0 means all of the "

@@ -79,6 +79,11 @@ class Netlist:
         self.po_pairs: List[Tuple[int, str]] = []
         self._po_names: Dict[int, str] = {}
         self._driver: Dict[int, Gate] = {}
+        # Structural generation counter: bumped by every mutation that can
+        # change fanout or level results, invalidating the caches below.
+        self._generation = 0
+        self._fanouts_cache: Optional[Tuple[int, Dict[int, List[Gate]]]] = None
+        self._levels_cache: Optional[Tuple[int, Dict[int, int]]] = None
 
     # -- construction --------------------------------------------------------
 
@@ -90,6 +95,7 @@ class Netlist:
     def add_pi(self, name: str) -> int:
         net = self.new_net(name)
         self.pis.append(net)
+        self._generation += 1
         return net
 
     def add_po(self, net: int, name: str) -> None:
@@ -106,6 +112,7 @@ class Netlist:
         gate = Gate(type=gtype, output=out, inputs=tuple(inputs))
         self.gates.append(gate)
         self._driver[out] = gate
+        self._generation += 1
         return out
 
     def add_gate_to(self, gtype: GateType, output: int,
@@ -120,6 +127,7 @@ class Netlist:
         gate = Gate(type=gtype, output=output, inputs=tuple(inputs))
         self.gates.append(gate)
         self._driver[output] = gate
+        self._generation += 1
         return gate
 
     # -- queries -------------------------------------------------------------
@@ -142,11 +150,20 @@ class Netlist:
         return self._driver.get(net)
 
     def fanouts(self) -> Dict[int, List[Gate]]:
-        """Map net -> gates reading it (recomputed on each call)."""
+        """Map net -> gates reading it.
+
+        Cached against the structural generation counter (invalidated by
+        ``add_pi``/``add_gate``/``add_gate_to``); treat the returned dict
+        as read-only.
+        """
+        cached = self._fanouts_cache
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
         table: Dict[int, List[Gate]] = {}
         for gate in self.gates:
             for inp in gate.inputs:
                 table.setdefault(inp, []).append(gate)
+        self._fanouts_cache = (self._generation, table)
         return table
 
     def dffs(self) -> List[Gate]:
@@ -231,7 +248,15 @@ class Netlist:
     def levels(self, order: Optional[List[Gate]] = None) -> Dict[int, int]:
         """Combinational depth of each net within a frame: constants, PIs
         and flip-flop outputs sit at level 0, a gate output one above its
-        deepest input."""
+        deepest input.
+
+        The result is identical for every valid topological ``order``, so
+        it is cached against the structural generation counter; treat the
+        returned dict as read-only.
+        """
+        cached = self._levels_cache
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
         level: Dict[int, int] = {CONST0: 0, CONST1: 0}
         for pi in self.pis:
             level[pi] = 0
@@ -241,6 +266,7 @@ class Netlist:
             level[gate.output] = 1 + max(
                 (level.get(i, 0) for i in gate.inputs), default=0
             )
+        self._levels_cache = (self._generation, level)
         return level
 
     def levelized_order(self) -> List[Gate]:

@@ -243,8 +243,8 @@ def test_netvalues_mapping_behavior():
 
 def test_backend_env_default(monkeypatch):
     monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
-    assert default_backend() == "compiled"
-    assert resolve_backend(None) == "compiled"
+    assert default_backend() == "arena"
+    assert resolve_backend(None) == "arena"
     monkeypatch.setenv("REPRO_SIM_BACKEND", "interpreted")
     assert default_backend() == "interpreted"
     assert resolve_backend(None) == "interpreted"
