@@ -60,7 +60,7 @@ from typing import (Dict, Iterable, List, Mapping, Optional, Sequence, Set,
 from weakref import WeakKeyDictionary
 
 from repro.synth.netlist import Gate, GateType, Netlist
-from repro.atpg.faults import Fault
+from repro.atpg.faults import Fault, TransientFault
 
 Mask = Tuple[int, int]
 Vector = Mapping[int, int]
@@ -922,6 +922,213 @@ class ArenaFaultSim:
         counter("fault_sim.arena.lanes_filled").inc(filled)
         counter("fault_sim.arena.early_exits").inc(early)
         return detected, len(results)
+
+    # -- transient (SEU) faults ----------------------------------------------
+
+    def detected_transients(
+        self,
+        vectors: Sequence[Vector],
+        faults: Sequence[TransientFault],
+        initial_state: Optional[Mapping[int, int]] = None,
+        extra_observables: Optional[Sequence[int]] = None,
+        lanes: int = 512,
+    ) -> Tuple[Set[TransientFault], int]:
+        """Detected subset of single-cycle upsets plus lane blocks run.
+
+        Reuses the memoized good planes twice: as the undetectability
+        pre-filter (an upset forcing ``v`` at a (site, cycle) where the
+        good machine already carries ``v`` is the identity; where it
+        carries X the forced binary value is a Kleene refinement — either
+        way no binary-vs-binary difference can ever reach an observe
+        point, by the same monotonicity argument as the stuck-at filter,
+        so only sites whose good value is binary ``1-v`` at the flip
+        cycle survive) and as the boundary broadcast inside each lane
+        block.  Blocks are sorted flip-cycle first so each block starts
+        simulating at its earliest flip, with cone flip-flops seeded from
+        the good plane of the preceding cycle (faulty state equals good
+        state before the first injection).  Bit-identical to the
+        interpreted oracle.
+        """
+        from repro.obs import counter
+
+        if not faults:
+            return set(), 0
+        planes, _ever_o, _ever_z, _token = self._good_pass(vectors,
+                                                           initial_state)
+        arena = self.arena
+        obs_points: Set[int] = set(arena.pos)
+        if extra_observables:
+            obs_points.update(extra_observables)
+        obs_set = frozenset(obs_points)
+
+        ncyc = len(planes)
+        surv: List[TransientFault] = []
+        for f in faults:
+            if f.cycle >= ncyc:
+                continue
+            plane = planes[f.cycle]
+            i = 2 * f.net
+            if plane[i + 1] if f.value == 1 else plane[i]:
+                surv.append(f)
+        counter("fault_sim.arena.filtered_undetectable").inc(
+            len(faults) - len(surv))
+        detected: Set[TransientFault] = set()
+        if not surv:
+            return detected, 0
+
+        rank = arena.site_rank
+        nn = arena.num_nets
+        ordered = sorted(
+            surv,
+            key=lambda f: (f.cycle, rank[f.net] if f.net < nn else -1,
+                           f.net, f.value),
+        )
+        blocks = 0
+        filled = 0
+        early = 0
+        for start in range(0, len(ordered), lanes):
+            blk = ordered[start:start + lanes]
+            det, present = self._run_interp_transient_block(
+                blk, planes, initial_state, obs_set)
+            blocks += 1
+            filled += bin(present).count("1")
+            if det == present:
+                early += 1
+            while det:
+                li = (det & -det).bit_length() - 1
+                detected.add(blk[li])
+                det &= det - 1
+        counter("fault_sim.arena.passes").inc(blocks)
+        counter("fault_sim.arena.lanes_filled").inc(filled)
+        counter("fault_sim.arena.early_exits").inc(early)
+        return detected, blocks
+
+    def _run_interp_transient_block(
+        self, blk: Sequence[TransientFault], planes,
+        initial_state: Optional[Mapping[int, int]], obs_set: frozenset,
+    ):
+        """One interpreted lane block of single-cycle upsets.
+
+        Mirrors :meth:`_run_interp_block` with the injection masks gated
+        by flip cycle: fills and gate-output overrides are only live
+        during a lane's own cycle, so the lane tracks the good machine
+        before its flip and free-runs the disturbance afterwards.  Cycles
+        before the block's earliest flip are skipped entirely — every
+        lane still equals the good machine there, so nothing can detect
+        and the state is exactly the good state.
+        """
+        arena = self.arena
+        cone = arena.cone_of({f.net for f in blk})
+        shape = self._block_shape(blk, cone, obs_set)
+        lanes = shape["lanes"]
+        full = (1 << lanes) - 1
+        comb_out = shape["comb_out"]
+        fanin, fanin_off = arena.fanin, arena.fanin_off
+        gate_op, gate_out = arena.gate_op, arena.gate_out
+        dff_q, dff_d = arena.dff_q, arena.dff_d
+
+        # cycle -> 2*net -> (force1, force0) lane masks, split by whether
+        # the site is produced by a cone gate (inline) or filled (PI, Q,
+        # boundary broadcast).
+        fill_at: Dict[int, Dict[int, Mask]] = {}
+        inj_at: Dict[int, Dict[int, Mask]] = {}
+        for li, f in enumerate(blk):
+            per = (inj_at if f.net in comb_out else fill_at).setdefault(
+                f.cycle, {})
+            m1, m0 = per.get(2 * f.net, (0, 0))
+            if f.value == 1:
+                m1 |= 1 << li
+            else:
+                m0 |= 1 << li
+            per[2 * f.net] = (m1, m0)
+
+        prog = []
+        for gi in shape["cone_gis"]:
+            ins2 = tuple(2 * i for i in
+                         fanin[fanin_off[gi]:fanin_off[gi + 1]])
+            prog.append((gate_op[gi], 2 * gate_out[gi], ins2))
+        dffs = [(2 * dff_q[k], 2 * dff_d[k]) for k in shape["cone_dks"]]
+        bound2 = [2 * n for n in shape["bound"]]
+        obs2 = [2 * p for p in shape["obs"]]
+
+        cstart = blk[0].cycle  # blocks are flip-cycle sorted
+        v = [0] * (2 * arena.num_nets)
+        state: Dict[int, Mask] = {}
+        if cstart > 0:
+            prev = planes[cstart - 1]
+            for q2, d2 in dffs:
+                state[q2] = (full if prev[d2] else 0,
+                             full if prev[d2 + 1] else 0)
+        else:
+            for q2, _d2 in dffs:
+                if initial_state and q2 // 2 in initial_state:
+                    state[q2] = ((full, 0) if initial_state[q2 // 2]
+                                 else (0, full))
+                else:
+                    state[q2] = (0, 0)
+        det = 0
+        for cycle in range(cstart, len(planes)):
+            plane = planes[cycle]
+            fills = fill_at.get(cycle)
+            injs = inj_at.get(cycle)
+            for i in bound2:
+                v[i] = full if plane[i] else 0
+                v[i + 1] = full if plane[i + 1] else 0
+            for q2, _d2 in dffs:
+                o, z = state[q2]
+                v[q2] = o
+                v[q2 + 1] = z
+            if fills:
+                for i, (m1, m0) in fills.items():
+                    em = ~(m1 | m0)
+                    v[i] = (v[i] & em) | m1
+                    v[i + 1] = (v[i + 1] & em) | m0
+            for op, o2, ins2 in prog:
+                if op == OP_AND or op == OP_NAND:
+                    o, z = full, 0
+                    for i in ins2:
+                        o &= v[i]
+                        z |= v[i + 1]
+                    if op == OP_NAND:
+                        o, z = z, o
+                elif op == OP_OR or op == OP_NOR:
+                    o, z = 0, full
+                    for i in ins2:
+                        o |= v[i]
+                        z &= v[i + 1]
+                    if op == OP_NOR:
+                        o, z = z, o
+                elif op == OP_NOT:
+                    o = v[ins2[0] + 1]
+                    z = v[ins2[0]]
+                elif op == OP_BUF:
+                    o = v[ins2[0]]
+                    z = v[ins2[0] + 1]
+                else:  # XOR / XNOR n-ary fold
+                    o, z = 0, full
+                    for i in ins2:
+                        io, iz = v[i], v[i + 1]
+                        o, z = (o & iz) | (z & io), (o & io) | (z & iz)
+                    if op == OP_XNOR:
+                        o, z = z, o
+                if injs is not None:
+                    m = injs.get(o2)
+                    if m is not None:
+                        m1, m0 = m
+                        em = ~(m1 | m0)
+                        o = (o & em) | m1
+                        z = (z & em) | m0
+                v[o2] = o
+                v[o2 + 1] = z
+            for i in obs2:
+                if plane[i]:
+                    det |= v[i + 1]
+                elif plane[i + 1]:
+                    det |= v[i]
+            state = {q2: (v[d2], v[d2 + 1]) for q2, d2 in dffs}
+            if det == full:
+                break
+        return det, full
 
 
 _SIMS: "WeakKeyDictionary[NetlistArena, ArenaFaultSim]" = WeakKeyDictionary()

@@ -15,7 +15,8 @@ from repro.obs import CpuTimer, Deadline, counter, gauge, histogram, \
     progress, span
 from repro.obs.record import RunRecord
 from repro.synth.netlist import Netlist
-from repro.atpg.faults import Fault, build_fault_list
+from repro.atpg.faults import (Fault, TransientFault, build_fault_list,
+                               build_transient_fault_list)
 from repro.atpg.fault_sim import DEFAULT_LANES, FaultSimulator
 from repro.atpg.podem import Podem, PodemResult
 from repro.atpg.sequential import UnrolledModel
@@ -42,6 +43,17 @@ class AtpgOptions:
     pier_qs: frozenset = frozenset()
     fault_region: Optional[str] = None
     fault_sample: Optional[int] = None
+    # Which fault populations the run targets/grades.  "stuck" is the
+    # classic flow.  "both" additionally grades the generated test set
+    # against a seeded SEU population (single-cycle bit flips).  In
+    # "transient" mode the deterministic PODEM phase is skipped — only the
+    # random phase generates sequences, which are then graded against the
+    # SEU population; that is the cheap robustness-screening trial shape
+    # campaigns sweep against the full flow.
+    fault_model: str = "stuck"
+    # Seeded sample size of the SEU population (sites x values x cycles);
+    # None grades the full universe.
+    transient_sample: Optional[int] = 256
     fault_sim_lanes: int = DEFAULT_LANES
     # None defers to the session default (compiled unless REPRO_SIM_BACKEND
     # says otherwise); set "interpreted" to run against the reference oracle.
@@ -83,11 +95,16 @@ class AtpgReport:
     total_seconds: float
     num_tests: int
     num_vectors: int
+    # SEU grading phase (fault_model "transient"/"both"); all-zero when
+    # the run only targeted stuck-at faults.
+    transient_total: int = 0
+    transient_detected: int = 0
+    transient_coverage_percent: float = 0.0
     abort_reasons: Dict[str, int] = field(default_factory=dict)
     record: Optional[RunRecord] = field(default=None, repr=False)
 
     def as_row(self) -> Dict[str, object]:
-        return {
+        row = {
             "name": self.name,
             "faults": self.total_faults,
             "detected": self.detected,
@@ -98,6 +115,11 @@ class AtpgReport:
             "tests": self.num_tests,
             "vectors": self.num_vectors,
         }
+        if self.transient_total:
+            row["seu"] = self.transient_total
+            row["seu_detected"] = self.transient_detected
+            row["seu_cov%"] = round(self.transient_coverage_percent, 2)
+        return row
 
 
 class SequentialAtpg:
@@ -330,26 +352,57 @@ class AtpgEngine:
         seq = SequentialAtpg(self.netlist, opts)
         commit = PodemCommitState(self, faults, remaining, detected,
                                   fsim, fault_sim_timer, observe)
-        jobs = self._podem_jobs(opts, total)
-        self.parallel_workers = jobs if jobs > 1 else 0
-        with span("atpg.podem", workers=jobs) as sp_podem:
-            if jobs > 1:
-                from repro.atpg.parallel import run_parallel_podem
+        if opts.fault_model != "transient":
+            jobs = self._podem_jobs(opts, total)
+            self.parallel_workers = jobs if jobs > 1 else 0
+            with span("atpg.podem", workers=jobs) as sp_podem:
+                if jobs > 1:
+                    from repro.atpg.parallel import run_parallel_podem
 
-                run_parallel_podem(seq, commit, jobs, sp_podem)
-                self._offloaded_cpu_seconds = commit.test_gen_seconds
-            else:
-                for fault in faults:
-                    if fault not in remaining:
-                        continue
-                    if budget.expired():
-                        commit.mark_unattempted(fault)
-                        continue
-                    commit.commit(fault, seq.generate(fault))
-                    commit.emit_progress()
-            sp_podem.set("backtracks", commit.total_backtracks)
-            sp_podem.set("test_gen_seconds",
-                         round(commit.test_gen_seconds, 6))
+                    run_parallel_podem(seq, commit, jobs, sp_podem)
+                    self._offloaded_cpu_seconds = commit.test_gen_seconds
+                else:
+                    for fault in faults:
+                        if fault not in remaining:
+                            continue
+                        if budget.expired():
+                            commit.mark_unattempted(fault)
+                            continue
+                        commit.commit(fault, seq.generate(fault))
+                        commit.emit_progress()
+                sp_podem.set("backtracks", commit.total_backtracks)
+                sp_podem.set("test_gen_seconds",
+                             round(commit.test_gen_seconds, 6))
+
+        # -- phase 3: SEU grading of the generated test set ---------------
+        transient_total = transient_detected = 0
+        if opts.fault_model in ("transient", "both"):
+            with span("atpg.transient") as sp_tr:
+                horizon = max((len(v) for v, _ in self.tests),
+                              default=opts.random_sequence_length)
+                tfaults = build_transient_fault_list(
+                    self.netlist, horizon, region=opts.fault_region,
+                    sample=opts.transient_sample, seed=opts.seed)
+                transient_total = len(tfaults)
+                rem_t: Set[TransientFault] = set(tfaults)
+                for vectors, istate in self.tests:
+                    if not rem_t:
+                        break
+                    with fault_sim_timer:
+                        found = fsim.detected_faults(
+                            vectors, [f for f in tfaults if f in rem_t],
+                            initial_state=istate or None,
+                            extra_observables=observe,
+                        )
+                    rem_t -= found
+                transient_detected = transient_total - len(rem_t)
+                sp_tr.set("injections", transient_total)
+                sp_tr.set("detected", transient_detected)
+            counter("atpg.transient.injections").inc(transient_total)
+            counter("atpg.transient.detected").inc(transient_detected)
+            progress("atpg.transient", force=True,
+                     injections=transient_total,
+                     detected=transient_detected)
 
         untestable, aborted = commit.untestable, commit.aborted
         abort_reasons = commit.abort_reasons
@@ -385,6 +438,13 @@ class AtpgEngine:
             total_seconds=0.0,  # patched from the "atpg" span by run()
             num_tests=len(self.tests),
             num_vectors=sum(len(v) for v, _ in self.tests),
+            transient_total=transient_total,
+            transient_detected=transient_detected,
+            transient_coverage_percent=(
+                100.0 * transient_detected / transient_total
+                if transient_total
+                else (100.0 if opts.fault_model != "stuck" else 0.0)
+            ),
             abort_reasons=abort_reasons,
         )
 

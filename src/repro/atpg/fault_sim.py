@@ -19,7 +19,7 @@ from repro.synth.netlist import CONST0, CONST1, GateType, Netlist
 from repro.atpg.compiled import (compiled_detected_faults, cone_pack_order,
                                  get_compiled, resolve_backend,
                                  site_rank_map)
-from repro.atpg.faults import Fault
+from repro.atpg.faults import Fault, TransientFault
 
 Vector = Mapping[int, int]  # PI net -> 0 or 1 (missing = X)
 
@@ -153,26 +153,42 @@ class FaultSimulator:
         """
         from repro.obs import counter, progress
 
-        if self._arena_sim is not None:
-            detected, blocks = self._arena_sim.detected_faults(
-                vectors, faults, initial_state=initial_state,
-                extra_observables=extra_observables, lanes=self.lanes,
-            )
-        elif self._compiled is not None:
-            detected, blocks = compiled_detected_faults(
-                self._compiled, vectors, faults, initial_state,
-                extra_observables, self.lanes,
-            )
-        else:
-            detected = set()
-            block_size = self.lanes - 1
-            blocks = 0
-            for start in range(0, len(faults), block_size):
-                block = faults[start : start + block_size]
-                blocks += 1
-                detected |= self._simulate_block(vectors, block,
+        stuck = [f for f in faults if not isinstance(f, TransientFault)]
+        transients = [f for f in faults if isinstance(f, TransientFault)]
+
+        blocks = 0
+        detected: Set[Fault] = set()
+        if stuck:
+            if self._arena_sim is not None:
+                found, nblk = self._arena_sim.detected_faults(
+                    vectors, stuck, initial_state=initial_state,
+                    extra_observables=extra_observables, lanes=self.lanes,
+                )
+            elif self._compiled is not None:
+                found, nblk = compiled_detected_faults(
+                    self._compiled, vectors, stuck, initial_state,
+                    extra_observables, self.lanes,
+                )
+            else:
+                found = set()
+                block_size = self.lanes - 1
+                nblk = 0
+                for start in range(0, len(stuck), block_size):
+                    block = stuck[start : start + block_size]
+                    nblk += 1
+                    found |= self._simulate_block(vectors, block,
                                                  initial_state,
                                                  extra_observables)
+            detected |= found
+            blocks += nblk
+
+        if transients:
+            found, nblk = self._detect_transients(vectors, transients,
+                                                  initial_state,
+                                                  extra_observables)
+            detected |= found
+            blocks += nblk
+            counter("fault_sim.seu_injections").inc(len(transients))
         counter(f"fault_sim.backend.{self.backend}").inc()
         counter("fault_sim.calls").inc()
         counter("fault_sim.blocks").inc(blocks)
@@ -294,6 +310,168 @@ class FaultSimulator:
             }
 
         out: Set[Fault] = set()
+        for lane, fault in enumerate(block, start=1):
+            if detected_mask & (1 << lane):
+                out.add(fault)
+        return out
+
+    # -- transient (SEU) faults --------------------------------------------
+
+    def _detect_transients(self, vectors: Sequence[Vector],
+                           transients: Sequence[TransientFault],
+                           initial_state: Optional[Mapping[int, int]],
+                           extra_observables: Optional[Sequence[int]]
+                           ) -> Tuple[Set[TransientFault], int]:
+        """Dispatch transient faults to the backend-appropriate path.
+
+        The arena backend gets its own word-parallel implementation with
+        the good-plane pre-filter; compiled and interpreted both run the
+        flat cycle-gated lane loop below (the compiled cone partitioning
+        gains nothing on one-shot transient populations), which keeps the
+        interpreted oracle and the compiled backend trivially identical.
+        """
+        if self._arena_sim is not None:
+            return self._arena_sim.detected_transients(
+                vectors, transients, initial_state=initial_state,
+                extra_observables=extra_observables, lanes=self.lanes,
+            )
+        self._ensure_flat()
+        detected: Set[TransientFault] = set()
+        block_size = self.lanes - 1
+        blocks = 0
+        for start in range(0, len(transients), block_size):
+            block = transients[start : start + block_size]
+            blocks += 1
+            detected |= self._simulate_transient_block(
+                vectors, block, initial_state, extra_observables)
+        return detected, blocks
+
+    def _ensure_flat(self) -> None:
+        if not self._flat:
+            self._flat = [(g.type, g.output, g.inputs)
+                          for g in self.netlist.topological_order()]
+
+    def _simulate_transient_block(
+        self, vectors: Sequence[Vector],
+        block: Sequence[TransientFault],
+        initial_state: Optional[Mapping[int, int]] = None,
+        extra_observables: Optional[Sequence[int]] = None,
+    ) -> Set[TransientFault]:
+        """Lane-parallel simulation of one block of single-cycle upsets.
+
+        Identical to :meth:`_simulate_block` except the injection masks
+        are gated by cycle: a lane's force is only live during its
+        fault's flip cycle, so before the flip the lane tracks the good
+        machine exactly and after it the disturbance propagates (or dies)
+        on its own.
+        """
+        width = len(block) + 1  # lane 0 = good machine
+        full = (1 << width) - 1
+
+        # cycle -> net -> lane mask, split by forced value
+        cyc1: Dict[int, Dict[int, int]] = {}
+        cyc0: Dict[int, Dict[int, int]] = {}
+        for lane, fault in enumerate(block, start=1):
+            per = (cyc1 if fault.value == 1 else cyc0).setdefault(
+                fault.cycle, {})
+            per[fault.net] = per.get(fault.net, 0) | (1 << lane)
+
+        state: Dict[int, Tuple[int, int]] = {
+            dff.output: (0, 0) for dff in self._dffs
+        }
+        if initial_state:
+            for q, bit in initial_state.items():
+                state[q] = (full, 0) if bit else (0, full)
+        observe_points = list(self.netlist.pos)
+        if extra_observables:
+            observe_points.extend(extra_observables)
+        detected_mask = 0
+
+        AND, OR, NOT, BUF = GateType.AND, GateType.OR, GateType.NOT, GateType.BUF
+        NAND, NOR, XOR, XNOR = (GateType.NAND, GateType.NOR, GateType.XOR,
+                                GateType.XNOR)
+
+        for cycle, vec in enumerate(vectors):
+            force1 = cyc1.get(cycle) or {}
+            force0 = cyc0.get(cycle) or {}
+            has_injection = bool(force1 or force0)
+
+            def inject(net: int, ones: int, zeros: int) -> Tuple[int, int]:
+                f1 = force1.get(net)
+                if f1:
+                    ones |= f1
+                    zeros &= ~f1
+                f0 = force0.get(net)
+                if f0:
+                    zeros |= f0
+                    ones &= ~f0
+                return ones, zeros
+
+            values: Dict[int, Tuple[int, int]] = {
+                CONST0: (0, full), CONST1: (full, 0)
+            }
+            for pi in self.netlist.pis:
+                bit = vec.get(pi)
+                if bit is None:
+                    pair = (0, 0)
+                elif bit:
+                    pair = (full, 0)
+                else:
+                    pair = (0, full)
+                values[pi] = inject(pi, *pair) if has_injection else pair
+            for dff in self._dffs:
+                q = dff.output
+                pair = state.get(q, (0, 0))
+                values[q] = inject(q, *pair) if has_injection else pair
+
+            get = values.get
+            for gtype, out, inputs in self._flat:
+                if gtype is BUF:
+                    ones, zeros = get(inputs[0], (0, 0))
+                elif gtype is NOT:
+                    i1, i0 = get(inputs[0], (0, 0))
+                    ones, zeros = i0, i1
+                elif gtype is AND or gtype is NAND:
+                    ones, zeros = full, 0
+                    for inp in inputs:
+                        i1, i0 = get(inp, (0, 0))
+                        ones &= i1
+                        zeros |= i0
+                    if gtype is NAND:
+                        ones, zeros = zeros, ones
+                elif gtype is OR or gtype is NOR:
+                    ones, zeros = 0, full
+                    for inp in inputs:
+                        i1, i0 = get(inp, (0, 0))
+                        ones |= i1
+                        zeros &= i0
+                    if gtype is NOR:
+                        ones, zeros = zeros, ones
+                else:  # XOR / XNOR
+                    ones, zeros = 0, full
+                    for inp in inputs:
+                        i1, i0 = get(inp, (0, 0))
+                        ones, zeros = (ones & i0) | (zeros & i1), \
+                                      (ones & i1) | (zeros & i0)
+                    if gtype is XNOR:
+                        ones, zeros = zeros, ones
+                if has_injection:
+                    ones, zeros = inject(out, ones, zeros)
+                values[out] = (ones, zeros)
+
+            for po in observe_points:
+                ones, zeros = values.get(po, (0, 0))
+                if ones & 1:  # good machine observes 1
+                    detected_mask |= zeros & ~1
+                elif zeros & 1:  # good machine observes 0
+                    detected_mask |= ones & ~1
+
+            state = {
+                dff.output: values.get(dff.inputs[0], (0, 0))
+                for dff in self._dffs
+            }
+
+        out: Set[TransientFault] = set()
         for lane, fault in enumerate(block, start=1):
             if detected_mask & (1 << lane):
                 out.add(fault)

@@ -13,10 +13,16 @@ the classical structural equivalences along fanout-free connections:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.synth.netlist import CONST1, GateType, Netlist
+
+#: Fault-model selector values accepted by the engine, the job protocol
+#: and the campaign layer: permanent stuck-at faults, transient SEU
+#: bit-flips, or the union of both populations.
+FAULT_MODELS = ("stuck", "transient", "both")
 
 
 @dataclass(frozen=True, order=True)
@@ -28,6 +34,25 @@ class Fault:
 
     def describe(self, netlist: Netlist) -> str:
         return f"{netlist.net_name(self.net)} stuck-at-{self.value}"
+
+
+@dataclass(frozen=True, order=True)
+class TransientFault:
+    """SEU model: net ``net`` forced to ``value`` during cycle ``cycle``.
+
+    Unlike a stuck-at fault the upset is active for exactly one clock
+    cycle; before and after it the machine follows the good circuit, so
+    the fault is only observable if the one-cycle disturbance propagates
+    to an observe point (possibly through state) before it dies out.
+    """
+
+    net: int
+    value: int
+    cycle: int
+
+    def describe(self, netlist: Netlist) -> str:
+        return (f"{netlist.net_name(self.net)} flipped-to-{self.value} "
+                f"@cycle {self.cycle}")
 
 
 def all_fault_sites(netlist: Netlist) -> List[int]:
@@ -88,6 +113,46 @@ def build_fault_list(netlist: Netlist, region: Optional[str] = None,
                     faults.discard(Fault(inp, 1))
 
     return sorted(faults)
+
+
+def build_transient_fault_list(netlist: Netlist, num_cycles: int,
+                               region: Optional[str] = None,
+                               sample: Optional[int] = None,
+                               seed: int = 2002) -> List[TransientFault]:
+    """Deterministic SEU fault population over a ``num_cycles`` window.
+
+    The full universe is ``sites x {0,1} x cycles``; when ``sample`` is
+    given, a seeded uniform sample (without replacement) of that many
+    upsets is drawn so campaign trials with the same seed always inject
+    the exact same flips.  The returned list is sorted, which together
+    with the seeded draw makes the schedule reproducible byte-for-byte.
+    """
+    if num_cycles <= 0:
+        return []
+    sites = all_fault_sites(netlist)
+    if region is not None:
+        regions = getattr(netlist, "regions", {})
+        sites = [n for n in sites if regions.get(n, "").startswith(region)]
+
+    universe = len(sites) * 2 * num_cycles
+    if sample is None or sample >= universe:
+        return sorted(TransientFault(net, value, cycle)
+                      for net in sites
+                      for value in (0, 1)
+                      for cycle in range(num_cycles))
+
+    # Index the universe as site-major/value/cycle and sample indices so
+    # huge universes never materialize: index = (site_i * 2 + value) *
+    # num_cycles + cycle.
+    rng = random.Random(seed)
+    picked = rng.sample(range(universe), sample)
+    out = []
+    for idx in picked:
+        cycle = idx % num_cycles
+        rest = idx // num_cycles
+        value = rest % 2
+        out.append(TransientFault(sites[rest // 2], value, cycle))
+    return sorted(out)
 
 
 def fault_universe_size(netlist: Netlist,

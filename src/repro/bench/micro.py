@@ -399,11 +399,103 @@ def warm_pipeline_rows(quick: bool = False,
     return rows
 
 
-#: Suites run by a bare ``repro bench``.  The serve suite is opt-in
-#: (``--suite serve`` / ``--suite all``): it boots a server subprocess
-#: with its own worker pool, which is too heavy for the default smoke.
+def transient_sim_rows(quick: bool = False,
+                       seed: int = 2002) -> List[Dict[str, object]]:
+    """Differential SEU (transient bit-flip) fault simulation rows.
+
+    The same seeded (vector sequence, transient fault sample) workload
+    through the interpreted reference and the arena lane-block backend;
+    the detected sets must be bit-identical.  The transient universe is
+    sites x {0,1} x cycles, so the sample is drawn per design from the
+    same seed both backends see.
+    """
+    from repro.atpg.faults import build_transient_fault_list
+
+    designs = ["arm_alu"] if quick else ["arm_alu", "arm2"]
+    cycles = 8 if quick else 16
+    sample = 128 if quick else 512
+    rows: List[Dict[str, object]] = []
+    for name in designs:
+        netlist = _bench_netlist(name)
+        vectors = random_vectors(netlist, cycles, seed)
+        faults = build_transient_fault_list(netlist, cycles,
+                                            sample=sample, seed=seed)
+        interp, interp_s = _timed_detect(netlist, "interpreted",
+                                         vectors, faults)
+        arena, arena_s = _timed_detect(netlist, "arena", vectors, faults)
+        match = interp == arena
+        if not match:
+            _LOG.error("transient_sim.mismatch", design=name,
+                       interpreted=len(interp), arena=len(arena))
+        rows.append({
+            "design": name,
+            "faults": len(faults),
+            "cycles": cycles,
+            "interp_s": round(interp_s, 3),
+            "arena_s": round(arena_s, 3),
+            "interp_kfv_s": round(_kfvs(len(faults), cycles, interp_s), 1),
+            "arena_kfv_s": round(_kfvs(len(faults), cycles, arena_s), 1),
+            "speedup_x": round(interp_s / max(arena_s, 1e-9), 2),
+            "detected": len(arena),
+            "match": match,
+        })
+    return rows
+
+
+def campaign_rows(quick: bool = False,
+                  seed: int = 2002) -> List[Dict[str, object]]:
+    """SEU differential rows plus one tiny local factorial campaign.
+
+    The campaign row runs a 4-point, random-phase-only transient sweep
+    on the bundled arm2 through :class:`CampaignRunner`'s local path
+    (the serve worker entry point), so the bench covers spec -> design
+    -> trials -> trial DB -> fitted report end to end.  ``match``
+    asserts every trial succeeded and the report fitted every factor.
+    """
+    from repro.campaign import CampaignRunner, CampaignSpec
+
+    rows = transient_sim_rows(quick=quick, seed=seed)
+    spec = CampaignSpec.from_dict({
+        "name": f"bench-campaign-{'quick' if quick else 'full'}",
+        "design": "arm2",
+        "mut": "arm_alu",
+        "mode": "factorial",
+        "seed": seed,
+        "max_trials": 4,
+        "base": {"frames": 1, "fault_model": "transient",
+                 "backtrack_limit": 10},
+        "factors": {
+            "random_length": [4, 8] if quick else [8, 16],
+            "transient_sample": [16, 32] if quick else [64, 128],
+        },
+    })
+    with span("bench.campaign", campaign=spec.name) as sp:
+        summary = CampaignRunner(spec, local=True).run()
+    factorial = summary.get("factorial", {})
+    report = summary.get("report", {})
+    match = (factorial.get("failed", 1) == 0
+             and report.get("trials", 0) == factorial.get("trials")
+             and len(report.get("effects") or []) == len(spec.factors))
+    if not match:
+        _LOG.error("campaign.bench_mismatch", summary=summary)
+    rows.append({
+        "design": "arm2/arm_alu (campaign)",
+        "faults": summary.get("trials", 0),
+        "detected": factorial.get("trials", 0) - factorial.get("failed", 0),
+        "wall_s": round(sp.wall_seconds, 3),
+        "speedup_x": 1.0,
+        "match": match,
+    })
+    return rows
+
+
+#: Suites run by a bare ``repro bench``.  The serve and campaign suites
+#: are opt-in (``--suite serve`` / ``--suite campaign`` / ``--suite
+#: all``): serve boots a server subprocess with its own worker pool, and
+#: campaign runs end-to-end pipeline trials — both too heavy for the
+#: default smoke.
 DEFAULT_SUITES = ("fault_sim", "atpg", "warm_pipeline")
-ALL_SUITES = DEFAULT_SUITES + ("serve",)
+ALL_SUITES = DEFAULT_SUITES + ("serve", "campaign")
 
 
 def run_bench(out_dir: str = "benchmarks/results", quick: bool = False,
@@ -439,6 +531,10 @@ def run_bench(out_dir: str = "benchmarks/results", quick: bool = False,
         "serve": (
             "Job server: cold/warm/coalesced latency and throughput",
             lambda: serve_rows(quick=quick, seed=seed, jobs=jobs)),
+        "campaign": (
+            "SEU transient fault sim (interpreted vs arena) + "
+            "local factorial campaign",
+            lambda: campaign_rows(quick=quick, seed=seed)),
     }
     for key in selected:
         title, build = catalogue[key]

@@ -1,0 +1,83 @@
+"""Append-only trial database under the cache directory.
+
+One JSONL file per campaign
+(``<cache>/campaigns/<name>/trials.jsonl``): every executed, coalesced
+or warm-served trial appends one row, so ``repro campaign status`` and
+``report`` work offline, across re-runs, and while a campaign is still
+in flight.  Rows are plain JSON dicts; unreadable lines are skipped on
+read (a crashed writer can at worst truncate the final line).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List
+
+from repro.store import default_cache_dir
+
+
+def campaign_dir(name: str) -> str:
+    """Directory holding one campaign's trial DB and artifacts."""
+    return os.path.join(default_cache_dir(), "campaigns", name)
+
+
+class TrialDB:
+    """Append-only JSONL trial log."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    @classmethod
+    def for_campaign(cls, name: str) -> "TrialDB":
+        return cls(os.path.join(campaign_dir(name), "trials.jsonl"))
+
+    def append(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Append one trial row (stamped with a wall-clock ``ts``)."""
+        row = dict(row)
+        row.setdefault("ts", time.time())
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+        return row
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Every parseable row, in append order."""
+        out: List[Dict[str, Any]] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        row = json.loads(line)
+                    except ValueError:
+                        continue  # torn final line of a crashed writer
+                    if isinstance(row, dict):
+                        out.append(row)
+        except OSError:
+            return []
+        return out
+
+    def summary(self) -> Dict[str, Any]:
+        """Status row for ``repro campaign status``."""
+        rows = self.rows()
+        phases: Dict[str, int] = {}
+        failed = 0
+        coalesced = 0
+        for row in rows:
+            phases[row.get("phase", "?")] = \
+                phases.get(row.get("phase", "?"), 0) + 1
+            if row.get("error"):
+                failed += 1
+            if row.get("served_from") in ("coalesced", "store", "cache"):
+                coalesced += 1
+        return {
+            "path": self.path,
+            "trials": len(rows),
+            "phases": phases,
+            "failed": failed,
+            "coalesced": coalesced,
+        }

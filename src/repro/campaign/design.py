@@ -1,0 +1,140 @@
+"""Fractional-factorial design builder.
+
+For an all-two-level factor space this builds classical
+:math:`2^{k-p}` regular fractions: the first :math:`b` factors span a
+full :math:`2^b` base design, and each remaining factor is aliased onto
+a distinct interaction (product) column of the base factors.  Every
+generated fraction is therefore an orthogonal array of strength two —
+each column is *balanced* (levels appear equally often) and every
+column pair is *orthogonal* (all four sign combinations appear equally
+often) — which is exactly what the main-effect regression in
+:mod:`repro.campaign.model` needs to keep factor-effect estimates
+unconfounded.
+
+Factor spaces with more than two levels per factor fall back to the
+full cross product; if that exceeds ``max_trials`` a seeded uniform
+subsample is drawn instead (documented as unbalanced — the report
+flags it).
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def two_level_fraction(k: int, runs: int) -> List[Tuple[int, ...]]:
+    """A regular :math:`2^{k-p}` fraction as rows of ±1.
+
+    ``runs`` must be a power of two with ``2**ceil(log2(k+1)) <= runs <=
+    2**k`` — enough product columns must exist for the ``k - log2(runs)``
+    aliased factors.  Returns ``runs`` rows of ``k`` signs each.
+    """
+    if runs < 2 or runs & (runs - 1):
+        raise ValueError(f"runs must be a power of two, got {runs}")
+    b = runs.bit_length() - 1
+    if b > k:
+        raise ValueError(f"runs=2^{b} exceeds the full factorial 2^{k}")
+    extra = k - b
+    # Generator columns: non-empty subsets of the base factors of size
+    # >= 2, smallest interactions first (highest resolution available at
+    # this size), in deterministic order.
+    subsets = [s for r in range(2, b + 1)
+               for s in combinations(range(b), r)]
+    if extra > len(subsets):
+        raise ValueError(
+            f"cannot alias {extra} factors onto {b} base factors "
+            f"(only {len(subsets)} product columns exist); "
+            f"needs runs >= {2 ** _min_base(k)}")
+    generators = subsets[:extra]
+    rows: List[Tuple[int, ...]] = []
+    for r in range(runs):
+        base = [1 if (r >> i) & 1 else -1 for i in range(b)]
+        signs = list(base)
+        for subset in generators:
+            sign = 1
+            for i in subset:
+                sign *= base[i]
+            signs.append(sign)
+        rows.append(tuple(signs))
+    return rows
+
+
+def _min_base(k: int) -> int:
+    """Smallest base-factor count whose product columns fit k factors."""
+    b = 1
+    while (2 ** b - b - 1) < (k - b):
+        b += 1
+    return b
+
+
+def build_design(factors: Dict[str, List[Any]],
+                 max_trials: Optional[int] = None,
+                 seed: int = 2002) -> List[Dict[str, Any]]:
+    """Trial configurations covering the factor space.
+
+    All-two-level spaces get a balanced/orthogonal regular fraction (the
+    smallest power of two within ``max_trials`` that can still host every
+    factor; the full factorial when it fits).  Mixed-level spaces get the
+    full cross product, seeded-subsampled when over the cap.  The result
+    is deterministic in (factors, max_trials, seed).
+    """
+    names = list(factors)
+    levels = [factors[name] for name in names]
+    if not names:
+        return []
+    full = 1
+    for lv in levels:
+        full *= len(lv)
+
+    if all(len(lv) == 2 for lv in levels):
+        k = len(names)
+        runs = 2 ** k
+        if max_trials is not None and runs > max_trials:
+            b = max_trials.bit_length() - 1  # floor(log2(max_trials))
+            runs = 2 ** max(b, _min_base(k))
+        rows = two_level_fraction(k, runs)
+        return [
+            {name: factors[name][0 if sign < 0 else 1]
+             for name, sign in zip(names, row)}
+            for row in rows
+        ]
+
+    # Mixed-level fallback: full cross product in odometer order.
+    configs: List[Dict[str, Any]] = []
+    idx = [0] * len(names)
+    for _ in range(full):
+        configs.append({name: levels[i][idx[i]]
+                        for i, name in enumerate(names)})
+        for i in range(len(names) - 1, -1, -1):
+            idx[i] += 1
+            if idx[i] < len(levels[i]):
+                break
+            idx[i] = 0
+    if max_trials is not None and len(configs) > max_trials:
+        rng = random.Random(seed)
+        picked = sorted(rng.sample(range(len(configs)), max_trials))
+        configs = [configs[i] for i in picked]
+    return configs
+
+
+def design_matrix(configs: Sequence[Dict[str, Any]],
+                  factors: Dict[str, List[Any]]) -> List[List[float]]:
+    """±1 (or evenly spaced, for >2 levels) coded matrix of ``configs``.
+
+    Column order follows ``factors``; used by the balance/orthogonality
+    tests and by the regression model's coding.
+    """
+    return [
+        [code_level(cfg[name], factors[name]) for name in factors]
+        for cfg in configs
+    ]
+
+
+def code_level(value: Any, levels: Sequence[Any]) -> float:
+    """Map a factor level onto [-1, +1] by its position in ``levels``."""
+    index = levels.index(value)
+    if len(levels) == 1:
+        return 0.0
+    return -1.0 + 2.0 * index / (len(levels) - 1)

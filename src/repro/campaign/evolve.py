@@ -1,0 +1,151 @@
+"""Seeded evolutionary design-space exploration.
+
+A compact generational GA over the factor space: configurations are
+tuples of level indices, fitness is whatever the caller's batch
+evaluator returns (the campaign runner uses coverage per CPU second).
+Tournament selection, uniform crossover, per-gene mutation, and
+elitism — the elite carry-over makes the best-so-far fitness monotone
+non-decreasing across generations, which the test suite asserts on a
+seeded toy space.
+
+Evaluation is batched per generation (``evaluate_many`` receives every
+*new* configuration of the generation at once) so the campaign runner
+can submit whole generations to the job server in one batch and let
+request-fingerprint coalescing deduplicate re-visited points; an
+in-memory fitness cache prevents re-submitting configurations this
+search has already scored.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+Genome = Tuple[int, ...]
+
+
+@dataclass
+class EvolveResult:
+    best_config: Dict[str, Any]
+    best_fitness: float
+    #: best-so-far fitness after each generation (monotone by elitism)
+    history: List[float] = field(default_factory=list)
+    evaluations: int = 0
+    generations: int = 0
+
+
+class EvolutionaryDSE:
+    """Generational GA over a named, discrete factor space."""
+
+    def __init__(self, factors: Dict[str, List[Any]],
+                 evaluate_many: Callable[[List[Dict[str, Any]]],
+                                         Sequence[float]],
+                 population: int = 8, generations: int = 4,
+                 tournament: int = 2, mutation_rate: float = 0.25,
+                 elite: int = 1, seed: int = 2002):
+        if population < 2:
+            raise ValueError("population must be >= 2")
+        if not 0 <= elite < population:
+            raise ValueError("elite must be in [0, population)")
+        self.names = list(factors)
+        self.levels = [list(factors[name]) for name in self.names]
+        self.evaluate_many = evaluate_many
+        self.population = population
+        self.generations = generations
+        self.tournament = max(1, tournament)
+        self.mutation_rate = mutation_rate
+        self.elite = elite
+        self.rng = random.Random(seed)
+        self._fitness: Dict[Genome, float] = {}
+
+    # -- genome plumbing ---------------------------------------------------
+
+    def decode(self, genome: Genome) -> Dict[str, Any]:
+        return {name: self.levels[i][gi]
+                for i, (name, gi) in enumerate(zip(self.names, genome))}
+
+    def _random_genome(self) -> Genome:
+        return tuple(self.rng.randrange(len(lv)) for lv in self.levels)
+
+    def _mutate(self, genome: Genome) -> Genome:
+        out = list(genome)
+        for i, lv in enumerate(self.levels):
+            if len(lv) > 1 and self.rng.random() < self.mutation_rate:
+                # Draw from the *other* levels so a mutation always moves.
+                shift = self.rng.randrange(1, len(lv))
+                out[i] = (out[i] + shift) % len(lv)
+        return tuple(out)
+
+    def _crossover(self, a: Genome, b: Genome) -> Genome:
+        return tuple(x if self.rng.random() < 0.5 else y
+                     for x, y in zip(a, b))
+
+    def _select(self, scored: List[Tuple[Genome, float]]) -> Genome:
+        pick = max(self.rng.choices(scored, k=self.tournament),
+                   key=lambda gs: gs[1])
+        return pick[0]
+
+    # -- the loop ----------------------------------------------------------
+
+    def _score(self, genomes: List[Genome]) -> None:
+        """Batch-evaluate every not-yet-scored genome."""
+        fresh = []
+        seen = set()
+        for g in genomes:
+            if g not in self._fitness and g not in seen:
+                fresh.append(g)
+                seen.add(g)
+        if not fresh:
+            return
+        fitnesses = self.evaluate_many([self.decode(g) for g in fresh])
+        if len(fitnesses) != len(fresh):
+            raise RuntimeError(
+                f"evaluator returned {len(fitnesses)} fitnesses for "
+                f"{len(fresh)} configurations")
+        for g, f in zip(fresh, fitnesses):
+            self._fitness[g] = float(f)
+
+    def run(self) -> EvolveResult:
+        from repro.obs import counter, progress
+
+        pop: List[Genome] = []
+        seen = set()
+        while len(pop) < self.population:
+            g = self._random_genome()
+            if g not in seen or len(seen) >= self._space_size():
+                pop.append(g)
+                seen.add(g)
+        history: List[float] = []
+        for gen in range(self.generations):
+            self._score(pop)
+            scored = sorted(
+                ((g, self._fitness[g]) for g in pop),
+                key=lambda gs: gs[1], reverse=True)
+            history.append(scored[0][1])
+            counter("campaign.generations").inc()
+            progress("campaign.evolve", generation=gen + 1,
+                     best=round(scored[0][1], 4),
+                     evaluated=len(self._fitness))
+            if gen == self.generations - 1:
+                break
+            next_pop = [g for g, _f in scored[:self.elite]]
+            while len(next_pop) < self.population:
+                child = self._crossover(self._select(scored),
+                                        self._select(scored))
+                next_pop.append(self._mutate(child))
+            pop = next_pop
+        best = max(self._fitness.items(), key=lambda gf: gf[1])
+        return EvolveResult(
+            best_config=self.decode(best[0]),
+            best_fitness=best[1],
+            history=history,
+            evaluations=len(self._fitness),
+            generations=len(history),
+        )
+
+    def _space_size(self) -> int:
+        size = 1
+        for lv in self.levels:
+            size *= len(lv)
+        return size

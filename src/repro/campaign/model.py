@@ -1,0 +1,183 @@
+"""Pure-python least-squares factor-effect model.
+
+Fits two linear responses over the coded factor space of a campaign's
+trial rows — the coverage score and the CPU cost — and reports one
+effect estimate per factor for each.  With the balanced/orthogonal
+fractions of :mod:`repro.campaign.design` the main-effect estimates are
+unconfounded; the solver itself is plain normal equations with
+Gaussian elimination (partial pivoting, zero pivots resolve to a zero
+coefficient so degenerate designs degrade instead of crashing).
+
+An *effect* here is the regression coefficient on the [-1, +1] coding:
+half the predicted response swing from a factor's low level to its
+high level, holding the others fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.campaign.design import code_level
+
+
+def solve_least_squares(rows: Sequence[Sequence[float]],
+                        y: Sequence[float]) -> List[float]:
+    """Coefficients minimizing ``||rows @ beta - y||`` (normal equations).
+
+    Rank-deficient systems get zero coefficients on the dead columns
+    rather than raising — campaigns with an accidentally-constant factor
+    still produce a report.
+    """
+    n = len(rows[0]) if rows else 0
+    # A = X^T X, b = X^T y
+    a = [[sum(r[i] * r[j] for r in rows) for j in range(n)]
+         for i in range(n)]
+    b = [sum(r[i] * yi for r, yi in zip(rows, y)) for i in range(n)]
+    # Gaussian elimination with partial pivoting.
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(a[r][col]))
+        if abs(a[pivot][col]) < 1e-12:
+            a[col] = [0.0] * n
+            a[col][col] = 1.0
+            b[col] = 0.0
+            continue
+        a[col], a[pivot] = a[pivot], a[col]
+        b[col], b[pivot] = b[pivot], b[col]
+        inv = 1.0 / a[col][col]
+        for r in range(col + 1, n):
+            factor = a[r][col] * inv
+            if factor:
+                for j in range(col, n):
+                    a[r][j] -= factor * a[col][j]
+                b[r] -= factor * b[col]
+    beta = [0.0] * n
+    for r in range(n - 1, -1, -1):
+        acc = b[r] - sum(a[r][j] * beta[j] for j in range(r + 1, n))
+        beta[r] = acc / a[r][r] if abs(a[r][r]) > 1e-12 else 0.0
+    return beta
+
+
+def _r_squared(rows, y, beta) -> float:
+    if not y:
+        return 0.0
+    mean = sum(y) / len(y)
+    ss_tot = sum((yi - mean) ** 2 for yi in y)
+    ss_res = sum(
+        (yi - sum(x * b for x, b in zip(r, beta))) ** 2
+        for r, yi in zip(rows, y))
+    if ss_tot <= 1e-12:
+        return 1.0 if ss_res <= 1e-9 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+@dataclass
+class RegressionReport:
+    """Fitted coverage-vs-cost model over a campaign's factors."""
+
+    trials: int
+    #: per-factor rows, ranked by |coverage effect| descending:
+    #: {"factor", "coverage_effect", "cost_effect"}
+    effects: List[Dict[str, Any]] = field(default_factory=list)
+    coverage_intercept: float = 0.0
+    cost_intercept: float = 0.0
+    r2_coverage: float = 0.0
+    r2_cost: float = 0.0
+    #: the best observed coverage-per-CPU-second trial
+    recommended: Optional[Dict[str, Any]] = None
+    best_fitness: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trials": self.trials,
+            "effects": self.effects,
+            "coverage_intercept": round(self.coverage_intercept, 4),
+            "cost_intercept": round(self.cost_intercept, 4),
+            "r2_coverage": round(self.r2_coverage, 4),
+            "r2_cost": round(self.r2_cost, 4),
+            "recommended": self.recommended,
+            "best_fitness": round(self.best_fitness, 4),
+        }
+
+
+def trial_score(row: Dict[str, Any]) -> Optional[float]:
+    """The coverage response of one trial row.
+
+    Stuck-at trials score stuck coverage, transient trials SEU coverage,
+    ``both`` the mean of the two — a single scale the regression and the
+    evolutionary fitness share.
+    """
+    if row.get("error"):
+        return None
+    cov = row.get("coverage")
+    seu = row.get("seu_coverage")
+    model = (row.get("config") or {}).get("fault_model", "stuck")
+    if model == "transient":
+        return seu
+    if model == "both" and seu is not None and cov is not None:
+        return (cov + seu) / 2.0
+    return cov
+
+
+def trial_fitness(row: Dict[str, Any]) -> float:
+    """Coverage per CPU second (the evolutionary objective)."""
+    score = trial_score(row)
+    if score is None:
+        return 0.0
+    return score / max(float(row.get("cost_s") or 0.0), 1e-3)
+
+
+def fit_report(rows: Sequence[Dict[str, Any]],
+               factors: Dict[str, List[Any]]) -> RegressionReport:
+    """Fit the factor-effect model over trial rows.
+
+    Rows whose config lies outside the declared levels (or which
+    errored) are skipped; duplicates (replicates, coalesced twins) all
+    enter the fit, which simply weights repeated points.
+    """
+    names = list(factors)
+    coded: List[List[float]] = []
+    cov_y: List[float] = []
+    cost_y: List[float] = []
+    best: Optional[Dict[str, Any]] = None
+    best_fit = 0.0
+    for row in rows:
+        score = trial_score(row)
+        config = row.get("config") or {}
+        if score is None:
+            continue
+        try:
+            x = [1.0] + [code_level(config[name], factors[name])
+                         for name in names]
+        except (KeyError, ValueError):
+            continue
+        coded.append(x)
+        cov_y.append(float(score))
+        cost_y.append(float(row.get("cost_s") or 0.0))
+        fitness = trial_fitness(row)
+        if best is None or fitness > best_fit:
+            best, best_fit = row, fitness
+
+    report = RegressionReport(trials=len(coded))
+    if not coded:
+        return report
+    cov_beta = solve_least_squares(coded, cov_y)
+    cost_beta = solve_least_squares(coded, cost_y)
+    report.coverage_intercept = cov_beta[0]
+    report.cost_intercept = cost_beta[0]
+    report.r2_coverage = _r_squared(coded, cov_y, cov_beta)
+    report.r2_cost = _r_squared(coded, cost_y, cost_beta)
+    effects = [
+        {
+            "factor": name,
+            "coverage_effect": round(cov_beta[i + 1], 4),
+            "cost_effect": round(cost_beta[i + 1], 4),
+        }
+        for i, name in enumerate(names)
+    ]
+    effects.sort(key=lambda e: abs(e["coverage_effect"]), reverse=True)
+    report.effects = effects
+    if best is not None:
+        report.recommended = dict(best.get("config") or {})
+        report.best_fitness = best_fit
+    return report

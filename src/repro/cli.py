@@ -150,6 +150,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["arena", "compiled", "interpreted"],
                        help="fault-simulation backend (default: arena, "
                             "or REPRO_SIM_BACKEND)")
+        p.add_argument("--fault-model",
+                       choices=["stuck", "transient", "both"],
+                       default="stuck",
+                       help="fault model: stuck-at (default), transient "
+                            "SEU bit flips (random-phase only, graded by "
+                            "fault simulation), or both")
+        p.add_argument("--random-length", type=int, metavar="N",
+                       help="random-phase sequence length (default: the "
+                            "engine's built-in)")
+        p.add_argument("--transient-sample", type=int, metavar="N",
+                       help="SEU faults sampled from the site x value x "
+                            "cycle universe (default 256)")
         if with_jobs:
             p.add_argument("--jobs", type=int,
                            help="worker processes: multi-MUT runs fan out "
@@ -285,7 +297,7 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(default: benchmarks/results)")
     p_bench.add_argument("--suite", action="append", default=[],
                          choices=["fault_sim", "atpg", "warm_pipeline",
-                                  "serve", "all"],
+                                  "serve", "campaign", "all"],
                          help="suites to run (repeatable; default: "
                               "fault_sim, atpg, warm_pipeline)")
     add_obs(p_bench)
@@ -349,6 +361,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--seed", type=int, default=2002)
     p_submit.add_argument("--backend",
                           choices=["arena", "compiled", "interpreted"])
+    p_submit.add_argument("--fault-model",
+                          choices=["stuck", "transient", "both"],
+                          default="stuck",
+                          help="atpg jobs: fault model (default: stuck)")
+    p_submit.add_argument("--random-length", type=int, metavar="N",
+                          help="atpg jobs: random-phase sequence length")
+    p_submit.add_argument("--transient-sample", type=int, metavar="N",
+                          help="atpg jobs: SEU fault sample size")
     p_submit.add_argument("--jobs", type=int,
                           help="atpg jobs: PODEM workers inside the job "
                                "(default: serial; 0 means all of the "
@@ -427,6 +447,52 @@ def _build_parser() -> argparse.ArgumentParser:
                               dest="as_json")
     add_obs(p_trace_slow)
 
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="fault-injection campaigns: factorial / evolutionary "
+             "design-space exploration (see docs/campaign.md)",
+    )
+    campaign_sub = p_campaign.add_subparsers(dest="campaign_command",
+                                             required=True)
+    p_camp_run = campaign_sub.add_parser(
+        "run", help="execute a campaign spec end to end")
+    p_camp_run.add_argument("spec", metavar="SPEC",
+                            help="campaign spec file (.toml or .json)")
+    p_camp_run.add_argument("--server", metavar="URL",
+                            help="submit trials to a running repro serve "
+                                 "(default: the spec's server, else local "
+                                 "execution)")
+    p_camp_run.add_argument("--local", action="store_true",
+                            help="force local execution even when the "
+                                 "spec names a server")
+    p_camp_run.add_argument("--jobs", type=int, default=1,
+                            help="local mode: trial worker processes "
+                                 "(default 1 = in-process)")
+    p_camp_run.add_argument("--timeout", type=float, default=600.0,
+                            help="per-trial wall-clock budget in seconds "
+                                 "(default 600)")
+    p_camp_run.add_argument("--json", action="store_true", dest="as_json",
+                            help="print the run summary as JSON")
+    add_obs(p_camp_run)
+    p_camp_status = campaign_sub.add_parser(
+        "status", help="trial counts for a campaign's trial DB")
+    p_camp_status.add_argument("name", metavar="NAME",
+                               help="campaign name (or a spec file, whose "
+                                    "name is used)")
+    p_camp_status.add_argument("--json", action="store_true",
+                               dest="as_json")
+    add_obs(p_camp_status)
+    p_camp_report = campaign_sub.add_parser(
+        "report", help="fitted coverage-vs-cost factor-effect report")
+    p_camp_report.add_argument("name", metavar="NAME",
+                               help="campaign spec file (.toml/.json) — "
+                                    "needed for the factor levels; a bare "
+                                    "name works if the spec was copied "
+                                    "into the campaign directory")
+    p_camp_report.add_argument("--json", action="store_true",
+                               dest="as_json")
+    add_obs(p_camp_report)
+
     return parser
 
 
@@ -446,13 +512,19 @@ def _factor_for(args) -> Factor:
 def _atpg_options(args) -> AtpgOptions:
     # Intra-run PODEM parallelism is opt-in (--jobs / REPRO_JOBS); a bare
     # single-MUT run stays serial.  Results are identical either way.
-    return AtpgOptions(
+    opts = AtpgOptions(
         max_frames=args.frames,
         backtrack_limit=args.backtrack_limit,
         seed=args.seed,
         fault_sim_backend=getattr(args, "backend", None),
+        fault_model=getattr(args, "fault_model", "stuck"),
         jobs=resolve_jobs_opt(getattr(args, "jobs", None)),
     )
+    if getattr(args, "random_length", None) is not None:
+        opts.random_sequence_length = args.random_length
+    if getattr(args, "transient_sample", None) is not None:
+        opts.transient_sample = args.transient_sample
+    return opts
 
 
 def _lint_config_from_args(args) -> "LintConfig":
@@ -668,7 +740,12 @@ def _cmd_atpg(args) -> int:
         backtrack_limit=args.backtrack_limit,
         seed=args.seed,
         fault_sim_backend=getattr(args, "backend", None),
+        fault_model=getattr(args, "fault_model", "stuck"),
     )
+    if getattr(args, "random_length", None) is not None:
+        opts_fields["random_sequence_length"] = args.random_length
+    if getattr(args, "transient_sample", None) is not None:
+        opts_fields["transient_sample"] = args.transient_sample
     payloads = [(list(args.files), args.top,
                  getattr(args, "mode", "compose"),
                  {k: v for k, v in
@@ -769,7 +846,7 @@ def _profile_rows(root: Span) -> List[Dict[str, object]]:
 
 _PROFILE_METRIC_PREFIXES = (
     "verilog.", "extract.", "compose.", "synth.", "atpg.", "fault_sim.",
-    "store.",
+    "store.", "campaign.",
 )
 
 
@@ -826,7 +903,8 @@ def _cmd_bench(args) -> int:
 
     suites = list(args.suite)
     if "all" in suites:
-        suites = ["fault_sim", "atpg", "warm_pipeline", "serve"]
+        suites = ["fault_sim", "atpg", "warm_pipeline", "serve",
+                  "campaign"]
     return run_bench(out_dir=args.out, quick=args.quick,
                      jobs=args.jobs, seed=args.seed,
                      suites=suites or None)
@@ -885,6 +963,9 @@ def _cmd_submit(args) -> int:
         "backtrack_limit": args.backtrack_limit,
         "seed": args.seed,
         "backend": args.backend,
+        "fault_model": args.fault_model,
+        "random_length": args.random_length,
+        "transient_sample": args.transient_sample,
         "use_piers": not args.no_piers,
         "strict": args.strict,
         "jobs": args.jobs,
@@ -939,8 +1020,9 @@ def _print_job_outcome(job: Dict[str, object]) -> None:
         print(format_table(f"ATPG report for {result.get('mut')}",
                            [{k: v for k, v in result.items()
                              if k in ("name", "faults", "detected", "cov%",
-                                      "eff%", "tgen_s", "total_s", "tests",
-                                      "vectors")}]))
+                                      "eff%", "seu", "seu_detected",
+                                      "seu_cov%", "tgen_s", "total_s",
+                                      "tests", "vectors")}]))
     elif op in ("testability", "lint", "explain"):
         print(result.get("summary", ""))
     elif op == "analyze":
@@ -1193,6 +1275,119 @@ def _cmd_piers(args) -> int:
     return 0
 
 
+def _campaign_spec_for(name_or_path: str):
+    """A spec file path, or a bare campaign name whose ``run`` left a
+    resolved ``spec.json`` in the campaign directory."""
+    import os
+
+    from repro.campaign import CampaignSpec, campaign_dir
+
+    if os.path.exists(name_or_path):
+        return CampaignSpec.load(name_or_path)
+    saved = os.path.join(campaign_dir(name_or_path), "spec.json")
+    if os.path.exists(saved):
+        return CampaignSpec.load(saved)
+    raise ValueError(
+        f"no spec file {name_or_path!r} and no saved spec at {saved}")
+
+
+def _print_campaign_report(name: str, report: Dict[str, object]) -> None:
+    effects = report.get("effects") or []
+    if not effects:
+        print("no usable trials yet (no effects to fit)")
+        return
+    rows = [
+        {"factor": e["factor"],
+         "coverage_effect": f"{e['coverage_effect']:+.4f}",
+         "cost_effect": f"{e['cost_effect']:+.4f}"}
+        for e in effects
+    ]
+    print(format_table(
+        f"Factor effects: {name} ({report['trials']} trials, "
+        f"ranked by |coverage effect|)", rows,
+        columns=["factor", "coverage_effect", "cost_effect"]))
+    print(f"model fit: coverage R^2 {report['r2_coverage']:.3f} "
+          f"(intercept {report['coverage_intercept']:.2f}), "
+          f"cost R^2 {report['r2_cost']:.3f} "
+          f"(intercept {report['cost_intercept']:.4f} s)")
+    if report.get("recommended") is not None:
+        knobs = ", ".join(f"{k}={v}" for k, v in
+                          sorted(report["recommended"].items()))
+        print(f"recommended config: {knobs} "
+              f"(best observed {report['best_fitness']:.2f} "
+              f"coverage%/cpu-s)")
+
+
+def _cmd_campaign(args) -> int:
+    import dataclasses
+    import os
+
+    from repro.campaign import CampaignRunner, TrialDB, campaign_dir, \
+        fit_report
+
+    if args.campaign_command == "run":
+        spec = _campaign_spec_for(args.spec)
+        runner = CampaignRunner(spec, server=args.server, local=args.local,
+                                jobs=args.jobs,
+                                trial_timeout=args.timeout)
+        summary = runner.run()
+        # A resolved copy lets status/report work from the bare name.
+        os.makedirs(campaign_dir(spec.name), exist_ok=True)
+        atomic_write_text(
+            os.path.join(campaign_dir(spec.name), "spec.json"),
+            json.dumps(dataclasses.asdict(spec), indent=2) + "\n")
+        if args.as_json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        where = summary["server"] or "local"
+        print(f"campaign {spec.name} ({spec.mode}, via {where}): "
+              f"{summary['trials']} trials -> {summary['db']}")
+        if "factorial" in summary:
+            f = summary["factorial"]
+            print(f"  factorial   : {f['points']} design points, "
+                  f"{f['trials']} trials, {f['failed']} failed")
+        if "evolutionary" in summary:
+            e = summary["evolutionary"]
+            history = " -> ".join(f"{h:.2f}" for h in e["history"])
+            print(f"  evolutionary: best fitness {e['best_fitness']:.2f} "
+                  f"after {e['generations']} generations "
+                  f"({e['evaluations']} evaluations); best/gen {history}")
+        _print_campaign_report(spec.name, summary["report"])
+        return 0
+
+    if args.campaign_command == "status":
+        name = args.name
+        if os.path.exists(name):
+            name = _campaign_spec_for(name).name
+        summary = TrialDB.for_campaign(name).summary()
+        if args.as_json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        if not summary["trials"]:
+            print(f"campaign {name}: no trials recorded "
+                  f"(DB {summary['path']})")
+            return 0
+        phases = ", ".join(f"{k}={v}" for k, v in
+                           sorted(summary["phases"].items()))
+        print(f"campaign {name}: {summary['trials']} trials ({phases}); "
+              f"{summary['coalesced']} deduplicated, "
+              f"{summary['failed']} failed")
+        print(f"  DB: {summary['path']}")
+        return 0
+
+    if args.campaign_command == "report":
+        spec = _campaign_spec_for(args.name)
+        rows = TrialDB.for_campaign(spec.name).rows()
+        report = fit_report(rows, spec.ordered_factors()).as_dict()
+        if args.as_json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        _print_campaign_report(spec.name, report)
+        return 0
+
+    raise AssertionError  # pragma: no cover - argparse enforces choices
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "testability": _cmd_testability,
@@ -1208,6 +1403,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
     "trace": _cmd_trace,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import time
 from http.client import HTTPConnection
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -99,6 +100,57 @@ class ServeClient:
         """
         headers = {"traceparent": traceparent} if traceparent else None
         return self._checked("POST", "/v1/jobs", spec, headers=headers)
+
+    def submit_with_retry(self, spec: Dict[str, Any],
+                          traceparent: Optional[str] = None,
+                          max_retries: int = 8,
+                          base_delay: float = 0.1,
+                          max_delay: float = 10.0,
+                          rng: Optional[random.Random] = None,
+                          sleep=None) -> Dict[str, Any]:
+        """Submit, riding out 429 admission pushback instead of failing.
+
+        Batch submitters (campaigns) are exactly the overload traffic the
+        server's bounded queue throttles; a 429 means "later", not
+        "never".  Backoff is capped exponential with jitter, and the
+        server's ``Retry-After`` hint is honored as the floor of each
+        delay (still capped at ``max_delay``).  Other errors, and a 429
+        persisting past ``max_retries``, raise as usual.  ``rng`` and
+        ``sleep`` are injectable for deterministic tests.
+        """
+        rng = rng if rng is not None else random.Random()
+        do_sleep = sleep if sleep is not None else time.sleep
+        attempt = 0
+        while True:
+            try:
+                return self.submit(spec, traceparent=traceparent)
+            except ServeError as exc:
+                if exc.status != 429 or attempt >= max_retries:
+                    raise
+                delay = min(max_delay, base_delay * (2 ** attempt))
+                delay *= 0.5 + rng.random() / 2  # full-ish jitter
+                if exc.retry_after:
+                    delay = max(delay, float(exc.retry_after))
+                do_sleep(min(delay, max_delay))
+                attempt += 1
+
+    def submit_batch(self, specs: List[Dict[str, Any]],
+                     traceparent: Optional[str] = None,
+                     timeout: float = 600.0,
+                     **retry_kwargs) -> List[Dict[str, Any]]:
+        """Submit every spec, then wait for every job; returns final jobs.
+
+        All submissions go out before any waiting starts, so identical
+        specs in the batch coalesce onto one in-flight execution on the
+        server instead of serializing through the store.
+        """
+        submitted = [
+            self.submit_with_retry(spec, traceparent=traceparent,
+                                   **retry_kwargs)
+            for spec in specs
+        ]
+        return [self.wait(sub["job"]["id"], timeout=timeout)
+                for sub in submitted]
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._checked("GET", f"/v1/jobs/{job_id}")["job"]

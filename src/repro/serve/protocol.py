@@ -75,6 +75,14 @@ class JobSpec:
     backtrack_limit: int = 300
     seed: int = 2002
     backend: Optional[str] = None
+    #: atpg only: fault populations to target/grade
+    #: (``stuck`` | ``transient`` | ``both``); see AtpgOptions.fault_model.
+    fault_model: str = "stuck"
+    #: atpg only: random-phase sequence length (vectors per sequence).
+    #: A first-class campaign factor, hence part of the wire format.
+    random_length: Optional[int] = None
+    #: atpg only: seeded SEU sample size (None = full universe).
+    transient_sample: Optional[int] = None
     use_piers: bool = True
     strict: bool = False  # lint only: warnings fail the job
     #: explain only: the net/port to trace (``SIGNAL`` or
@@ -131,16 +139,27 @@ class JobSpec:
         if self.mode not in ("compose", "conventional"):
             raise ProtocolError(
                 f"bad mode {self.mode!r}; expected compose|conventional")
-        if self.backend not in (None, "compiled", "interpreted"):
+        if self.backend not in (None, "arena", "compiled", "interpreted"):
             raise ProtocolError(
                 f"bad backend {self.backend!r}; "
-                "expected compiled|interpreted")
+                "expected arena|compiled|interpreted")
+        if self.fault_model not in ("stuck", "transient", "both"):
+            raise ProtocolError(
+                f"bad fault_model {self.fault_model!r}; "
+                "expected stuck|transient|both")
         for name in ("frames", "backtrack_limit", "seed"):
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool):
                 raise ProtocolError(f"{name!r} must be an integer")
         if self.frames < 1:
             raise ProtocolError("'frames' must be >= 1")
+        for name in ("random_length", "transient_sample"):
+            value = getattr(self, name)
+            if value is not None:
+                if not isinstance(value, int) or isinstance(value, bool) \
+                        or value < 1:
+                    raise ProtocolError(
+                        f"{name!r} must be a positive integer")
         if self.jobs is not None:
             if not isinstance(self.jobs, int) or isinstance(self.jobs, bool):
                 raise ProtocolError("'jobs' must be an integer")
@@ -172,6 +191,9 @@ class JobSpec:
                 "backtrack_limit": self.backtrack_limit,
                 "seed": self.seed,
                 "backend": self.backend,
+                "fault_model": self.fault_model,
+                "random_length": self.random_length,
+                "transient_sample": self.transient_sample,
                 "use_piers": self.use_piers,
                 "strict": self.strict,
                 "target": self.target,
@@ -181,8 +203,10 @@ class JobSpec:
     # -- wire format -------------------------------------------------------
 
     _FIELDS = ("op", "source", "design", "top", "mut", "path", "mode",
-               "frames", "backtrack_limit", "seed", "backend", "use_piers",
-               "strict", "target", "jobs", "deadline_s", "trace")
+               "frames", "backtrack_limit", "seed", "backend",
+               "fault_model", "random_length", "transient_sample",
+               "use_piers", "strict", "target", "jobs", "deadline_s",
+               "trace")
 
     def as_dict(self) -> Dict[str, Any]:
         return {name: getattr(self, name) for name in self._FIELDS}

@@ -147,16 +147,22 @@ def _op_atpg(spec: JobSpec) -> Dict[str, Any]:
     factor = _factor(spec)
     result = factor.analyze(spec.mut, path=spec.path,
                             use_piers=spec.use_piers)
-    report = factor.generate_tests(result, AtpgOptions(
+    opts = AtpgOptions(
         max_frames=spec.frames,
         backtrack_limit=spec.backtrack_limit,
         seed=spec.seed,
         fault_sim_backend=spec.backend,
+        fault_model=spec.fault_model,
         # None means "serial"; 0 and N pass straight through to the
         # engine's intra-run fork pool.  Results are jobs-invariant, so
         # this costs nothing in coalescing or store hits.
         jobs=spec.jobs if spec.jobs is not None else 1,
-    ))
+    )
+    if spec.random_length is not None:
+        opts.random_sequence_length = spec.random_length
+    if spec.transient_sample is not None:
+        opts.transient_sample = spec.transient_sample
+    report = factor.generate_tests(result, opts)
     row = report.as_row()
     row.update({
         "op": "atpg",
@@ -165,6 +171,10 @@ def _op_atpg(spec: JobSpec) -> Dict[str, Any]:
         "aborted": report.aborted,
         "coverage_percent": report.coverage_percent,
         "efficiency_percent": report.efficiency_percent,
+        "transient_total": report.transient_total,
+        "transient_detected": report.transient_detected,
+        "transient_coverage_percent": report.transient_coverage_percent,
+        "cpu_seconds": report.total_seconds,
     })
     return row
 

@@ -17,6 +17,7 @@ Stages and their keys:
 ``synth``    (design fp, root, netlist name, optimize flag)
 ``codegen``  (levelized gate-order fp, chunk size, CPython magic)
 ``atpg``     (netlist content fp, resolved ATPG options fp)
+``campaign`` (trial job-spec request fingerprint)
 ===========  ==============================================================
 
 See :mod:`repro.store.core` for robustness guarantees (atomic publish,
